@@ -1,0 +1,362 @@
+// Benchmarks regenerating the paper's evaluation (§6) plus ablations of the
+// framework's building blocks. Figure benches measure full auction rounds
+// over the in-memory transport with the community-network latency model —
+// they are the experiment, so expect seconds per op at the larger sizes.
+//
+//	go test -bench 'Fig4' .     # Figure 4 series
+//	go test -bench 'Fig5' .     # Figure 5 series
+//	go test -bench . -benchmem  # everything
+//
+// cmd/benchfig prints the same series as aligned tables with
+// paper-comparable columns.
+package distauction_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/coin"
+	"distauction/internal/consensus"
+	"distauction/internal/datatransfer"
+	"distauction/internal/figures"
+	"distauction/internal/harness"
+	"distauction/internal/mechanism/doubleauction"
+	"distauction/internal/mechanism/standardauction"
+	"distauction/internal/proto"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+	"distauction/internal/workload"
+)
+
+// reportRound registers one round's duration as the benchmark metric.
+func reportRound(b *testing.B, run func(seed uint64) (harness.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkFig4DoubleAuction regenerates the four series of Figure 4:
+// running time of the double auction vs number of users for a centralized
+// trusted auctioneer and for the distributed simulation with k = 1, 2, 3
+// (3, 5 and 8 providers as in the paper).
+func BenchmarkFig4DoubleAuction(b *testing.B) {
+	lat := transport.CommunityNetModel()
+	for _, n := range []int{100, 400, 1000} {
+		n := n
+		b.Run(fmt.Sprintf("centralized/m=8/n=%d", n), func(b *testing.B) {
+			reportRound(b, func(seed uint64) (harness.Result, error) {
+				return harness.RunCentralizedDouble(harness.Options{M: 8, N: n, Seed: seed, Latency: lat})
+			})
+		})
+		for _, series := range []struct{ k, m int }{{1, 3}, {2, 5}, {3, 8}} {
+			series := series
+			b.Run(fmt.Sprintf("distributed/k=%d/m=%d/n=%d", series.k, series.m, n), func(b *testing.B) {
+				reportRound(b, func(seed uint64) (harness.Result, error) {
+					return harness.RunDistributedDouble(harness.Options{
+						M: series.m, N: n, K: series.k, Seed: seed, Latency: lat,
+					})
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFig5StandardAuction regenerates the three series of Figure 5:
+// running time of the standard auction vs number of users for p = 1
+// (centralized serial), p = 2 (m=8, k=3) and p = 4 (m=8, k=1). Compute cost
+// follows the calibrated model of figures.Fig5ModelDelay (see EXPERIMENTS.md).
+func BenchmarkFig5StandardAuction(b *testing.B) {
+	lat := transport.CommunityNetModel()
+	for _, n := range []int{25, 50, 100} {
+		n := n
+		delay := figures.Fig5ModelDelay(n)
+		b.Run(fmt.Sprintf("p=1/n=%d", n), func(b *testing.B) {
+			reportRound(b, func(seed uint64) (harness.Result, error) {
+				return harness.RunCentralizedStandard(harness.Options{
+					M: 8, N: n, Seed: seed, Latency: lat, InvEpsilon: 5, ModelDelay: delay,
+				})
+			})
+		})
+		for _, series := range []struct{ p, k int }{{2, 3}, {4, 1}} {
+			series := series
+			b.Run(fmt.Sprintf("p=%d/n=%d", series.p, n), func(b *testing.B) {
+				reportRound(b, func(seed uint64) (harness.Result, error) {
+					return harness.RunDistributedStandard(harness.Options{
+						M: 8, N: n, K: series.k, Seed: seed, Latency: lat, InvEpsilon: 5, ModelDelay: delay,
+					})
+				})
+			})
+		}
+	}
+}
+
+// benchPeers attaches m provider peers to a zero-latency hub.
+func benchPeers(b *testing.B, m int) []*proto.Peer {
+	b.Helper()
+	hub := transport.NewHub(transport.LatencyModel{}, 1)
+	b.Cleanup(func() { hub.Close() })
+	ids := make([]wire.NodeID, m)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	peers := make([]*proto.Peer, m)
+	for i, id := range ids {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peers[i] = proto.NewPeer(conn, ids)
+		b.Cleanup(func(p *proto.Peer) func() { return func() { p.Close() } }(peers[i]))
+	}
+	return peers
+}
+
+// BenchmarkBidAgreement measures the stream-batched rational consensus that
+// implements bid agreement, per round, as a function of n and m.
+func BenchmarkBidAgreement(b *testing.B) {
+	for _, m := range []int{3, 8} {
+		for _, n := range []int{100, 1000} {
+			m, n := m, n
+			b.Run(fmt.Sprintf("m=%d/n=%d", m, n), func(b *testing.B) {
+				peers := benchPeers(b, m)
+				inst := workload.NewDoubleAuction(1, n, m)
+				inputs := make([][]byte, n)
+				for i, u := range inst.Users {
+					inputs[i] = u.Encode()
+				}
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					round := uint64(i + 1)
+					var wg sync.WaitGroup
+					errs := make([]error, m)
+					for j, p := range peers {
+						wg.Add(1)
+						go func(j int, p *proto.Peer) {
+							defer wg.Done()
+							_, errs[j] = consensus.Propose(ctx, p, round, 0, inputs)
+						}(j, p)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					for _, p := range peers {
+						p.EndRound(round)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCommonCoin measures one commit-echo-reveal coin toss per round.
+func BenchmarkCommonCoin(b *testing.B) {
+	for _, m := range []int{3, 8} {
+		m := m
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			peers := benchPeers(b, m)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round := uint64(i + 1)
+				var wg sync.WaitGroup
+				errs := make([]error, m)
+				for j, p := range peers {
+					wg.Add(1)
+					go func(j int, p *proto.Peer) {
+						defer wg.Done()
+						_, errs[j] = coin.Toss(ctx, p, round, 0)
+					}(j, p)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, p := range peers {
+					p.EndRound(round)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDataTransfer measures one S→O transfer as a function of payload
+// size (4 providers: |S| = |O| = 2).
+func BenchmarkDataTransfer(b *testing.B) {
+	for _, size := range []int{1 << 10, 100 << 10} {
+		size := size
+		b.Run(fmt.Sprintf("bytes=%d", size), func(b *testing.B) {
+			peers := benchPeers(b, 4)
+			sending := []wire.NodeID{1, 2}
+			receiving := []wire.NodeID{3, 4}
+			payload := make([]byte, size)
+			ctx := context.Background()
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round := uint64(i + 1)
+				var wg sync.WaitGroup
+				errs := make([]error, len(peers))
+				for j, p := range peers {
+					wg.Add(1)
+					go func(j int, p *proto.Peer) {
+						defer wg.Done()
+						var in []byte
+						if proto.ContainsNode(sending, p.Self()) {
+							in = payload
+						}
+						_, errs[j] = datatransfer.Run(ctx, p, round, 0, sending, receiving, in)
+					}(j, p)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, p := range peers {
+					p.EndRound(round)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWaterFilling measures the pure double-auction algorithm without
+// any protocol around it (the compute the distributed version replicates).
+func BenchmarkWaterFilling(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inst := workload.NewDoubleAuction(1, n, 8)
+			bids := inst.BidVector()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := doubleauction.Solve(bids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKnapsackSolve measures one real (1−ε) allocation solve (no
+// compute model) as a function of n.
+func BenchmarkKnapsackSolve(b *testing.B) {
+	for _, n := range []int{50, 125} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			inst := workload.NewStandardAuction(1, n, 8)
+			params := standardauction.Params{Capacities: inst.Capacities, InvEpsilon: 10}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := standardauction.SolveAllocation(inst.Users, params, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVCGPayments compares serial vs host-parallel computation of all
+// VCG payments with *real* compute only (no network, no model): the upper
+// bound of Figure 5's gain on this host, limited by its core count.
+func BenchmarkVCGPayments(b *testing.B) {
+	const n = 40
+	inst := workload.NewStandardAuction(1, n, 8)
+	params := standardauction.Params{Capacities: inst.Capacities, InvEpsilon: 8}
+	assign, err := standardauction.SolveAllocation(inst.Users, params, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payAll := func(idx []int) error {
+		for _, i := range idx {
+			if _, err := standardauction.Payment(inst.Users, params, 7, assign, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	b.Run("serial", func(b *testing.B) {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		for i := 0; i < b.N; i++ {
+			if err := payAll(all); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel=4", func(b *testing.B) {
+		shares := make([][]int, 4)
+		for i := 0; i < n; i++ {
+			shares[i%4] = append(shares[i%4], i)
+		}
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, 4)
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					errs[g] = payAll(shares[g])
+				}(g)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkFullRoundZeroLatency isolates protocol CPU cost: a complete
+// distributed double-auction round with no link delay at all.
+func BenchmarkFullRoundZeroLatency(b *testing.B) {
+	reportRound(b, func(seed uint64) (harness.Result, error) {
+		return harness.RunDistributedDouble(harness.Options{
+			M: 3, N: 50, K: 1, Seed: seed, BidWindow: 5 * time.Second,
+		})
+	})
+}
+
+// BenchmarkReplicatedVsParallel ablates the standard auction's task
+// decomposition: the same auction executed replicated (every provider runs
+// everything — full resilience, no speedup) vs decomposed (k=1, p=4).
+func BenchmarkReplicatedVsParallel(b *testing.B) {
+	const n = 40
+	lat := transport.CommunityNetModel()
+	delay := figures.Fig5ModelDelay(n)
+	b.Run("replicated", func(b *testing.B) {
+		reportRound(b, func(seed uint64) (harness.Result, error) {
+			return harness.RunDistributedStandard(harness.Options{
+				M: 8, N: n, K: 1, Seed: seed, Latency: lat,
+				InvEpsilon: 5, ModelDelay: delay, Replicated: true,
+			})
+		})
+	})
+	b.Run("parallel", func(b *testing.B) {
+		reportRound(b, func(seed uint64) (harness.Result, error) {
+			return harness.RunDistributedStandard(harness.Options{
+				M: 8, N: n, K: 1, Seed: seed, Latency: lat,
+				InvEpsilon: 5, ModelDelay: delay,
+			})
+		})
+	})
+}

@@ -1,0 +1,118 @@
+// Command auctionsim runs one complete distributed (or centralized) auction
+// round on an in-memory network and reports the outcome: allocation,
+// payments, welfare, timing and traffic.
+//
+//	auctionsim -mechanism double -m 5 -n 20 -k 2
+//	auctionsim -mechanism standard -m 8 -n 40 -k 1
+//	auctionsim -centralized -mechanism double -n 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/harness"
+	"distauction/internal/transport"
+	"distauction/internal/workload"
+)
+
+func main() {
+	mechanism := flag.String("mechanism", "double", "auction mechanism: double or standard")
+	m := flag.Int("m", 5, "number of providers")
+	n := flag.Int("n", 20, "number of users")
+	k := flag.Int("k", 2, "coalition bound (requires m > 2k)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	centralized := flag.Bool("centralized", false, "run the trusted-auctioneer baseline instead")
+	noLatency := flag.Bool("no-latency", false, "disable the community-network latency model")
+	invEps := flag.Int("inveps", 5, "standard auction: 1/ε approximation effort")
+	verbose := flag.Bool("v", false, "print the full allocation matrix")
+	flag.Parse()
+
+	if err := run(*mechanism, *m, *n, *k, *seed, *centralized, *noLatency, *invEps, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "auctionsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mechanism string, m, n, k int, seed uint64, centralized, noLatency bool, invEps int, verbose bool) error {
+	opts := harness.Options{
+		M: m, N: n, K: k, Seed: seed,
+		InvEpsilon: invEps,
+		BidWindow:  10 * time.Second,
+	}
+	if !noLatency {
+		opts.Latency = transport.CommunityNetModel()
+	}
+
+	var (
+		res harness.Result
+		err error
+	)
+	switch {
+	case mechanism == "double" && centralized:
+		res, err = harness.RunCentralizedDouble(opts)
+	case mechanism == "double":
+		res, err = harness.RunDistributedDouble(opts)
+	case mechanism == "standard" && centralized:
+		res, err = harness.RunCentralizedStandard(opts)
+	case mechanism == "standard":
+		res, err = harness.RunDistributedStandard(opts)
+	default:
+		return fmt.Errorf("unknown mechanism %q (want double or standard)", mechanism)
+	}
+	if err != nil {
+		return err
+	}
+
+	mode := "distributed"
+	if centralized {
+		mode = "centralized"
+	}
+	fmt.Printf("%s %s auction: m=%d providers, n=%d users, k=%d, seed=%d\n",
+		mode, mechanism, m, n, k, seed)
+	fmt.Printf("round time: %v   messages: %d   bytes: %d\n\n", res.Duration, res.Msgs, res.Bytes)
+
+	out := res.Outcome
+	served := 0
+	for u := 0; u < out.Alloc.NumUsers; u++ {
+		if out.Alloc.UserTotal(u) > 0 {
+			served++
+		}
+	}
+	fmt.Printf("users served: %d / %d\n", served, out.Alloc.NumUsers)
+	fmt.Printf("total paid by users:      %v\n", out.Pay.TotalPaid())
+	fmt.Printf("total paid to providers:  %v\n", out.Pay.TotalReceived())
+	fmt.Printf("budget balanced:          %v\n", out.Pay.BudgetBalanced())
+
+	// Recompute welfare against the generated workload for the report.
+	switch mechanism {
+	case "double":
+		inst := workload.NewDoubleAuction(seed, n, m)
+		fmt.Printf("social welfare (double):  %v\n",
+			auction.WelfareDouble(inst.Users, inst.Providers, out.Alloc))
+	case "standard":
+		inst := workload.NewStandardAuction(seed, n, m)
+		fmt.Printf("social welfare (standard): %v\n",
+			auction.WelfareStandard(inst.Users, out.Alloc))
+	}
+
+	if verbose {
+		fmt.Println("\nallocation (user x provider):")
+		for u := 0; u < out.Alloc.NumUsers; u++ {
+			if out.Alloc.UserTotal(u) == 0 {
+				continue
+			}
+			fmt.Printf("  user %3d:", u)
+			for p := 0; p < out.Alloc.NumProviders; p++ {
+				if v := out.Alloc.At(u, p); v > 0 {
+					fmt.Printf("  p%d=%v", p, v)
+				}
+			}
+			fmt.Printf("  pays %v\n", out.Pay.ByUser[u])
+		}
+	}
+	return nil
+}

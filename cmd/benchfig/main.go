@@ -1,0 +1,70 @@
+// Command benchfig regenerates the paper's evaluation figures (§6) and
+// prints them as aligned tables.
+//
+//	benchfig -fig 4            # Figure 4: double auction vs n
+//	benchfig -fig 5            # Figure 5: standard auction vs n
+//	benchfig -rounds 20        # more repetitions per point (paper: 100)
+//	benchfig -quick            # tiny sweep for a smoke run
+//
+// Timing methodology follows §6.1: the clock runs from bid submission until
+// the client has results from every provider; each point is the mean over
+// -rounds repetitions with fresh workloads. See EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distauction/internal/figures"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (4 or 5; 0 = both)")
+	rounds := flag.Int("rounds", 5, "repetitions per point (paper used 100)")
+	quick := flag.Bool("quick", false, "shrink the sweep for a smoke run")
+	seed := flag.Uint64("seed", 1, "base workload seed")
+	flag.Parse()
+
+	if err := run(*fig, *rounds, *quick, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig, rounds int, quick bool, seed uint64) error {
+	opts := figures.Options{Rounds: rounds, Quick: quick, BaseSeed: seed}
+	if fig == 0 || fig == 4 {
+		fmt.Println("Figure 4 — double auction running time (seconds) vs users")
+		fmt.Println("(paper: Fig. 4, m=8 market providers; distributed series use the")
+		fmt.Println(" minimum provider counts 3/5/8 for k=1/2/3 as in §6.2)")
+		fmt.Println()
+		pts, err := figures.Fig4(opts)
+		if err != nil {
+			return err
+		}
+		if err := figures.WriteFig4(os.Stdout, pts); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if fig == 0 || fig == 5 {
+		fmt.Println("Figure 5 — standard auction running time (seconds) vs users")
+		fmt.Println("(paper: Fig. 5, m=8; p = ⌊m/(k+1)⌋ parallel payment groups;")
+		fmt.Println(" compute time modeled per EXPERIMENTS.md on this host)")
+		fmt.Println()
+		pts, err := figures.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		if err := figures.WriteFig5(os.Stdout, pts); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if fig != 0 && fig != 4 && fig != 5 {
+		return fmt.Errorf("unknown figure %d (want 4 or 5)", fig)
+	}
+	return nil
+}

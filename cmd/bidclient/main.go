@@ -1,0 +1,103 @@
+// Command bidclient submits a user's bandwidth bid to every provider of a
+// distributed auction over TCP and waits for the unanimous outcome.
+//
+//	bidclient -id 100 -listen :0 \
+//	  -providers '1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003' \
+//	  -value 1.10 -demand 0.5 -round 1 -secret communitynet
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/auth"
+	"distauction/internal/cliutil"
+	"distauction/internal/core"
+	"distauction/internal/fixed"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+func main() {
+	id := flag.Uint("id", 0, "this bidder's node id")
+	listen := flag.String("listen", ":0", "listen address (providers reply here)")
+	providersFlag := flag.String("providers", "", "provider set: id=host:port, comma separated")
+	value := flag.String("value", "", "per-unit valuation (decimal)")
+	demand := flag.String("demand", "", "bandwidth demand (decimal)")
+	round := flag.Uint64("round", 1, "auction round to bid in")
+	timeout := flag.Duration("timeout", 2*time.Minute, "how long to wait for the outcome")
+	secret := flag.String("secret", "", "shared master secret for HMAC keys (empty = unauthenticated)")
+	flag.Parse()
+
+	if err := run(uint32(*id), *listen, *providersFlag, *value, *demand, *round, *timeout, *secret); err != nil {
+		fmt.Fprintln(os.Stderr, "bidclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id uint32, listen, providersFlag, value, demand string, round uint64,
+	timeout time.Duration, secret string) error {
+
+	peerAddrs, providerIDs, err := cliutil.ParseAddrMap(providersFlag)
+	if err != nil {
+		return fmt.Errorf("providers: %w", err)
+	}
+	v, err := fixed.Parse(value)
+	if err != nil {
+		return fmt.Errorf("value: %w", err)
+	}
+	d, err := fixed.Parse(demand)
+	if err != nil {
+		return fmt.Errorf("demand: %w", err)
+	}
+	bid := auction.UserBid{Value: v, Demand: d}
+	if err := bid.Validate(); err != nil {
+		return err
+	}
+
+	tcpCfg := transport.TCPConfig{
+		Self:       wire.NodeID(id),
+		ListenAddr: listen,
+		Peers:      peerAddrs,
+	}
+	if secret != "" {
+		all := append([]wire.NodeID{wire.NodeID(id)}, providerIDs...)
+		tcpCfg.Registry = auth.NewRegistryFromMaster([]byte(secret), wire.NodeID(id), all)
+	}
+	node, err := transport.ListenTCP(tcpCfg)
+	if err != nil {
+		return err
+	}
+	bidder := core.NewBidder(node, providerIDs)
+	defer bidder.Close()
+
+	fmt.Printf("bidclient: user %d bidding value=%v demand=%v in round %d (reply address %s)\n",
+		id, v, d, round, node.Addr())
+	if err := bidder.Submit(round, bid); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	out, err := bidder.AwaitOutcome(ctx, round)
+	if errors.Is(err, core.ErrOutcomeBot) {
+		fmt.Println("outcome: ⊥ (auction aborted; nothing allocated, nothing paid)")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+
+	// Find our own slot by matching node id order: the deployment registers
+	// users in the same order everywhere; providers address slots by index.
+	fmt.Printf("outcome accepted by all %d providers\n", len(providerIDs))
+	fmt.Printf("allocation matrix: %d users x %d providers\n", out.Alloc.NumUsers, out.Alloc.NumProviders)
+	fmt.Printf("total paid by users: %v; total to providers: %v\n",
+		out.Pay.TotalPaid(), out.Pay.TotalReceived())
+	return nil
+}

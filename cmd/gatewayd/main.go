@@ -1,0 +1,160 @@
+// Command gatewayd runs one provider node of the distributed auctioneer
+// over real TCP — the daemon a community-network gateway operator would run.
+//
+// Every provider needs the same deployment facts: the provider set with
+// addresses, the user set, k, and the mechanism. Addresses are given as
+// comma-separated id=host:port pairs. All nodes derive pairwise HMAC keys
+// from the shared master secret.
+//
+//	gatewayd -id 1 -listen :7001 \
+//	  -providers '1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003' \
+//	  -users '100,101' -k 1 -mechanism double \
+//	  -cost 1.5 -capacity 10 -rounds 1 -secret communitynet
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/auth"
+	"distauction/internal/cliutil"
+	"distauction/internal/core"
+	"distauction/internal/fixed"
+	"distauction/internal/mechanism/standardauction"
+	"distauction/internal/proto"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+func main() {
+	id := flag.Uint("id", 0, "this provider's node id")
+	listen := flag.String("listen", ":0", "listen address")
+	providersFlag := flag.String("providers", "", "provider set: id=host:port, comma separated")
+	usersFlag := flag.String("users", "", "user bidder ids, comma separated")
+	userAddrsFlag := flag.String("user-addrs", "", "optional user addresses for outcome delivery: id=host:port, comma separated")
+	k := flag.Int("k", 1, "coalition bound")
+	mechanism := flag.String("mechanism", "double", "double or standard")
+	cost := flag.String("cost", "1", "own unit cost (double auction)")
+	capacity := flag.String("capacity", "10", "own capacity (double auction)")
+	capsFlag := flag.String("capacities", "", "standard auction: capacities per provider, comma separated")
+	rounds := flag.Uint64("rounds", 1, "number of auction rounds to run")
+	bidWindow := flag.Duration("bid-window", 5*time.Second, "bid collection window")
+	roundTimeout := flag.Duration("round-timeout", 2*time.Minute, "per-round deadline")
+	secret := flag.String("secret", "", "shared master secret for HMAC keys (empty = unauthenticated)")
+	flag.Parse()
+
+	if err := run(uint32(*id), *listen, *providersFlag, *usersFlag, *userAddrsFlag, *k, *mechanism,
+		*cost, *capacity, *capsFlag, *rounds, *bidWindow, *roundTimeout, *secret); err != nil {
+		fmt.Fprintln(os.Stderr, "gatewayd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id uint32, listen, providersFlag, usersFlag, userAddrsFlag string, k int, mechanism,
+	cost, capacity, capsFlag string, rounds uint64,
+	bidWindow, roundTimeout time.Duration, secret string) error {
+
+	peerAddrs, providerIDs, err := cliutil.ParseAddrMap(providersFlag)
+	if err != nil {
+		return fmt.Errorf("providers: %w", err)
+	}
+	if userAddrsFlag != "" {
+		userAddrs, _, err := cliutil.ParseAddrMap(userAddrsFlag)
+		if err != nil {
+			return fmt.Errorf("user-addrs: %w", err)
+		}
+		for uid, addr := range userAddrs {
+			peerAddrs[uid] = addr
+		}
+	}
+	userIDs, err := cliutil.ParseIDList(usersFlag)
+	if err != nil {
+		return fmt.Errorf("users: %w", err)
+	}
+
+	var mech core.Mechanism
+	switch mechanism {
+	case "double":
+		mech = core.DoubleAuction{}
+	case "standard":
+		caps, err := cliutil.ParseFixedList(capsFlag)
+		if err != nil {
+			return fmt.Errorf("capacities: %w", err)
+		}
+		if len(caps) != len(providerIDs) {
+			return fmt.Errorf("standard auction needs one capacity per provider (%d given, %d providers)",
+				len(caps), len(providerIDs))
+		}
+		mech = core.StandardAuction{Params: standardauction.Params{Capacities: caps}}
+	default:
+		return fmt.Errorf("unknown mechanism %q", mechanism)
+	}
+
+	cfg := core.Config{
+		Providers: providerIDs,
+		Users:     userIDs,
+		K:         k,
+		Mechanism: mech,
+		BidWindow: bidWindow,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	tcpCfg := transport.TCPConfig{
+		Self:       wire.NodeID(id),
+		ListenAddr: listen,
+		Peers:      peerAddrs,
+	}
+	if secret != "" {
+		all := append(append([]wire.NodeID{}, providerIDs...), userIDs...)
+		tcpCfg.Registry = auth.NewRegistryFromMaster([]byte(secret), wire.NodeID(id), all)
+	}
+	node, err := transport.ListenTCP(tcpCfg)
+	if err != nil {
+		return err
+	}
+	provider, err := core.NewProvider(node, cfg)
+	if err != nil {
+		node.Close()
+		return err
+	}
+	defer provider.Close()
+	fmt.Printf("gatewayd: provider %d listening on %s (%s auction, m=%d, k=%d)\n",
+		id, node.Addr(), mechanism, len(providerIDs), k)
+
+	var ownBid *auction.ProviderBid
+	if mechanism == "double" {
+		c, err := fixed.Parse(cost)
+		if err != nil {
+			return fmt.Errorf("cost: %w", err)
+		}
+		cap_, err := fixed.Parse(capacity)
+		if err != nil {
+			return fmt.Errorf("capacity: %w", err)
+		}
+		ownBid = &auction.ProviderBid{Cost: c, Capacity: cap_}
+	}
+
+	for round := uint64(1); round <= rounds; round++ {
+		ctx, cancel := context.WithTimeout(context.Background(), roundTimeout)
+		out, err := provider.RunRound(ctx, round, ownBid)
+		cancel()
+		switch {
+		case err == nil:
+			fmt.Printf("round %d: outcome accepted — %d users, paid=%v received=%v\n",
+				round, out.Alloc.NumUsers, out.Pay.TotalPaid(), out.Pay.TotalReceived())
+		case errors.Is(err, proto.ErrAborted):
+			fmt.Printf("round %d: ⊥ (aborted): %v\n", round, err)
+		default:
+			return fmt.Errorf("round %d: %w", round, err)
+		}
+		provider.EndRound(round)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package distauction is a distributed auctioneer for resource allocation
+// in decentralized systems — a Go implementation of the framework of Khan,
+// Vilaça, Rodrigues and Freitag (ICDCS 2016).
+//
+// In a fully decentralized system no single node can be trusted to run an
+// auction: any node may profit from perturbing the result. This library
+// lets a set of m resource providers jointly *simulate* the trusted
+// auctioneer so that the simulation is a k-resilient (ex post) equilibrium:
+// under coalitions of up to k providers and arbitrary (fair) asynchrony,
+// deviations can only force the aborted outcome ⊥ (utility 0 for everyone)
+// — never a wrong accepted outcome — so rational providers follow the
+// protocol. The framework chains two building blocks (bid agreement and a
+// parallel allocator) and exploits the redundancy of the simulation to
+// parallelise expensive allocation algorithms across provider groups.
+//
+// Two mechanisms ship with the library, matching the paper's case study of
+// bandwidth allocation in community networks:
+//
+//   - a double auction (users and providers both bid; truthful and
+//     budget-balanced water-filling with McAfee trade reduction), and
+//   - a standard auction (only users bid; randomized (1−ε)-optimal
+//     single-provider assignment with VCG payments, the computationally
+//     heavy and parallelisable case).
+//
+// # Quick start
+//
+// Build an in-memory network, start providers, submit bids, read the
+// outcome:
+//
+//	hub := distauction.NewHub(distauction.CommunityNetModel(), 1)
+//	defer hub.Close()
+//	cfg := distauction.Config{
+//		Providers: []distauction.NodeID{1, 2, 3},
+//		Users:     []distauction.NodeID{100, 101},
+//		K:         1,
+//		Mechanism: distauction.NewDoubleAuction(),
+//	}
+//	// attach conns, distauction.NewProvider(conn, cfg), NewBidder(...)
+//
+// See examples/ for complete programs, DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package distauction
+
+import (
+	"distauction/internal/auction"
+	"distauction/internal/core"
+	"distauction/internal/fixed"
+	"distauction/internal/gateway"
+	"distauction/internal/ledger"
+	"distauction/internal/mechanism/standardauction"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+// Core protocol types, aliased from the implementation packages so that the
+// whole public surface is importable from this single package.
+type (
+	// NodeID identifies a participant (provider or bidder).
+	NodeID = wire.NodeID
+	// Fixed is the deterministic fixed-point number used for all currency
+	// and bandwidth quantities (six decimal digits).
+	Fixed = fixed.Fixed
+	// UserBid declares a user's per-unit value and bandwidth demand.
+	UserBid = auction.UserBid
+	// ProviderBid declares a provider's per-unit cost and capacity
+	// (double auctions only).
+	ProviderBid = auction.ProviderBid
+	// BidVector is the agreed vector of all bids.
+	BidVector = auction.BidVector
+	// Allocation maps users to bandwidth at providers.
+	Allocation = auction.Allocation
+	// Payments carries what users pay and providers receive.
+	Payments = auction.Payments
+	// Outcome is the auctioneer's result: an allocation and payments.
+	Outcome = auction.Outcome
+
+	// Config describes an auction deployment (providers, users, k,
+	// mechanism).
+	Config = core.Config
+	// Mechanism is the allocation algorithm A with its task decomposition.
+	Mechanism = core.Mechanism
+	// Provider is a provider node's runtime: it simulates the auctioneer
+	// together with its peers.
+	Provider = core.Provider
+	// Bidder is the user-side client: submit bids, await the outcome.
+	Bidder = core.Bidder
+	// Centralized is the trusted-auctioneer baseline.
+	Centralized = core.Centralized
+
+	// Conn is a node's attachment to a network.
+	Conn = transport.Conn
+	// Hub is the in-memory network with a configurable latency model.
+	Hub = transport.Hub
+	// LatencyModel configures per-message delay (base + per-byte + jitter).
+	LatencyModel = transport.LatencyModel
+	// TCPConfig configures a TCP transport node.
+	TCPConfig = transport.TCPConfig
+	// TCPNode is a node on a real TCP network.
+	TCPNode = transport.TCPNode
+
+	// StandardParams tunes the standard auction's (1−ε) search.
+	StandardParams = standardauction.Params
+
+	// Ledger is the atomic settlement layer.
+	Ledger = ledger.Ledger
+	// Gateway models a community-network Internet gateway.
+	Gateway = gateway.Gateway
+	// Enforcer applies outcomes to gateways and the ledger — the external
+	// mechanism that pays only on non-⊥ outcomes.
+	Enforcer = gateway.Enforcer
+)
+
+// ErrOutcomeBot reports that the auction outcome is ⊥ (aborted or
+// non-unanimous).
+var ErrOutcomeBot = core.ErrOutcomeBot
+
+// Fx converts a float to Fixed, panicking on NaN/Inf/overflow. Use it for
+// literals; parse external input with ParseFixed.
+func Fx(v float64) Fixed { return fixed.MustFloat(v) }
+
+// ParseFixed converts a decimal string ("1.25") to Fixed.
+func ParseFixed(s string) (Fixed, error) { return fixed.Parse(s) }
+
+// NewDoubleAuction returns the double-auction mechanism of §5.2.1:
+// truthful, budget balanced, sorting-dominated (executed replicated).
+func NewDoubleAuction() Mechanism { return core.DoubleAuction{} }
+
+// NewStandardAuction returns the standard-auction mechanism of §5.2.2 with
+// the given provider capacities: (1−ε)-optimal allocation with VCG
+// payments, parallelised across provider groups.
+func NewStandardAuction(params StandardParams) Mechanism {
+	return core.StandardAuction{Params: params}
+}
+
+// NewHub creates an in-memory network. The latency model substitutes for
+// real links (CommunityNetModel approximates a community wireless mesh);
+// the seed makes jitter reproducible.
+func NewHub(model LatencyModel, seed int64) *Hub { return transport.NewHub(model, seed) }
+
+// CommunityNetModel is the latency model calibrated for the paper's
+// community-network setting (≈2 ms base, ≈10 MB/s, 1 ms jitter).
+func CommunityNetModel() LatencyModel { return transport.CommunityNetModel() }
+
+// ListenTCP starts a real TCP transport node.
+func ListenTCP(cfg TCPConfig) (*TCPNode, error) { return transport.ListenTCP(cfg) }
+
+// NewProvider starts a provider runtime over conn; conn's node must be one
+// of cfg.Providers.
+func NewProvider(conn Conn, cfg Config) (*Provider, error) { return core.NewProvider(conn, cfg) }
+
+// NewBidder starts a user-side client over conn addressing the given
+// providers.
+func NewBidder(conn Conn, providers []NodeID) *Bidder { return core.NewBidder(conn, providers) }
+
+// NewCentralized starts the trusted-auctioneer baseline over conn.
+func NewCentralized(conn Conn, cfg Config) (*Centralized, error) {
+	return core.NewCentralized(conn, cfg)
+}
+
+// NewLedger creates an empty settlement ledger.
+func NewLedger() *Ledger { return ledger.New() }
+
+// NewGateway creates a community-network gateway with the given capacity.
+func NewGateway(id NodeID, capacity Fixed) *Gateway { return gateway.New(id, capacity, nil) }

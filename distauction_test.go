@@ -1,0 +1,133 @@
+package distauction_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction"
+)
+
+// The facade test exercises a full distributed auction round through the
+// public API only — what a downstream user's first program looks like.
+func TestPublicAPIDoubleAuctionRound(t *testing.T) {
+	hub := distauction.NewHub(distauction.LatencyModel{}, 1)
+	defer hub.Close()
+
+	cfg := distauction.Config{
+		Providers: []distauction.NodeID{1, 2, 3},
+		Users:     []distauction.NodeID{100, 101},
+		K:         1,
+		Mechanism: distauction.NewDoubleAuction(),
+		BidWindow: 500 * time.Millisecond,
+	}
+
+	providers := make([]*distauction.Provider, 0, 3)
+	for _, id := range cfg.Providers {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := distauction.NewProvider(conn, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		providers = append(providers, p)
+	}
+	bidders := make([]*distauction.Bidder, 0, 2)
+	for _, id := range cfg.Users {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := distauction.NewBidder(conn, cfg.Providers)
+		defer b.Close()
+		bidders = append(bidders, b)
+	}
+
+	userBids := []distauction.UserBid{
+		{Value: distauction.Fx(10), Demand: distauction.Fx(1)},
+		{Value: distauction.Fx(8), Demand: distauction.Fx(1)},
+	}
+	provBids := []distauction.ProviderBid{
+		{Cost: distauction.Fx(1), Capacity: distauction.Fx(5)},
+		{Cost: distauction.Fx(2), Capacity: distauction.Fx(5)},
+		{Cost: distauction.Fx(3), Capacity: distauction.Fx(5)},
+	}
+
+	for i, b := range bidders {
+		if err := b.Submit(1, userBids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	outs := make([]distauction.Outcome, len(providers))
+	errs := make([]error, len(providers))
+	var wg sync.WaitGroup
+	for i, p := range providers {
+		wg.Add(1)
+		go func(i int, p *distauction.Provider) {
+			defer wg.Done()
+			outs[i], errs[i] = p.RunRound(ctx, 1, &provBids[i])
+		}(i, p)
+	}
+
+	// Bidders learn the outcome too.
+	got, err := bidders[0].AwaitOutcome(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("provider %d: %v", i+1, err)
+		}
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i].Digest() != outs[0].Digest() {
+			t.Fatal("providers disagree")
+		}
+	}
+	if got.Digest() != outs[0].Digest() {
+		t.Error("bidder outcome differs from providers'")
+	}
+
+	// Settle through the public ledger/enforcer types.
+	l := distauction.NewLedger()
+	escrow := distauction.NodeID(999)
+	for _, id := range append(append([]distauction.NodeID{escrow}, cfg.Users...), cfg.Providers...) {
+		l.Open(id)
+	}
+	for _, id := range cfg.Users {
+		if err := l.Deposit(id, distauction.Fx(100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gws := []*distauction.Gateway{
+		distauction.NewGateway(1, distauction.Fx(5)),
+		distauction.NewGateway(2, distauction.Fx(5)),
+		distauction.NewGateway(3, distauction.Fx(5)),
+	}
+	enf := &distauction.Enforcer{Ledger: l, Gateways: gws, Escrow: escrow, TTL: time.Hour}
+	if err := enf.Enforce(1, outs[0], cfg.Users, cfg.Providers); err != nil {
+		t.Fatalf("enforce: %v", err)
+	}
+	// The winner (user 100, value 10) pays the marginal price 8.
+	if got := l.Balance(100); got != distauction.Fx(92) {
+		t.Errorf("winner balance = %v, want 92", got)
+	}
+}
+
+func TestParseFixed(t *testing.T) {
+	v, err := distauction.ParseFixed("1.25")
+	if err != nil || v != distauction.Fx(1.25) {
+		t.Errorf("ParseFixed = %v, %v", v, err)
+	}
+	if _, err := distauction.ParseFixed("not a number"); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,172 @@
+// Bandwidth reservation in a community network — the paper's case study
+// (§5.1) end to end.
+//
+// Five households share three Internet gateways. Each auction round, the
+// households bid for gateway bandwidth; the gateways' owners jointly
+// simulate the auctioneer (no single owner is trusted); the accepted
+// outcome settles atomically on a credit ledger and turns into token-bucket
+// shaped reservations on the gateways. An aborted round moves no money and
+// reserves nothing — that is the "external mechanism" that makes honest
+// participation an equilibrium.
+//
+//	go run ./examples/bandwidth
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"distauction"
+)
+
+const escrow = distauction.NodeID(999)
+
+func main() {
+	hub := distauction.NewHub(distauction.CommunityNetModel(), 7)
+	defer hub.Close()
+
+	gatewayIDs := []distauction.NodeID{1, 2, 3}
+	households := []distauction.NodeID{100, 101, 102, 103, 104}
+	cfg := distauction.Config{
+		Providers: gatewayIDs,
+		Users:     households,
+		K:         1,
+		Mechanism: distauction.NewDoubleAuction(),
+		BidWindow: 2 * time.Second,
+	}
+
+	// The community credit ledger: every member starts with 50 credits.
+	ledger := distauction.NewLedger()
+	ledger.Open(escrow)
+	for _, id := range append(append([]distauction.NodeID{}, gatewayIDs...), households...) {
+		ledger.Open(id)
+	}
+	for _, id := range households {
+		if err := ledger.Deposit(id, distauction.Fx(50)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The physical gateways with their uplink capacities (units/s).
+	gateways := []*distauction.Gateway{
+		distauction.NewGateway(1, distauction.Fx(4)),
+		distauction.NewGateway(2, distauction.Fx(3)),
+		distauction.NewGateway(3, distauction.Fx(2)),
+	}
+	enforcer := &distauction.Enforcer{
+		Ledger: ledger, Gateways: gateways, Escrow: escrow, TTL: time.Hour,
+	}
+
+	// Protocol nodes.
+	var providers []*distauction.Provider
+	for _, id := range gatewayIDs {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := distauction.NewProvider(conn, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		providers = append(providers, p)
+	}
+	var bidders []*distauction.Bidder
+	for _, id := range households {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := distauction.NewBidder(conn, gatewayIDs)
+		defer b.Close()
+		bidders = append(bidders, b)
+	}
+
+	// Gateway owners' asking prices per unit of uplink.
+	gatewayBids := []distauction.ProviderBid{
+		{Cost: distauction.Fx(0.20), Capacity: distauction.Fx(4)},
+		{Cost: distauction.Fx(0.35), Capacity: distauction.Fx(3)},
+		{Cost: distauction.Fx(0.60), Capacity: distauction.Fx(2)},
+	}
+
+	// Two auction rounds with shifting demand (evening peak in round 2).
+	demandByRound := [][]distauction.UserBid{
+		{
+			{Value: distauction.Fx(1.10), Demand: distauction.Fx(2.0)},
+			{Value: distauction.Fx(0.95), Demand: distauction.Fx(1.5)},
+			{Value: distauction.Fx(0.80), Demand: distauction.Fx(1.0)},
+			{Value: distauction.Fx(0.70), Demand: distauction.Fx(2.0)},
+			{Value: distauction.Fx(0.40), Demand: distauction.Fx(3.0)},
+		},
+		{
+			{Value: distauction.Fx(1.30), Demand: distauction.Fx(3.0)},
+			{Value: distauction.Fx(1.25), Demand: distauction.Fx(2.5)},
+			{Value: distauction.Fx(1.20), Demand: distauction.Fx(2.0)},
+			{Value: distauction.Fx(1.10), Demand: distauction.Fx(2.0)},
+			{Value: distauction.Fx(1.00), Demand: distauction.Fx(1.0)},
+		},
+	}
+
+	for round := uint64(1); round <= 2; round++ {
+		fmt.Printf("—— round %d ——\n", round)
+		bids := demandByRound[round-1]
+		for i, b := range bidders {
+			if err := b.Submit(round, bids[i]); err != nil {
+				log.Fatal(err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		var wg sync.WaitGroup
+		for i, p := range providers {
+			wg.Add(1)
+			go func(i int, p *distauction.Provider) {
+				defer wg.Done()
+				if _, err := p.RunRound(ctx, round, &gatewayBids[i]); err != nil {
+					log.Printf("gateway %d: %v", i+1, err)
+				}
+			}(i, p)
+		}
+		outcome, err := bidders[0].AwaitOutcome(ctx, round)
+		wg.Wait()
+		cancel()
+		if err != nil {
+			fmt.Printf("round %d aborted (⊥): nothing reserved, nothing paid\n", round)
+			continue
+		}
+
+		// The external mechanism: settle payments and create reservations.
+		if err := enforcer.Enforce(round, outcome, households, gatewayIDs); err != nil {
+			log.Fatalf("enforce: %v", err)
+		}
+		for u, id := range households {
+			if total := outcome.Alloc.UserTotal(u); total > 0 {
+				fmt.Printf("  household %d: %v units reserved, paid %v (balance %v)\n",
+					id, total, outcome.Pay.ByUser[u], ledger.Balance(id))
+			} else {
+				fmt.Printf("  household %d: no allocation this round\n", id)
+			}
+		}
+		for g, gw := range gateways {
+			fmt.Printf("  gateway %d: %v of %v units still free, earned %v total\n",
+				gatewayIDs[g], gw.Available(), gw.Capacity(), ledger.Balance(gatewayIDs[g]))
+		}
+		fmt.Printf("  escrow surplus (McAfee): %v\n", ledger.Balance(escrow))
+		for _, p := range providers {
+			p.EndRound(round)
+		}
+		for _, b := range bidders {
+			b.EndRound(round)
+		}
+		// End of the auction period: reservations expire before the next
+		// round's outcome is enforced.
+		for _, gw := range gateways {
+			gw.ReleaseAll()
+		}
+	}
+
+	fmt.Printf("\nledger journal: %d settled transfers, total supply %v (conserved)\n",
+		len(ledger.Journal()), ledger.TotalSupply())
+}

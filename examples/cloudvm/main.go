@@ -1,0 +1,169 @@
+// On-demand resource provisioning with a standard auction — the
+// computationally heavy case (§5.2.2) where distributing the auctioneer
+// *speeds the auction up*.
+//
+// Eight cloud providers sell capacity; users request resources served by a
+// single provider each (a VM cannot straddle providers). Welfare-maximising
+// assignment is a multiple-knapsack problem, and the VCG payment of every
+// user needs a fresh counterfactual solve — expensive, but embarrassingly
+// parallel. The framework splits the payment work across ⌊m/(k+1)⌋ provider
+// groups: with k=1 that is 4-way parallelism, with k=3 it is 2-way.
+//
+// The demo times the same auction centralized (p=1) and distributed (p=2,
+// p=4). Compute cost per solve is modeled (this host cannot dedicate a CPU
+// per provider; see EXPERIMENTS.md) so the parallel shape is visible.
+//
+//	go run ./examples/cloudvm
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"distauction"
+	"distauction/internal/harness"
+	"distauction/internal/transport"
+)
+
+func main() {
+	const (
+		m = 8
+		n = 48
+	)
+	// Every solve of the (1−ε) allocation is modeled at 4 ms — roughly a
+	// small instance of the paper's O(m·n⁹) algorithm.
+	const solveCost = 4 * time.Millisecond
+
+	fmt.Printf("standard auction, m=%d providers, n=%d users, one VCG re-solve per user\n\n", m, n)
+
+	type series struct {
+		label string
+		k     int
+		cent  bool
+	}
+	for _, s := range []series{
+		{"p=1 centralized (trusted auctioneer)", 0, true},
+		{"p=2 distributed (k=3: any 3 providers may collude)", 3, false},
+		{"p=4 distributed (k=1: any single provider may collude)", 1, false},
+	} {
+		opts := harness.Options{
+			M: m, N: n, K: s.k,
+			Seed:       11,
+			Latency:    transport.CommunityNetModel(),
+			InvEpsilon: 5,
+			ModelDelay: solveCost,
+			BidWindow:  5 * time.Second,
+		}
+		var (
+			res harness.Result
+			err error
+		)
+		if s.cent {
+			res, err = harness.RunCentralizedStandard(opts)
+		} else {
+			res, err = harness.RunDistributedStandard(opts)
+		}
+		if err != nil {
+			log.Fatalf("%s: %v", s.label, err)
+		}
+		served := 0
+		for u := 0; u < res.Outcome.Alloc.NumUsers; u++ {
+			if res.Outcome.Alloc.UserTotal(u) > 0 {
+				served++
+			}
+		}
+		fmt.Printf("%-55s %8v   (%d msgs, %d users served)\n",
+			s.label, res.Duration.Round(time.Millisecond), res.Msgs, served)
+	}
+
+	fmt.Println("\nthe same protocol through the public API (k=1, 4 providers):")
+	publicAPIRound()
+}
+
+// publicAPIRound runs a small standard auction directly against the public
+// API, to show the wiring without the benchmark harness.
+func publicAPIRound() {
+	hub := distauction.NewHub(distauction.LatencyModel{}, 3)
+	defer hub.Close()
+
+	capacities := []distauction.Fixed{
+		distauction.Fx(2), distauction.Fx(2), distauction.Fx(1), distauction.Fx(1),
+	}
+	cfg := distauction.Config{
+		Providers: []distauction.NodeID{1, 2, 3, 4},
+		Users:     []distauction.NodeID{100, 101, 102, 103, 104, 105},
+		K:         1,
+		Mechanism: distauction.NewStandardAuction(distauction.StandardParams{
+			Capacities: capacities,
+			InvEpsilon: 8,
+		}),
+		BidWindow: 2 * time.Second,
+	}
+
+	var providers []*distauction.Provider
+	for _, id := range cfg.Providers {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := distauction.NewProvider(conn, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		providers = append(providers, p)
+	}
+
+	// Six users compete for six capacity units; the two lowest-value
+	// requests are squeezed out and winners pay their VCG externality.
+	bids := []distauction.UserBid{
+		{Value: distauction.Fx(9), Demand: distauction.Fx(1)},
+		{Value: distauction.Fx(8), Demand: distauction.Fx(1)},
+		{Value: distauction.Fx(7), Demand: distauction.Fx(2)},
+		{Value: distauction.Fx(6), Demand: distauction.Fx(1)},
+		{Value: distauction.Fx(5), Demand: distauction.Fx(1)},
+		{Value: distauction.Fx(4), Demand: distauction.Fx(1)},
+	}
+	var bidders []*distauction.Bidder
+	for i, id := range cfg.Users {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := distauction.NewBidder(conn, cfg.Providers)
+		defer b.Close()
+		bidders = append(bidders, b)
+		if err := b.Submit(1, bids[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, p := range providers {
+		wg.Add(1)
+		go func(p *distauction.Provider) {
+			defer wg.Done()
+			if _, err := p.RunRound(ctx, 1, nil); err != nil {
+				log.Printf("provider: %v", err)
+			}
+		}(p)
+	}
+	outcome, err := bidders[0].AwaitOutcome(ctx, 1)
+	wg.Wait()
+	if err != nil {
+		log.Fatalf("outcome: %v", err)
+	}
+	for u, id := range cfg.Users {
+		total := outcome.Alloc.UserTotal(u)
+		if total > 0 {
+			fmt.Printf("  user %d: served (%v units), VCG payment %v\n", id, total, outcome.Pay.ByUser[u])
+		} else {
+			fmt.Printf("  user %d: not served\n", id)
+		}
+	}
+}

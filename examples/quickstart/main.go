@@ -1,0 +1,109 @@
+// Quickstart: a complete distributed double auction in one file.
+//
+// Three providers jointly simulate the auctioneer (tolerating any single
+// colluding provider, k=1); two users bid for bandwidth. No single node
+// ever decides the outcome alone: the providers agree on the bids, execute
+// the allocation redundantly, cross-validate, and the users accept the
+// outcome only when every provider reports the same pair.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"distauction"
+)
+
+func main() {
+	// An in-memory network with community-network-like latency.
+	hub := distauction.NewHub(distauction.CommunityNetModel(), 42)
+	defer hub.Close()
+
+	cfg := distauction.Config{
+		Providers: []distauction.NodeID{1, 2, 3},
+		Users:     []distauction.NodeID{100, 101},
+		K:         1, // tolerate any single deviating provider (m > 2k)
+		Mechanism: distauction.NewDoubleAuction(),
+		BidWindow: 2 * time.Second,
+	}
+
+	// Start the three provider runtimes.
+	var providers []*distauction.Provider
+	for _, id := range cfg.Providers {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := distauction.NewProvider(conn, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		providers = append(providers, p)
+	}
+
+	// Users submit their true valuations — the mechanism is truthful, so
+	// that is each user's best strategy.
+	userBids := []distauction.UserBid{
+		{Value: distauction.Fx(1.20), Demand: distauction.Fx(0.8)}, // values 1.20/unit, wants 0.8 units
+		{Value: distauction.Fx(0.90), Demand: distauction.Fx(0.5)},
+	}
+	var bidders []*distauction.Bidder
+	for i, id := range cfg.Users {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := distauction.NewBidder(conn, cfg.Providers)
+		defer b.Close()
+		bidders = append(bidders, b)
+		if err := b.Submit(1, userBids[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Each provider sells bandwidth at its own cost.
+	providerBids := []distauction.ProviderBid{
+		{Cost: distauction.Fx(0.30), Capacity: distauction.Fx(1.0)},
+		{Cost: distauction.Fx(0.50), Capacity: distauction.Fx(1.0)},
+		{Cost: distauction.Fx(0.70), Capacity: distauction.Fx(1.0)},
+	}
+
+	// Run round 1 at every provider concurrently.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, p := range providers {
+		wg.Add(1)
+		go func(i int, p *distauction.Provider) {
+			defer wg.Done()
+			if _, err := p.RunRound(ctx, 1, &providerBids[i]); err != nil {
+				log.Printf("provider %d: %v", i+1, err)
+			}
+		}(i, p)
+	}
+
+	// Users wait for the unanimous outcome.
+	outcome, err := bidders[0].AwaitOutcome(ctx, 1)
+	wg.Wait()
+	if err != nil {
+		log.Fatalf("outcome: %v", err)
+	}
+
+	fmt.Println("auction complete — all providers agree")
+	for u := range cfg.Users {
+		total := outcome.Alloc.UserTotal(u)
+		fmt.Printf("  user %d: allocated %v units, pays %v\n",
+			cfg.Users[u], total, outcome.Pay.ByUser[u])
+	}
+	for p := range cfg.Providers {
+		fmt.Printf("  provider %d: supplies %v units, receives %v\n",
+			cfg.Providers[p], outcome.Alloc.ProviderLoad(p), outcome.Pay.ToProvider[p])
+	}
+	fmt.Printf("budget balanced: %v\n", outcome.Pay.BudgetBalanced())
+}

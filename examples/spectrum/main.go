@@ -1,0 +1,134 @@
+// Secondary wireless spectrum market — one of the motivating domains of the
+// paper's introduction ("assignment of frequencies in secondary wireless
+// spectrum markets", after Zhou et al.'s eBay-in-the-Sky).
+//
+// Four primary license holders each offer a block of spectrum channels;
+// secondary operators bid for channels, and each operator must get all its
+// channels from a single licensee (hardware constraint → standard auction).
+// No licensee trusts any other to clear the market alone, so they jointly
+// simulate the auctioneer with k=1 resilience.
+//
+//	go run ./examples/spectrum
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"distauction"
+)
+
+func main() {
+	hub := distauction.NewHub(distauction.CommunityNetModel(), 99)
+	defer hub.Close()
+
+	licensees := []distauction.NodeID{1, 2, 3, 4}
+	operators := []distauction.NodeID{200, 201, 202, 203, 204, 205, 206}
+
+	// Channels each licensee can sublease this epoch.
+	channels := []distauction.Fixed{
+		distauction.Fx(6), distauction.Fx(4), distauction.Fx(4), distauction.Fx(2),
+	}
+	cfg := distauction.Config{
+		Providers: licensees,
+		Users:     operators,
+		K:         1,
+		Mechanism: distauction.NewStandardAuction(distauction.StandardParams{
+			Capacities: channels,
+			InvEpsilon: 10,
+		}),
+		BidWindow: 2 * time.Second,
+	}
+
+	var providers []*distauction.Provider
+	for _, id := range licensees {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := distauction.NewProvider(conn, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer p.Close()
+		providers = append(providers, p)
+	}
+
+	// Operators bid (per-channel value, channel count). The market is
+	// oversubscribed: 22 channels demanded, 16 available.
+	bids := []distauction.UserBid{
+		{Value: distauction.Fx(5.0), Demand: distauction.Fx(4)}, // regional carrier
+		{Value: distauction.Fx(4.5), Demand: distauction.Fx(4)},
+		{Value: distauction.Fx(4.0), Demand: distauction.Fx(3)},
+		{Value: distauction.Fx(3.5), Demand: distauction.Fx(3)}, // municipal network
+		{Value: distauction.Fx(3.0), Demand: distauction.Fx(3)},
+		{Value: distauction.Fx(2.5), Demand: distauction.Fx(3)},
+		{Value: distauction.Fx(2.0), Demand: distauction.Fx(2)}, // hobbyist ISP
+	}
+	var bidders []*distauction.Bidder
+	for i, id := range operators {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := distauction.NewBidder(conn, licensees)
+		defer b.Close()
+		bidders = append(bidders, b)
+		if err := b.Submit(1, bids[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, p := range providers {
+		wg.Add(1)
+		go func(p *distauction.Provider) {
+			defer wg.Done()
+			if _, err := p.RunRound(ctx, 1, nil); err != nil {
+				log.Printf("licensee: %v", err)
+			}
+		}(p)
+	}
+	outcome, err := bidders[0].AwaitOutcome(ctx, 1)
+	wg.Wait()
+	if err != nil {
+		log.Fatalf("outcome: %v", err)
+	}
+
+	fmt.Println("spectrum assignment (all licensees agree):")
+	type row struct {
+		op       distauction.NodeID
+		licensee int
+		chans    distauction.Fixed
+		pay      distauction.Fixed
+	}
+	var rows []row
+	for u, id := range operators {
+		for l := range licensees {
+			if c := outcome.Alloc.At(u, l); c > 0 {
+				rows = append(rows, row{op: id, licensee: l + 1, chans: c, pay: outcome.Pay.ByUser[u]})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].op < rows[j].op })
+	for _, r := range rows {
+		fmt.Printf("  operator %d ← %v channels from licensee %d, VCG payment %v\n",
+			r.op, r.chans, r.licensee, r.pay)
+	}
+	won := distauction.Fx(0)
+	for u := range operators {
+		won = won.SatAdd(outcome.Alloc.UserTotal(u))
+	}
+	total := distauction.Fx(0)
+	for _, c := range channels {
+		total = total.SatAdd(c)
+	}
+	fmt.Printf("channels subleased: %v of %v\n", won, total)
+	fmt.Printf("clearing revenue:   %v\n", outcome.Pay.TotalPaid())
+}

@@ -1,0 +1,43 @@
+// Package allocator implements the allocator building block (§4.1–4.2 of
+// the paper, Property 2) by chaining input validation with the task-graph
+// simulation of the allocation algorithm A (Figure 3).
+//
+// Theorem 2 of the paper shows this composition satisfies all four
+// conditions of Property 2 given the properties of its blocks:
+//
+//  1. correct simulation of A — the task graph replays A deterministically
+//     from the agreed input and the common coin;
+//  2. resilience to collusive influence — every task group has more than k
+//     members and cross-validates, so a coalition can only force ⊥;
+//  3. input validation — providers entering with different vectors output ⊥;
+//  4. k-resiliency for solution preference.
+package allocator
+
+import (
+	"context"
+	"fmt"
+
+	"distauction/internal/proto"
+	"distauction/internal/taskgraph"
+	"distauction/internal/validate"
+)
+
+// Run executes the allocator at the local provider: it validates that all
+// providers hold the same input, then executes the task graph, whose final
+// task's output is returned. Any deviation or timeout aborts the round (⊥).
+//
+// The input bytes must be the canonical encoding of the agreed bid vector;
+// the graph must be built identically at every provider from that vector.
+func Run(ctx context.Context, peer *proto.Peer, round uint64, input []byte, graph *taskgraph.Graph) ([]byte, error) {
+	if err := validate.Run(ctx, peer, round, input); err != nil {
+		return nil, err
+	}
+	out, err := taskgraph.Execute(ctx, peer, round, graph)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, peer.FailRound(round, fmt.Sprintf("allocator: empty output in round %d", round))
+	}
+	return out, nil
+}

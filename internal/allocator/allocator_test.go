@@ -1,0 +1,120 @@
+package allocator
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/proto"
+	"distauction/internal/taskgraph"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+func newPeers(t *testing.T, n int) []*proto.Peer {
+	t.Helper()
+	hub := transport.NewHub(transport.LatencyModel{}, 1)
+	t.Cleanup(func() { hub.Close() })
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	peers := make([]*proto.Peer, n)
+	for i, id := range ids {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = proto.NewPeer(conn, ids)
+		t.Cleanup(func(p *proto.Peer) func() { return func() { p.Close() } }(peers[i]))
+	}
+	return peers
+}
+
+func graphFor(t *testing.T, providers []wire.NodeID, k int, out string) *taskgraph.Graph {
+	t.Helper()
+	g, err := taskgraph.New(providers, k, []taskgraph.Task{
+		{ID: 1, Name: "compute", Group: providers,
+			Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+				return []byte(out), nil
+			}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunHappyPath(t *testing.T) {
+	peers := newPeers(t, 3)
+	providers := peers[0].Providers()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	outs := make([][]byte, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *proto.Peer) {
+			defer wg.Done()
+			g := graphFor(t, providers, 1, "result")
+			outs[i], errs[i] = Run(ctx, p, 1, []byte("agreed-input"), g)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	for i := range outs {
+		if !bytes.Equal(outs[i], []byte("result")) {
+			t.Errorf("peer %d output %q", i, outs[i])
+		}
+	}
+}
+
+// Property 2 condition (3): providers with different inputs both output ⊥
+// before any allocation work runs.
+func TestRunDivergentInputsAbort(t *testing.T) {
+	peers := newPeers(t, 3)
+	providers := peers[0].Providers()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *proto.Peer) {
+			defer wg.Done()
+			input := []byte("vector-A")
+			if i == 2 {
+				input = []byte("vector-B")
+			}
+			g := graphFor(t, providers, 1, "result")
+			_, errs[i] = Run(ctx, p, 1, input, g)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, proto.ErrAborted) {
+			t.Errorf("peer %d: got %v, want abort", i, err)
+		}
+	}
+}
+
+func TestRunAbortedRoundShortCircuits(t *testing.T) {
+	peers := newPeers(t, 2)
+	if err := peers[0].Abort(1, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	g := graphFor(t, peers[0].Providers(), 0, "x")
+	if _, err := Run(context.Background(), peers[0], 1, []byte("in"), g); !errors.Is(err, proto.ErrAborted) {
+		t.Errorf("got %v, want abort", err)
+	}
+}

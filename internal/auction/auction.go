@@ -1,0 +1,207 @@
+// Package auction defines the resource-allocation auction domain of §3.1:
+// bids, allocations, payments, welfare and utilities.
+//
+// Quantities are bandwidth units and currency in fixed-point micro-units.
+// Values are *per unit of resource*: a user bid (v, d) means "I want d units
+// and value each at v"; a provider bid (c, C) means "I can supply C units at
+// a cost of c per unit".
+//
+// All types have canonical wire encodings: bid agreement feeds the encoded
+// bytes through consensus, and providers cross-validate outcomes by digest.
+package auction
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"distauction/internal/fixed"
+	"distauction/internal/wire"
+)
+
+// MaxMagnitude caps every bid component (value, cost, demand, capacity) at
+// one billion units. The cap keeps all welfare sums far from fixed-point
+// overflow; a bid beyond it is invalid.
+var MaxMagnitude = fixed.MustInt(1_000_000_000)
+
+// ErrInvalidBid reports a bid that fails validation.
+var ErrInvalidBid = errors.New("auction: invalid bid")
+
+// UserBid is a user's declared valuation: Value per unit of bandwidth, for
+// up to Demand units. The zero UserBid is the neutral bid ⊥ that excludes
+// the user from the auction (§3.2).
+type UserBid struct {
+	Value  fixed.Fixed
+	Demand fixed.Fixed
+}
+
+// NeutralUserBid is the bid substituted for missing or invalid submissions.
+func NeutralUserBid() UserBid { return UserBid{} }
+
+// IsNeutral reports whether the bid excludes its user from the auction.
+func (b UserBid) IsNeutral() bool { return b.Value == 0 && b.Demand == 0 }
+
+// Validate checks the bid. Neutral bids are valid; otherwise both components
+// must be strictly positive and bounded.
+func (b UserBid) Validate() error {
+	if b.IsNeutral() {
+		return nil
+	}
+	if b.Value <= 0 || b.Demand <= 0 {
+		return fmt.Errorf("%w: non-positive component (value=%v demand=%v)", ErrInvalidBid, b.Value, b.Demand)
+	}
+	if b.Value > MaxMagnitude || b.Demand > MaxMagnitude {
+		return fmt.Errorf("%w: component exceeds cap", ErrInvalidBid)
+	}
+	return nil
+}
+
+// Total returns Value×Demand, the bid's total willingness to pay, saturating
+// on overflow (impossible for validated bids).
+func (b UserBid) Total() fixed.Fixed {
+	t, err := b.Value.Mul(b.Demand)
+	if err != nil {
+		return fixed.Max
+	}
+	return t
+}
+
+// Encode returns the canonical encoding used by bid agreement.
+func (b UserBid) Encode() []byte {
+	enc := wire.NewEncoder(16)
+	enc.Fixed(b.Value)
+	enc.Fixed(b.Demand)
+	return enc.Buffer()
+}
+
+// DecodeUserBid parses a canonical user bid.
+func DecodeUserBid(raw []byte) (UserBid, error) {
+	d := wire.NewDecoder(raw)
+	var b UserBid
+	b.Value = d.Fixed()
+	b.Demand = d.Fixed()
+	if err := d.Finish(); err != nil {
+		return UserBid{}, fmt.Errorf("decode user bid: %w", err)
+	}
+	return b, nil
+}
+
+// SanitizeUserBid decodes raw and returns the bid if valid, or the neutral
+// bid otherwise — the ⊥-substitution of §3.2.
+func SanitizeUserBid(raw []byte) UserBid {
+	b, err := DecodeUserBid(raw)
+	if err != nil || b.Validate() != nil {
+		return NeutralUserBid()
+	}
+	return b
+}
+
+// ProviderBid is a provider's declared cost per unit and available capacity
+// (double auctions only; in standard auctions providers do not bid).
+type ProviderBid struct {
+	Cost     fixed.Fixed
+	Capacity fixed.Fixed
+}
+
+// NeutralProviderBid is the substitution for a missing provider bid: zero
+// capacity removes the provider from the supply side.
+func NeutralProviderBid() ProviderBid { return ProviderBid{} }
+
+// IsNeutral reports whether the bid removes the provider from the auction.
+func (b ProviderBid) IsNeutral() bool { return b.Cost == 0 && b.Capacity == 0 }
+
+// Validate checks the bid. Cost must be positive (a zero reserve price is
+// expressed as one micro-unit) and capacity non-negative.
+func (b ProviderBid) Validate() error {
+	if b.IsNeutral() {
+		return nil
+	}
+	if b.Cost <= 0 || b.Capacity <= 0 {
+		return fmt.Errorf("%w: non-positive component (cost=%v capacity=%v)", ErrInvalidBid, b.Cost, b.Capacity)
+	}
+	if b.Cost > MaxMagnitude || b.Capacity > MaxMagnitude {
+		return fmt.Errorf("%w: component exceeds cap", ErrInvalidBid)
+	}
+	return nil
+}
+
+// Encode returns the canonical encoding used by bid agreement.
+func (b ProviderBid) Encode() []byte {
+	enc := wire.NewEncoder(16)
+	enc.Fixed(b.Cost)
+	enc.Fixed(b.Capacity)
+	return enc.Buffer()
+}
+
+// DecodeProviderBid parses a canonical provider bid.
+func DecodeProviderBid(raw []byte) (ProviderBid, error) {
+	d := wire.NewDecoder(raw)
+	var b ProviderBid
+	b.Cost = d.Fixed()
+	b.Capacity = d.Fixed()
+	if err := d.Finish(); err != nil {
+		return ProviderBid{}, fmt.Errorf("decode provider bid: %w", err)
+	}
+	return b, nil
+}
+
+// SanitizeProviderBid decodes raw and returns the bid if valid, or the
+// neutral bid otherwise.
+func SanitizeProviderBid(raw []byte) ProviderBid {
+	b, err := DecodeProviderBid(raw)
+	if err != nil || b.Validate() != nil {
+		return NeutralProviderBid()
+	}
+	return b
+}
+
+// BidVector is the agreed vector ~b: one user bid per user and, for double
+// auctions, one provider bid per provider.
+type BidVector struct {
+	Users     []UserBid
+	Providers []ProviderBid
+}
+
+// Encode returns the canonical encoding of the whole vector.
+func (v BidVector) Encode() []byte {
+	enc := wire.NewEncoder(16 * (len(v.Users) + len(v.Providers) + 1))
+	enc.Uvarint(uint64(len(v.Users)))
+	for _, b := range v.Users {
+		enc.Fixed(b.Value)
+		enc.Fixed(b.Demand)
+	}
+	enc.Uvarint(uint64(len(v.Providers)))
+	for _, b := range v.Providers {
+		enc.Fixed(b.Cost)
+		enc.Fixed(b.Capacity)
+	}
+	return enc.Buffer()
+}
+
+// DecodeBidVector parses a canonical bid vector.
+func DecodeBidVector(raw []byte) (BidVector, error) {
+	d := wire.NewDecoder(raw)
+	var v BidVector
+	n := d.SliceLen(2)
+	v.Users = make([]UserBid, n)
+	for i := range v.Users {
+		v.Users[i].Value = d.Fixed()
+		v.Users[i].Demand = d.Fixed()
+	}
+	m := d.SliceLen(2)
+	v.Providers = make([]ProviderBid, m)
+	for i := range v.Providers {
+		v.Providers[i].Cost = d.Fixed()
+		v.Providers[i].Capacity = d.Fixed()
+	}
+	if err := d.Finish(); err != nil {
+		return BidVector{}, fmt.Errorf("decode bid vector: %w", err)
+	}
+	return v, nil
+}
+
+// Digest returns the SHA-256 of the canonical encoding; input validation
+// compares digests.
+func (v BidVector) Digest() [sha256.Size]byte {
+	return sha256.Sum256(v.Encode())
+}

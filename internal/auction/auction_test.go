@@ -1,0 +1,278 @@
+package auction
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"distauction/internal/fixed"
+)
+
+func TestUserBidValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		bid  UserBid
+		ok   bool
+	}{
+		{"neutral", NeutralUserBid(), true},
+		{"normal", UserBid{Value: fixed.One, Demand: fixed.One}, true},
+		{"zero value", UserBid{Value: 0, Demand: fixed.One}, false},
+		{"zero demand", UserBid{Value: fixed.One, Demand: 0}, false},
+		{"negative value", UserBid{Value: -1, Demand: fixed.One}, false},
+		{"negative demand", UserBid{Value: fixed.One, Demand: -1}, false},
+		{"huge value", UserBid{Value: MaxMagnitude + 1, Demand: fixed.One}, false},
+		{"huge demand", UserBid{Value: fixed.One, Demand: MaxMagnitude + 1}, false},
+		{"at cap", UserBid{Value: MaxMagnitude, Demand: MaxMagnitude}, true},
+	}
+	for _, tt := range tests {
+		if err := tt.bid.Validate(); (err == nil) != tt.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tt.name, err, tt.ok)
+		}
+	}
+}
+
+func TestProviderBidValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		bid  ProviderBid
+		ok   bool
+	}{
+		{"neutral", NeutralProviderBid(), true},
+		{"normal", ProviderBid{Cost: fixed.One, Capacity: fixed.One}, true},
+		{"zero cost", ProviderBid{Cost: 0, Capacity: fixed.One}, false},
+		{"zero capacity", ProviderBid{Cost: fixed.One, Capacity: 0}, false},
+		{"negative", ProviderBid{Cost: -5, Capacity: fixed.One}, false},
+		{"huge", ProviderBid{Cost: fixed.One, Capacity: MaxMagnitude + 1}, false},
+	}
+	for _, tt := range tests {
+		if err := tt.bid.Validate(); (err == nil) != tt.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tt.name, err, tt.ok)
+		}
+	}
+}
+
+func TestSanitizeUserBid(t *testing.T) {
+	good := UserBid{Value: fixed.MustFloat(1.25), Demand: fixed.MustFloat(0.5)}
+	if got := SanitizeUserBid(good.Encode()); got != good {
+		t.Errorf("valid bid mangled: %+v", got)
+	}
+	// Garbage bytes → neutral.
+	if got := SanitizeUserBid([]byte("garbage")); !got.IsNeutral() {
+		t.Errorf("garbage not neutralised: %+v", got)
+	}
+	// Well-formed but invalid → neutral.
+	bad := UserBid{Value: -5, Demand: fixed.One}
+	if got := SanitizeUserBid(bad.Encode()); !got.IsNeutral() {
+		t.Errorf("invalid bid not neutralised: %+v", got)
+	}
+	if got := SanitizeUserBid(nil); !got.IsNeutral() {
+		t.Errorf("nil not neutralised: %+v", got)
+	}
+}
+
+func TestSanitizeProviderBid(t *testing.T) {
+	good := ProviderBid{Cost: fixed.MustFloat(0.4), Capacity: fixed.MustFloat(10)}
+	if got := SanitizeProviderBid(good.Encode()); got != good {
+		t.Errorf("valid bid mangled: %+v", got)
+	}
+	if got := SanitizeProviderBid([]byte{1, 2}); !got.IsNeutral() {
+		t.Errorf("garbage not neutralised: %+v", got)
+	}
+}
+
+func TestUserBidTotal(t *testing.T) {
+	b := UserBid{Value: fixed.MustFloat(2), Demand: fixed.MustFloat(0.5)}
+	if got := b.Total(); got != fixed.One {
+		t.Errorf("Total = %v, want 1", got)
+	}
+}
+
+func TestQuickBidRoundTrip(t *testing.T) {
+	f := func(v, d int64) bool {
+		b := UserBid{Value: fixed.Fixed(v), Demand: fixed.Fixed(d)}
+		got, err := DecodeUserBid(b.Encode())
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(c, cap int64) bool {
+		b := ProviderBid{Cost: fixed.Fixed(c), Capacity: fixed.Fixed(cap)}
+		got, err := DecodeProviderBid(b.Encode())
+		return err == nil && got == b
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBidVectorRoundTripAndDigest(t *testing.T) {
+	v := BidVector{
+		Users: []UserBid{
+			{Value: fixed.One, Demand: fixed.One},
+			NeutralUserBid(),
+		},
+		Providers: []ProviderBid{
+			{Cost: fixed.MustFloat(0.3), Capacity: fixed.MustFloat(5)},
+		},
+	}
+	got, err := DecodeBidVector(v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Users) != 2 || len(got.Providers) != 1 || got.Users[0] != v.Users[0] {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if v.Digest() != got.Digest() {
+		t.Error("digest not stable across round trip")
+	}
+	v2 := v
+	v2.Users = append([]UserBid(nil), v.Users...)
+	v2.Users[0].Value++
+	if v.Digest() == v2.Digest() {
+		t.Error("different vectors share a digest")
+	}
+}
+
+func TestDecodeBidVectorGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = DecodeBidVector(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocationAccessors(t *testing.T) {
+	a := NewAllocation(2, 3)
+	a.Set(0, 1, fixed.One)
+	a.Add(0, 1, fixed.One)
+	a.Set(1, 2, fixed.MustFloat(0.5))
+	if got := a.At(0, 1); got != fixed.MustFloat(2) {
+		t.Errorf("At(0,1) = %v", got)
+	}
+	if got := a.UserTotal(0); got != fixed.MustFloat(2) {
+		t.Errorf("UserTotal(0) = %v", got)
+	}
+	if got := a.ProviderLoad(2); got != fixed.MustFloat(0.5) {
+		t.Errorf("ProviderLoad(2) = %v", got)
+	}
+	if got := a.ProviderLoad(0); got != 0 {
+		t.Errorf("ProviderLoad(0) = %v", got)
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	a := NewAllocation(2, 2)
+	a.Set(0, 0, fixed.One)
+	a.Set(1, 0, fixed.One)
+	caps := []fixed.Fixed{fixed.MustFloat(2), fixed.One}
+	if err := a.CheckFeasible(caps); err != nil {
+		t.Errorf("feasible allocation rejected: %v", err)
+	}
+	a.Set(1, 0, fixed.MustFloat(1.5))
+	if err := a.CheckFeasible(caps); err == nil {
+		t.Error("over-capacity allocation accepted")
+	}
+	a.Set(1, 0, fixed.Fixed(-1))
+	if err := a.CheckFeasible(caps); err == nil {
+		t.Error("negative allocation accepted")
+	}
+	if err := a.CheckFeasible([]fixed.Fixed{fixed.One}); err == nil {
+		t.Error("capacity shape mismatch accepted")
+	}
+}
+
+func TestPaymentsBudgetBalance(t *testing.T) {
+	p := NewPayments(2, 1)
+	p.ByUser[0] = fixed.MustFloat(3)
+	p.ByUser[1] = fixed.MustFloat(2)
+	p.ToProvider[0] = fixed.MustFloat(4)
+	if !p.BudgetBalanced() {
+		t.Error("5 paid >= 4 received should balance")
+	}
+	p.ToProvider[0] = fixed.MustFloat(6)
+	if p.BudgetBalanced() {
+		t.Error("5 paid < 6 received should not balance")
+	}
+}
+
+func TestOutcomeRoundTrip(t *testing.T) {
+	o := Outcome{Alloc: NewAllocation(2, 2), Pay: NewPayments(2, 2)}
+	o.Alloc.Set(0, 0, fixed.One)
+	o.Pay.ByUser[0] = fixed.MustFloat(0.5)
+	o.Pay.ToProvider[1] = fixed.MustFloat(0.25)
+	raw := o.Encode()
+	got, err := DecodeOutcome(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encode(), raw) {
+		t.Error("encode not canonical across round trip")
+	}
+	if got.Digest() != o.Digest() {
+		t.Error("digest mismatch")
+	}
+}
+
+func TestDecodeOutcomeRejectsBadShapes(t *testing.T) {
+	o := Outcome{Alloc: NewAllocation(2, 2), Pay: NewPayments(2, 2)}
+	// Wrong matrix size.
+	bad := o
+	bad.Alloc.Units = bad.Alloc.Units[:3]
+	if _, err := DecodeOutcome(bad.Encode()); err == nil {
+		t.Error("truncated matrix accepted")
+	}
+	// Negative payment.
+	bad2 := Outcome{Alloc: NewAllocation(1, 1), Pay: NewPayments(1, 1)}
+	bad2.Pay.ByUser[0] = -1
+	if _, err := DecodeOutcome(bad2.Encode()); err == nil {
+		t.Error("negative payment accepted")
+	}
+	f := func(raw []byte) bool {
+		_, _ = DecodeOutcome(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfare(t *testing.T) {
+	users := []UserBid{
+		{Value: fixed.MustFloat(2), Demand: fixed.One},
+		{Value: fixed.One, Demand: fixed.One},
+	}
+	provs := []ProviderBid{{Cost: fixed.MustFloat(0.5), Capacity: fixed.MustFloat(2)}}
+	a := NewAllocation(2, 1)
+	a.Set(0, 0, fixed.One)
+	a.Set(1, 0, fixed.One)
+	if got := WelfareStandard(users, a); got != fixed.MustFloat(3) {
+		t.Errorf("standard welfare = %v, want 3", got)
+	}
+	// Double welfare: 3 − 0.5×2 = 2.
+	if got := WelfareDouble(users, provs, a); got != fixed.MustFloat(2) {
+		t.Errorf("double welfare = %v, want 2", got)
+	}
+	if got := WelfareStandard(users[:1], a); got != 0 {
+		t.Errorf("shape mismatch should yield 0, got %v", got)
+	}
+}
+
+func TestUtilities(t *testing.T) {
+	o := Outcome{Alloc: NewAllocation(1, 1), Pay: NewPayments(1, 1)}
+	o.Alloc.Set(0, 0, fixed.MustFloat(2))
+	o.Pay.ByUser[0] = fixed.One
+	o.Pay.ToProvider[0] = fixed.MustFloat(1.5)
+	truth := UserBid{Value: fixed.One, Demand: fixed.MustFloat(2)}
+	// Utility = 1×2 − 1 = 1.
+	if got := UserUtility(truth, 0, o); got != fixed.One {
+		t.Errorf("user utility = %v, want 1", got)
+	}
+	pTruth := ProviderBid{Cost: fixed.MustFloat(0.5), Capacity: fixed.MustFloat(2)}
+	// Utility = 1.5 − 0.5×2 = 0.5.
+	if got := ProviderUtility(pTruth, 0, o); got != fixed.MustFloat(0.5) {
+		t.Errorf("provider utility = %v, want 0.5", got)
+	}
+}

@@ -1,0 +1,196 @@
+// Package audit provides deviation accountability across auction rounds.
+//
+// The framework guarantees that deviations can only force ⊥ — but a ⊥ round
+// still wastes everyone's time, and a provider that keeps forcing ⊥ should
+// eventually be expelled by the community (the out-of-protocol punishment
+// the paper's solution-preference assumption ultimately rests on). This
+// package is that bookkeeping: it ingests round results and transferable
+// equivocation evidence (auth.Evidence), maintains per-node strike counts,
+// and recommends exclusion once a node exceeds a strike budget.
+//
+// Attribution is deliberately conservative: an abort is charged to a node
+// only when the abort reason names it as the *subject* (equivocation
+// evidence, mis-opened commitment, conflicting transfer values). Timeouts
+// and generic failures are recorded as unattributed — asynchrony alone must
+// never cost an honest node its membership.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"distauction/internal/auth"
+	"distauction/internal/proto"
+	"distauction/internal/wire"
+)
+
+// Verdict classifies one round for one node.
+type Verdict uint8
+
+// Verdicts.
+const (
+	// VerdictClean records a completed round.
+	VerdictClean Verdict = iota
+	// VerdictAccused records an attributed deviation (strike).
+	VerdictAccused
+	// VerdictUnattributed records a ⊥ round with no culprit evidence.
+	VerdictUnattributed
+)
+
+// Record is one audit-log entry.
+type Record struct {
+	Round   uint64
+	Node    wire.NodeID // zero for unattributed entries
+	Verdict Verdict
+	Reason  string
+	At      time.Time
+}
+
+// Log accumulates records and strike counts. The zero value is not usable;
+// call New.
+type Log struct {
+	clock func() time.Time
+
+	mu      sync.Mutex
+	records []Record
+	strikes map[wire.NodeID]int
+	rounds  map[uint64]bool // rounds already ingested
+}
+
+// New creates an audit log. A nil clock uses time.Now.
+func New(clock func() time.Time) *Log {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Log{
+		clock:   clock,
+		strikes: make(map[wire.NodeID]int),
+		rounds:  make(map[uint64]bool),
+	}
+}
+
+// RecordOutcome ingests a completed (non-⊥) round.
+func (l *Log) RecordOutcome(round uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.rounds[round] {
+		return
+	}
+	l.rounds[round] = true
+	l.records = append(l.records, Record{
+		Round: round, Verdict: VerdictClean, Reason: "completed", At: l.clock(),
+	})
+}
+
+// RecordAbort ingests a ⊥ round. If the abort error is a proto.AbortError
+// whose reason names a subject ("… by N" is NOT enough — N is the reporter;
+// attribution requires the reason to identify the deviant, as the runtime's
+// equivocation and verification messages do), the named node is charged.
+func (l *Log) RecordAbort(round uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.rounds[round] {
+		return
+	}
+	l.rounds[round] = true
+
+	reason := "unknown"
+	if ae, ok := err.(*proto.AbortError); ok {
+		reason = ae.Reason
+	} else if err != nil {
+		reason = err.Error()
+	}
+	if node, ok := attributedNode(reason); ok {
+		l.strikes[node]++
+		l.records = append(l.records, Record{
+			Round: round, Node: node, Verdict: VerdictAccused, Reason: reason, At: l.clock(),
+		})
+		return
+	}
+	l.records = append(l.records, Record{
+		Round: round, Verdict: VerdictUnattributed, Reason: reason, At: l.clock(),
+	})
+}
+
+// RecordEvidence ingests transferable equivocation evidence verified
+// against the local registry. Invalid evidence is rejected (charging nodes
+// on unverified accusations would itself be an attack vector).
+func (l *Log) RecordEvidence(registry *auth.Registry, ev auth.Evidence) error {
+	if err := auth.CheckEvidence(registry, ev); err != nil {
+		return fmt.Errorf("audit: rejecting evidence: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.strikes[ev.A.From]++
+	l.records = append(l.records, Record{
+		Round: ev.A.Tag.Round, Node: ev.A.From, Verdict: VerdictAccused,
+		Reason: fmt.Sprintf("signed equivocation on %v", ev.A.Tag), At: l.clock(),
+	})
+	return nil
+}
+
+// Strikes returns the strike count of a node.
+func (l *Log) Strikes(node wire.NodeID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.strikes[node]
+}
+
+// Records returns a copy of the audit log in ingestion order.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.records...)
+}
+
+// Exclusions returns the nodes whose strikes meet or exceed budget, sorted.
+func (l *Log) Exclusions(budget int) []wire.NodeID {
+	if budget <= 0 {
+		budget = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []wire.NodeID
+	for node, n := range l.strikes {
+		if n >= budget {
+			out = append(out, node)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// attributedNode extracts the deviant named by a runtime abort reason. The
+// runtime's attributing messages all follow "… by <id> …" or
+// "… provider <id> …" patterns; anything else stays unattributed.
+func attributedNode(reason string) (wire.NodeID, bool) {
+	for _, marker := range []string{"equivocation by ", "provider "} {
+		idx := index(reason, marker)
+		if idx < 0 {
+			continue
+		}
+		rest := reason[idx+len(marker):]
+		var id uint64
+		var consumed int
+		for consumed < len(rest) && rest[consumed] >= '0' && rest[consumed] <= '9' {
+			id = id*10 + uint64(rest[consumed]-'0')
+			consumed++
+		}
+		if consumed == 0 || id == 0 || id > 1<<32-1 {
+			continue
+		}
+		return wire.NodeID(id), true
+	}
+	return 0, false
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,135 @@
+package audit
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"distauction/internal/auth"
+	"distauction/internal/proto"
+	"distauction/internal/wire"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Unix(5000, 0)
+	return func() time.Time { return t0 }
+}
+
+func TestCleanRounds(t *testing.T) {
+	l := New(fixedClock())
+	l.RecordOutcome(1)
+	l.RecordOutcome(2)
+	l.RecordOutcome(2) // duplicate ignored
+	recs := l.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for _, r := range recs {
+		if r.Verdict != VerdictClean {
+			t.Errorf("round %d verdict %v", r.Round, r.Verdict)
+		}
+	}
+	if got := l.Exclusions(1); len(got) != 0 {
+		t.Errorf("clean log excludes %v", got)
+	}
+}
+
+func TestAttributedAborts(t *testing.T) {
+	l := New(fixedClock())
+	// The runtime's own equivocation message format.
+	l.RecordAbort(1, &proto.AbortError{Round: 1, From: 2, Reason: "equivocation by 3 on r1/task/i1/s1"})
+	// A block verification message naming a provider.
+	l.RecordAbort(2, &proto.AbortError{Round: 2, From: 1, Reason: "coin: provider 3 mis-opened its commitment"})
+	if got := l.Strikes(3); got != 2 {
+		t.Errorf("node 3 strikes = %d, want 2", got)
+	}
+	if got := l.Strikes(2); got != 0 {
+		t.Errorf("reporter charged: %d strikes", got)
+	}
+	if ex := l.Exclusions(2); len(ex) != 1 || ex[0] != 3 {
+		t.Errorf("exclusions = %v, want [3]", ex)
+	}
+	if ex := l.Exclusions(3); len(ex) != 0 {
+		t.Errorf("budget 3 should not exclude yet: %v", ex)
+	}
+}
+
+func TestUnattributedAborts(t *testing.T) {
+	l := New(fixedClock())
+	l.RecordAbort(1, &proto.AbortError{Round: 1, From: 2, Reason: "coin: gather commits: context deadline exceeded"})
+	l.RecordAbort(2, errors.New("some opaque failure"))
+	for _, r := range l.Records() {
+		if r.Verdict != VerdictUnattributed {
+			t.Errorf("round %d: verdict %v, want unattributed", r.Round, r.Verdict)
+		}
+	}
+	if ex := l.Exclusions(1); len(ex) != 0 {
+		t.Errorf("timeouts must not cost membership: %v", ex)
+	}
+}
+
+func TestDuplicateRoundIgnored(t *testing.T) {
+	l := New(fixedClock())
+	l.RecordAbort(1, &proto.AbortError{Round: 1, Reason: "equivocation by 5 on r1/coin/i0/s1"})
+	l.RecordAbort(1, &proto.AbortError{Round: 1, Reason: "equivocation by 5 on r1/coin/i0/s1"})
+	if got := l.Strikes(5); got != 1 {
+		t.Errorf("duplicate round double-charged: %d strikes", got)
+	}
+}
+
+func TestRecordEvidence(t *testing.T) {
+	master := []byte("audit-test")
+	ids := []wire.NodeID{1, 2}
+	r1 := auth.NewRegistryFromMaster(master, 1, ids)
+	r2 := auth.NewRegistryFromMaster(master, 2, ids)
+
+	tag := wire.Tag{Round: 7, Block: wire.BlockTransfer, Instance: 1, Step: 1}
+	a := wire.Envelope{From: 1, To: 2, Tag: tag, Payload: []byte("x")}
+	b := wire.Envelope{From: 1, To: 2, Tag: tag, Payload: []byte("y")}
+	if err := r1.Sign(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Sign(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	l := New(fixedClock())
+	if err := l.RecordEvidence(r2, auth.Evidence{A: a, B: b}); err != nil {
+		t.Fatalf("valid evidence rejected: %v", err)
+	}
+	if got := l.Strikes(1); got != 1 {
+		t.Errorf("strikes = %d", got)
+	}
+
+	// Forged evidence must be rejected and charge nobody.
+	forged := b
+	forged.MAC = append([]byte(nil), b.MAC...)
+	forged.MAC[0] ^= 1
+	if err := l.RecordEvidence(r2, auth.Evidence{A: a, B: forged}); err == nil {
+		t.Error("forged evidence accepted")
+	}
+	if got := l.Strikes(1); got != 1 {
+		t.Errorf("forged evidence changed strikes: %d", got)
+	}
+}
+
+func TestAttributedNodeParsing(t *testing.T) {
+	tests := []struct {
+		reason string
+		want   wire.NodeID
+		ok     bool
+	}{
+		{"equivocation by 42 on r1/task/i0/s1", 42, true},
+		{"consensus: provider 7 mis-opened its commitment", 7, true},
+		{"taskgraph: task 3 result mismatch with provider 9", 9, true},
+		{"validate: gather: context deadline exceeded", 0, false},
+		{"provider x did something", 0, false},
+		{"equivocation by  on tag", 0, false},
+	}
+	for _, tt := range tests {
+		got, ok := attributedNode(tt.reason)
+		if ok != tt.ok || (ok && got != tt.want) {
+			t.Errorf("attributedNode(%q) = %d,%v want %d,%v", tt.reason, got, ok, tt.want, tt.ok)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package auth
+
+import (
+	"bytes"
+	"testing"
+
+	"distauction/internal/wire"
+)
+
+func twoNodeRegistries(t *testing.T) (*Registry, *Registry) {
+	t.Helper()
+	master := []byte("test-master-secret")
+	peers := []wire.NodeID{1, 2}
+	return NewRegistryFromMaster(master, 1, peers),
+		NewRegistryFromMaster(master, 2, peers)
+}
+
+func TestDeriveKeySymmetric(t *testing.T) {
+	master := []byte("m")
+	if !bytes.Equal(DeriveKey(master, 1, 2), DeriveKey(master, 2, 1)) {
+		t.Error("DeriveKey must be symmetric in (a,b)")
+	}
+	if bytes.Equal(DeriveKey(master, 1, 2), DeriveKey(master, 1, 3)) {
+		t.Error("different pairs must get different keys")
+	}
+	if bytes.Equal(DeriveKey([]byte("m1"), 1, 2), DeriveKey([]byte("m2"), 1, 2)) {
+		t.Error("different masters must give different keys")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	r1, r2 := twoNodeRegistries(t)
+	env := wire.Envelope{
+		From:    1,
+		To:      2,
+		Tag:     wire.Tag{Round: 1, Block: wire.BlockCoin, Step: 1},
+		Payload: []byte("hello"),
+	}
+	if err := r1.Sign(&env); err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if err := r2.Verify(&env); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	r1, r2 := twoNodeRegistries(t)
+	env := wire.Envelope{From: 1, To: 2, Tag: wire.Tag{Block: wire.BlockTask}, Payload: []byte("v")}
+	if err := r1.Sign(&env); err != nil {
+		t.Fatal(err)
+	}
+
+	tampered := env
+	tampered.Payload = []byte("w")
+	if err := r2.Verify(&tampered); err == nil {
+		t.Error("tampered payload must fail verification")
+	}
+
+	tampered = env
+	tampered.Tag.Step = 9
+	if err := r2.Verify(&tampered); err == nil {
+		t.Error("tampered tag must fail verification")
+	}
+
+	tampered = env
+	tampered.MAC = append([]byte(nil), env.MAC...)
+	tampered.MAC[0] ^= 1
+	if err := r2.Verify(&tampered); err == nil {
+		t.Error("tampered MAC must fail verification")
+	}
+}
+
+func TestSignRequiresSelf(t *testing.T) {
+	r1, _ := twoNodeRegistries(t)
+	env := wire.Envelope{From: 2, To: 1}
+	if err := r1.Sign(&env); err == nil {
+		t.Error("signing on behalf of another node must fail")
+	}
+}
+
+func TestVerifyWrongRecipient(t *testing.T) {
+	r1, r2 := twoNodeRegistries(t)
+	env := wire.Envelope{From: 1, To: 1, Tag: wire.Tag{Block: wire.BlockTask}}
+	_ = r1 // r1 cannot even sign to itself: no self key
+	if err := r2.Verify(&env); err == nil {
+		t.Error("envelope addressed elsewhere must fail verification")
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	r1, _ := twoNodeRegistries(t)
+	env := wire.Envelope{From: 1, To: 99}
+	if err := r1.Sign(&env); err == nil {
+		t.Error("unknown peer must fail to sign")
+	}
+}
+
+func TestEvidence(t *testing.T) {
+	r1, r2 := twoNodeRegistries(t)
+	tag := wire.Tag{Round: 3, Block: wire.BlockTransfer, Instance: 1, Step: 2}
+	a := wire.Envelope{From: 1, To: 2, Tag: tag, Payload: []byte("x")}
+	b := wire.Envelope{From: 1, To: 2, Tag: tag, Payload: []byte("y")}
+	if err := r1.Sign(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Sign(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEvidence(r2, Evidence{A: a, B: b}); err != nil {
+		t.Errorf("valid evidence rejected: %v", err)
+	}
+
+	// Same payload: not evidence.
+	if err := CheckEvidence(r2, Evidence{A: a, B: a}); err == nil {
+		t.Error("identical envelopes are not evidence")
+	}
+
+	// Different tags: not evidence.
+	c := b
+	c.Tag.Step = 5
+	if err := r1.Sign(&c); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckEvidence(r2, Evidence{A: a, B: c}); err == nil {
+		t.Error("different tags are not evidence")
+	}
+
+	// Forged second envelope: not evidence.
+	forged := b
+	forged.MAC = append([]byte(nil), b.MAC...)
+	forged.MAC[3] ^= 0xFF
+	if err := CheckEvidence(r2, Evidence{A: a, B: forged}); err == nil {
+		t.Error("forged envelope is not evidence")
+	}
+}
+
+func TestNewRegistryCopiesKeys(t *testing.T) {
+	key := make([]byte, KeySize)
+	keys := map[wire.NodeID][]byte{2: key}
+	r := NewRegistry(1, keys)
+	key[0] = 0xFF // mutate caller's slice
+	env := wire.Envelope{From: 1, To: 2, Tag: wire.Tag{Block: wire.BlockTask}}
+	if err := r.Sign(&env); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRegistry(2, map[wire.NodeID][]byte{1: make([]byte, KeySize)})
+	if err := r2.Verify(&env); err != nil {
+		t.Fatalf("registry must have copied the original zero key: %v", err)
+	}
+}

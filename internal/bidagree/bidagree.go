@@ -1,0 +1,38 @@
+// Package bidagree implements the bid-agreement building block (§4.1 of the
+// paper, Property 1).
+//
+// Each provider enters with the vector of raw bid submissions it received
+// (one slot per registered bidder, nil for missing submissions) and leaves
+// with a vector common to all providers. The heavy lifting is the rational
+// consensus of the consensus package; this package fixes the slot layout
+// and the instance numbering.
+//
+// Properties realised:
+//   - Eventual agreement: all honest providers output the same vector
+//     (consensus agreement).
+//   - Validity: a bidder that submitted the same bytes to every provider
+//     gets exactly those bytes in the output — whichever slot leader is
+//     drawn, its proposal for that slot is the common value.
+//   - Invalid or missing bids survive agreement as raw bytes and are
+//     replaced by neutral bids during decoding (auction.Sanitize*), the
+//     paper's b*ᵢ substitution.
+package bidagree
+
+import (
+	"context"
+
+	"distauction/internal/consensus"
+	"distauction/internal/proto"
+)
+
+// instanceID is the consensus instance used for bid agreement; one batched
+// vector consensus per round.
+const instanceID uint32 = 0
+
+// Agree runs bid agreement over the local submission vector. All providers
+// must pass vectors with the same slot count (the registered bidder list is
+// deployment configuration). On success every provider holds the same
+// output vector; on deviation or timeout the round aborts (⊥).
+func Agree(ctx context.Context, peer *proto.Peer, round uint64, submissions [][]byte) ([][]byte, error) {
+	return consensus.Propose(ctx, peer, round, instanceID, submissions)
+}

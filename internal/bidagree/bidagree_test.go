@@ -1,0 +1,115 @@
+package bidagree
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/fixed"
+	"distauction/internal/proto"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+func newPeers(t *testing.T, n int) []*proto.Peer {
+	t.Helper()
+	hub := transport.NewHub(transport.LatencyModel{}, 1)
+	t.Cleanup(func() { hub.Close() })
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	peers := make([]*proto.Peer, n)
+	for i, id := range ids {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = proto.NewPeer(conn, ids)
+		t.Cleanup(func(p *proto.Peer) func() { return func() { p.Close() } }(peers[i]))
+	}
+	return peers
+}
+
+func agreeAll(t *testing.T, peers []*proto.Peer, round uint64, inputs [][][]byte) ([][][]byte, []error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	outs := make([][][]byte, len(peers))
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *proto.Peer) {
+			defer wg.Done()
+			outs[i], errs[i] = Agree(ctx, p, round, inputs[i])
+		}(i, p)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// Validity (Property 1.2): a bidder that submitted the same bid everywhere
+// gets exactly that bid in the agreed vector.
+func TestValidityForConsistentBidders(t *testing.T) {
+	peers := newPeers(t, 3)
+	bid := auction.UserBid{Value: fixed.MustFloat(1.2), Demand: fixed.One}.Encode()
+	in := [][]byte{bid, nil} // bidder 1 never submitted
+	inputs := [][][]byte{in, in, in}
+	outs, errs := agreeAll(t, peers, 1, inputs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	for i := range outs {
+		if !bytes.Equal(outs[i][0], bid) {
+			t.Errorf("peer %d: consistent bid changed", i)
+		}
+		if len(outs[i][1]) != 0 {
+			t.Errorf("peer %d: missing bid should stay empty, got %q", i, outs[i][1])
+		}
+	}
+	// The empty slot decodes to the neutral bid — the paper's b*ᵢ rule.
+	if got := auction.SanitizeUserBid(outs[0][1]); !got.IsNeutral() {
+		t.Errorf("missing bid not neutralised: %+v", got)
+	}
+}
+
+// Eventual agreement (Property 1.1) under bidder equivocation: providers
+// hold different bytes for a slot, yet all output the same vector, which
+// contains one of the submitted values.
+func TestAgreementUnderBidderEquivocation(t *testing.T) {
+	peers := newPeers(t, 3)
+	a := auction.UserBid{Value: fixed.MustFloat(2), Demand: fixed.One}.Encode()
+	b := auction.UserBid{Value: fixed.MustFloat(3), Demand: fixed.One}.Encode()
+	inputs := [][][]byte{{a}, {b}, {a}}
+	outs, errs := agreeAll(t, peers, 1, inputs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(outs); i++ {
+		if !bytes.Equal(outs[i][0], outs[0][0]) {
+			t.Fatal("providers disagree")
+		}
+	}
+	if !bytes.Equal(outs[0][0], a) && !bytes.Equal(outs[0][0], b) {
+		t.Errorf("agreed value %q is neither submission", outs[0][0])
+	}
+}
+
+func TestAbortedRoundPropagates(t *testing.T) {
+	peers := newPeers(t, 2)
+	if err := peers[0].Abort(4, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Agree(context.Background(), peers[0], 4, nil); !errors.Is(err, proto.ErrAborted) {
+		t.Errorf("got %v, want abort", err)
+	}
+}

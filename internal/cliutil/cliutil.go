@@ -1,0 +1,82 @@
+// Package cliutil holds the flag-parsing helpers shared by the command-line
+// tools (cmd/gatewayd, cmd/bidclient): node sets, address maps and
+// fixed-point lists.
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"distauction/internal/fixed"
+	"distauction/internal/wire"
+)
+
+// ErrEmpty reports a required list flag that was left empty.
+var ErrEmpty = errors.New("cliutil: empty list")
+
+// ParseAddrMap parses "1=host:port,2=host:port" into an address map and the
+// sorted ID list.
+func ParseAddrMap(s string) (map[wire.NodeID]string, []wire.NodeID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil, ErrEmpty
+	}
+	addrs := make(map[wire.NodeID]string)
+	var ids []wire.NodeID
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 || kv[1] == "" {
+			return nil, nil, fmt.Errorf("cliutil: bad entry %q (want id=host:port)", part)
+		}
+		id, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cliutil: bad node id %q", kv[0])
+		}
+		if _, dup := addrs[wire.NodeID(id)]; dup {
+			return nil, nil, fmt.Errorf("cliutil: duplicate node id %d", id)
+		}
+		addrs[wire.NodeID(id)] = kv[1]
+		ids = append(ids, wire.NodeID(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return addrs, ids, nil
+}
+
+// ParseIDList parses "100,101,102" into node IDs (order preserved).
+func ParseIDList(s string) ([]wire.NodeID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, ErrEmpty
+	}
+	var ids []wire.NodeID
+	seen := make(map[wire.NodeID]bool)
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad node id %q", part)
+		}
+		if seen[wire.NodeID(id)] {
+			return nil, fmt.Errorf("cliutil: duplicate node id %d", id)
+		}
+		seen[wire.NodeID(id)] = true
+		ids = append(ids, wire.NodeID(id))
+	}
+	return ids, nil
+}
+
+// ParseFixedList parses "1.5,2,0.25" into fixed-point values.
+func ParseFixedList(s string) ([]fixed.Fixed, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, ErrEmpty
+	}
+	var out []fixed.Fixed
+	for _, part := range strings.Split(s, ",") {
+		v, err := fixed.Parse(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad value %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package cliutil
+
+import (
+	"testing"
+
+	"distauction/internal/fixed"
+	"distauction/internal/wire"
+)
+
+func TestParseAddrMap(t *testing.T) {
+	addrs, ids, err := ParseAddrMap("3=c:3, 1=a:1 ,2=b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 || addrs[1] != "a:1" || addrs[2] != "b:2" || addrs[3] != "c:3" {
+		t.Errorf("addrs = %v", addrs)
+	}
+	want := []wire.NodeID{1, 2, 3}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("ids = %v (must be sorted)", ids)
+			break
+		}
+	}
+}
+
+func TestParseAddrMapErrors(t *testing.T) {
+	cases := []string{"", "  ", "1", "1=", "x=a:1", "1=a:1,1=b:2"}
+	for _, c := range cases {
+		if _, _, err := ParseAddrMap(c); err == nil {
+			t.Errorf("ParseAddrMap(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseIDList(t *testing.T) {
+	ids, err := ParseIDList("100, 101,102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 100 || ids[2] != 102 {
+		t.Errorf("ids = %v", ids)
+	}
+	for _, c := range []string{"", "a", "1,1", "1,,2"} {
+		if _, err := ParseIDList(c); err == nil {
+			t.Errorf("ParseIDList(%q) should fail", c)
+		}
+	}
+}
+
+func TestParseFixedList(t *testing.T) {
+	vs, err := ParseFixedList("1.5, 2,0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[0] != fixed.MustFloat(1.5) || vs[2] != fixed.MustFloat(0.25) {
+		t.Errorf("vs = %v", vs)
+	}
+	for _, c := range []string{"", "abc", "1,,2"} {
+		if _, err := ParseFixedList(c); err == nil {
+			t.Errorf("ParseFixedList(%q) should fail", c)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package coin implements the common coin building block (§4.2 of the
+// paper, Property 4), after the commit-reveal scheme of Abraham, Dolev and
+// Halpern (DISC 2013).
+//
+// Every provider commits to a random 64-bit share, providers cross-check
+// that everyone saw the same commitment set (echo), and only then reveal.
+// The coin value is the sum of all shares mod 2^64: uniform as long as at
+// least one provider outside the coalition draws its share at random, and
+// fixed before any reveal, so a coalition of fewer than all providers cannot
+// bias it — it can only force ⊥ by refusing to reveal or by mis-opening,
+// which is exactly the resilience the paper requires (a coalition may only
+// increase the probability of ⊥, never shift the distribution over non-⊥
+// outcomes).
+//
+// The paper samples the coin in [0,1] and transforms it to an arbitrary
+// distribution Π. Here the coin yields a 64-bit seed; callers build a
+// deterministic prng.SplitMix64 from it and apply whatever transform Π they
+// need — the same trick, engineered so one toss can fuel many draws.
+package coin
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"distauction/internal/commit"
+	"distauction/internal/proto"
+	"distauction/internal/wire"
+)
+
+// Protocol steps within a coin instance.
+const (
+	stepCommit uint8 = 1
+	stepEcho   uint8 = 2
+	stepReveal uint8 = 3
+)
+
+// shareSize is the committed share size in bytes (a uint64).
+const shareSize = 8
+
+func domain(round uint64, instance uint32) string {
+	return fmt.Sprintf("coin/%d/%d", round, instance)
+}
+
+// Toss runs one common-coin instance among all providers of peer and
+// returns the agreed 64-bit seed. On any deviation or timeout it aborts the
+// round (⊥) and returns an error matching proto.ErrAborted.
+func Toss(ctx context.Context, peer *proto.Peer, round uint64, instance uint32) (uint64, error) {
+	if err := peer.AbortErr(round); err != nil {
+		return 0, err
+	}
+	providers := peer.Providers()
+	dom := domain(round, instance)
+
+	// Draw and commit the local share.
+	var share [shareSize]byte
+	if _, err := rand.Read(share[:]); err != nil {
+		return 0, peer.FailRound(round, fmt.Sprintf("coin: entropy: %v", err))
+	}
+	com, op, err := commit.New(dom, peer.Self(), share[:])
+	if err != nil {
+		return 0, peer.FailRound(round, fmt.Sprintf("coin: commit: %v", err))
+	}
+
+	commitTag := wire.Tag{Round: round, Block: wire.BlockCoin, Instance: instance, Step: stepCommit}
+	if err := peer.BroadcastProviders(commitTag, com[:]); err != nil {
+		return 0, peer.FailRound(round, fmt.Sprintf("coin: broadcast commit: %v", err))
+	}
+	commitPayloads, err := peer.GatherProviders(ctx, commitTag)
+	if err != nil {
+		return 0, failUnlessAborted(peer, round, "coin: gather commits", err)
+	}
+	commits := make(map[wire.NodeID]commit.Commitment, len(commitPayloads))
+	for id, payload := range commitPayloads {
+		if len(payload) != commit.Size {
+			return 0, peer.FailRound(round, fmt.Sprintf("coin: provider %d sent malformed commitment", id))
+		}
+		var c commit.Commitment
+		copy(c[:], payload)
+		commits[id] = c
+	}
+
+	// Echo the commitment set before anyone reveals: if a provider
+	// equivocated its commitment across receivers, providers observe
+	// different sets, the digests differ, and the round aborts with every
+	// share still hidden — so the abort decision cannot depend on the coin
+	// value.
+	echo := commitSetDigest(providers, commits)
+	echoTag := wire.Tag{Round: round, Block: wire.BlockCoin, Instance: instance, Step: stepEcho}
+	if err := peer.BroadcastProviders(echoTag, echo[:]); err != nil {
+		return 0, peer.FailRound(round, fmt.Sprintf("coin: broadcast echo: %v", err))
+	}
+	echoes, err := peer.GatherProviders(ctx, echoTag)
+	if err != nil {
+		return 0, failUnlessAborted(peer, round, "coin: gather echoes", err)
+	}
+	for id, payload := range echoes {
+		if !bytes.Equal(payload, echo[:]) {
+			return 0, peer.FailRound(round, fmt.Sprintf("coin: commitment set mismatch with provider %d", id))
+		}
+	}
+
+	// Reveal and verify.
+	revealTag := wire.Tag{Round: round, Block: wire.BlockCoin, Instance: instance, Step: stepReveal}
+	if err := peer.BroadcastProviders(revealTag, commit.EncodeOpening(op)); err != nil {
+		return 0, peer.FailRound(round, fmt.Sprintf("coin: broadcast reveal: %v", err))
+	}
+	reveals, err := peer.GatherProviders(ctx, revealTag)
+	if err != nil {
+		return 0, failUnlessAborted(peer, round, "coin: gather reveals", err)
+	}
+
+	var seed uint64
+	for _, id := range providers {
+		opening, err := commit.DecodeOpening(reveals[id])
+		if err != nil {
+			return 0, peer.FailRound(round, fmt.Sprintf("coin: provider %d sent malformed opening", id))
+		}
+		if err := commit.Verify(dom, id, commits[id], opening); err != nil {
+			return 0, peer.FailRound(round, fmt.Sprintf("coin: provider %d mis-opened its commitment", id))
+		}
+		if len(opening.Value) != shareSize {
+			return 0, peer.FailRound(round, fmt.Sprintf("coin: provider %d share has %d bytes", id, len(opening.Value)))
+		}
+		seed += binary.BigEndian.Uint64(opening.Value)
+	}
+	return seed, nil
+}
+
+// failUnlessAborted converts err into a round abort unless the round is
+// already aborted (in which case the existing abort error is returned).
+func failUnlessAborted(peer *proto.Peer, round uint64, op string, err error) error {
+	if abortErr := peer.AbortErr(round); abortErr != nil {
+		return abortErr
+	}
+	return peer.FailRound(round, fmt.Sprintf("%s: %v", op, err))
+}
+
+// commitSetDigest hashes the full (provider, commitment) set in provider
+// order.
+func commitSetDigest(providers []wire.NodeID, commits map[wire.NodeID]commit.Commitment) [sha256.Size]byte {
+	h := sha256.New()
+	var idBuf [4]byte
+	for _, id := range providers {
+		binary.BigEndian.PutUint32(idBuf[:], uint32(id))
+		h.Write(idBuf[:])
+		c := commits[id]
+		h.Write(c[:])
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

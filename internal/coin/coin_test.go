@@ -1,0 +1,283 @@
+package coin
+
+import (
+	"context"
+	"errors"
+	"math/bits"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/commit"
+	"distauction/internal/proto"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+func newPeers(t *testing.T, n int) []*proto.Peer {
+	t.Helper()
+	hub := transport.NewHub(transport.LatencyModel{}, 1)
+	t.Cleanup(func() { hub.Close() })
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	peers := make([]*proto.Peer, n)
+	for i, id := range ids {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = proto.NewPeer(conn, ids)
+		t.Cleanup(func(p *proto.Peer) func() { return func() { p.Close() } }(peers[i]))
+	}
+	return peers
+}
+
+// tossAll runs Toss concurrently at every peer and returns per-peer results.
+func tossAll(t *testing.T, peers []*proto.Peer, round uint64, instance uint32) ([]uint64, []error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	seeds := make([]uint64, len(peers))
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *proto.Peer) {
+			defer wg.Done()
+			seeds[i], errs[i] = Toss(ctx, p, round, instance)
+		}(i, p)
+	}
+	wg.Wait()
+	return seeds, errs
+}
+
+func TestHonestTossAgrees(t *testing.T) {
+	peers := newPeers(t, 4)
+	seeds, errs := tossAll(t, peers, 1, 0)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(seeds); i++ {
+		if seeds[i] != seeds[0] {
+			t.Fatalf("seeds disagree: %v", seeds)
+		}
+	}
+}
+
+func TestInstancesIndependent(t *testing.T) {
+	peers := newPeers(t, 3)
+	s1, errs := tossAll(t, peers, 1, 0)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, errs := tossAll(t, peers, 1, 1)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s1[0] == s2[0] {
+		t.Error("two instances produced the same seed; not impossible but vanishingly unlikely")
+	}
+}
+
+func TestSeedsLookUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	peers := newPeers(t, 3)
+	const rounds = 64
+	ones := 0
+	for r := uint64(1); r <= rounds; r++ {
+		seeds, errs := tossAll(t, peers, r, 0)
+		for _, err := range errs {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		ones += bits.OnesCount64(seeds[0])
+	}
+	// 64 seeds × 64 bits: expect ≈2048 ones; allow a wide ±6σ band
+	// (σ = sqrt(4096×0.25) = 32).
+	if ones < 2048-200 || ones > 2048+200 {
+		t.Errorf("bit count %d outside plausible band around 2048", ones)
+	}
+}
+
+// deviantReveal commits to one share but opens a different one.
+func TestTamperedRevealAborts(t *testing.T) {
+	peers := newPeers(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	const round, instance = 1, 0
+
+	// Peers 0 and 1 run the honest protocol.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Toss(ctx, peers[i], round, instance)
+		}(i)
+	}
+
+	// Peer 2 deviates: commits to shareA, reveals shareB.
+	devi := peers[2]
+	dom := domain(round, instance)
+	shareA := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	shareB := []byte{8, 7, 6, 5, 4, 3, 2, 1}
+	com, opA, err := commit.New(dom, devi.Self(), shareA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitTag := wire.Tag{Round: round, Block: wire.BlockCoin, Instance: instance, Step: stepCommit}
+	if err := devi.BroadcastProviders(commitTag, com[:]); err != nil {
+		t.Fatal(err)
+	}
+	// Participate honestly in the echo phase.
+	commitPayloads, err := devi.GatherProviders(ctx, commitTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits := make(map[wire.NodeID]commit.Commitment)
+	for id, p := range commitPayloads {
+		var c commit.Commitment
+		copy(c[:], p)
+		commits[id] = c
+	}
+	echo := commitSetDigest(devi.Providers(), commits)
+	echoTag := wire.Tag{Round: round, Block: wire.BlockCoin, Instance: instance, Step: stepEcho}
+	if err := devi.BroadcastProviders(echoTag, echo[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := devi.GatherProviders(ctx, echoTag); err != nil {
+		t.Fatal(err)
+	}
+	// Reveal the wrong share (keep opA's salt so only the value lies).
+	lie := commit.Opening{Salt: opA.Salt, Value: shareB}
+	revealTag := wire.Tag{Round: round, Block: wire.BlockCoin, Instance: instance, Step: stepReveal}
+	if err := devi.BroadcastProviders(revealTag, commit.EncodeOpening(lie)); err != nil {
+		t.Fatal(err)
+	}
+
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, proto.ErrAborted) {
+			t.Errorf("honest peer %d: got %v, want abort", i, err)
+		}
+	}
+}
+
+// A provider that equivocates its commitment across receivers must be caught
+// by the echo phase, i.e. the round aborts with all shares still hidden.
+func TestEquivocatedCommitAborts(t *testing.T) {
+	peers := newPeers(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	const round, instance = 1, 0
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Toss(ctx, peers[i], round, instance)
+		}(i)
+	}
+
+	devi := peers[2]
+	dom := domain(round, instance)
+	comA, _, err := commit.New(dom, devi.Self(), []byte{1, 1, 1, 1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comB, _, err := commit.New(dom, devi.Self(), []byte{2, 2, 2, 2, 2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitTag := wire.Tag{Round: round, Block: wire.BlockCoin, Instance: instance, Step: stepCommit}
+	if err := devi.Send(1, commitTag, comA[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := devi.Send(2, commitTag, comB[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The deviant does not need to continue: honest echoes will disagree.
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, proto.ErrAborted) {
+			t.Errorf("honest peer %d: got %v, want abort", i, err)
+		}
+	}
+}
+
+// A silent provider stalls the coin; the deadline converts that into ⊥ for
+// everyone rather than a hang.
+func TestSilentProviderAborts(t *testing.T) {
+	peers := newPeers(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Toss(ctx, peers[i], 1, 0)
+		}(i)
+	}
+	wg.Wait()
+	// peers[2] never participated.
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("honest peer %d: expected failure", i)
+		}
+	}
+	// After the first timeout the round is ⊥ everywhere.
+	if err := peers[0].AbortErr(1); !errors.Is(err, proto.ErrAborted) {
+		t.Errorf("round not aborted after silence: %v", err)
+	}
+}
+
+func TestMalformedCommitAborts(t *testing.T) {
+	peers := newPeers(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var honestErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, honestErr = Toss(ctx, peers[0], 1, 0)
+	}()
+
+	commitTag := wire.Tag{Round: 1, Block: wire.BlockCoin, Instance: 0, Step: stepCommit}
+	if err := peers[1].BroadcastProviders(commitTag, []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !errors.Is(honestErr, proto.ErrAborted) {
+		t.Errorf("got %v, want abort", honestErr)
+	}
+}
+
+func TestTossOnAbortedRound(t *testing.T) {
+	peers := newPeers(t, 2)
+	if err := peers[0].Abort(5, "pre-aborted"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := Toss(ctx, peers[0], 5, 0); !errors.Is(err, proto.ErrAborted) {
+		t.Errorf("got %v, want abort", err)
+	}
+}

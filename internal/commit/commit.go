@@ -1,0 +1,93 @@
+// Package commit implements the hash commitment scheme used by the common
+// coin and the rational consensus protocol (§4.2 of the paper, after
+// Abraham, Dolev and Halpern).
+//
+// A commitment binds the committer to a value before other parties reveal
+// theirs. The scheme is SHA-256 over (domain ‖ committer ‖ salt ‖ value),
+// with a random salt for hiding. Binding rests on collision resistance;
+// hiding rests on the salt's entropy.
+package commit
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+
+	"distauction/internal/wire"
+)
+
+// SaltSize is the commitment salt size in bytes.
+const SaltSize = 16
+
+// Size is the commitment digest size in bytes.
+const Size = sha256.Size
+
+// ErrMismatch reports that an opening does not match its commitment.
+var ErrMismatch = errors.New("commit: opening does not match commitment")
+
+// Commitment is a binding, hiding digest of a value.
+type Commitment [Size]byte
+
+// Opening reveals a committed value together with its salt.
+type Opening struct {
+	Salt  []byte
+	Value []byte
+}
+
+// New commits node id to value within the given domain-separation tag.
+// It draws the salt from crypto/rand.
+func New(domain string, id wire.NodeID, value []byte) (Commitment, Opening, error) {
+	salt := make([]byte, SaltSize)
+	if _, err := rand.Read(salt); err != nil {
+		return Commitment{}, Opening{}, fmt.Errorf("commit: salt: %w", err)
+	}
+	op := Opening{Salt: salt, Value: value}
+	return digest(domain, id, op), op, nil
+}
+
+// NewWithSalt commits with a caller-supplied salt. Tests and deviation
+// injectors use it to construct deliberately malformed commitments.
+func NewWithSalt(domain string, id wire.NodeID, salt, value []byte) (Commitment, Opening) {
+	op := Opening{Salt: salt, Value: value}
+	return digest(domain, id, op), op
+}
+
+// Verify checks that op opens c for the given domain and committer.
+func Verify(domain string, id wire.NodeID, c Commitment, op Opening) error {
+	want := digest(domain, id, op)
+	if subtle.ConstantTimeCompare(want[:], c[:]) != 1 {
+		return ErrMismatch
+	}
+	return nil
+}
+
+func digest(domain string, id wire.NodeID, op Opening) Commitment {
+	enc := wire.NewEncoder(len(domain) + len(op.Salt) + len(op.Value) + 16)
+	enc.String(domain)
+	enc.Uint32(uint32(id))
+	enc.Bytes(op.Salt)
+	enc.Bytes(op.Value)
+	return sha256.Sum256(enc.Buffer())
+}
+
+// EncodeOpening serialises an opening.
+func EncodeOpening(op Opening) []byte {
+	enc := wire.NewEncoder(len(op.Salt) + len(op.Value) + 8)
+	enc.Bytes(op.Salt)
+	enc.Bytes(op.Value)
+	return enc.Buffer()
+}
+
+// DecodeOpening parses an opening.
+func DecodeOpening(b []byte) (Opening, error) {
+	d := wire.NewDecoder(b)
+	var op Opening
+	op.Salt = d.Bytes()
+	op.Value = d.Bytes()
+	if err := d.Finish(); err != nil {
+		return Opening{}, fmt.Errorf("decode opening: %w", err)
+	}
+	return op, nil
+}

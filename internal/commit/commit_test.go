@@ -1,0 +1,99 @@
+package commit
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"distauction/internal/wire"
+)
+
+func TestCommitVerify(t *testing.T) {
+	c, op, err := New("coin", 3, []byte("value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify("coin", 3, c, op); err != nil {
+		t.Errorf("honest opening rejected: %v", err)
+	}
+}
+
+func TestCommitBinding(t *testing.T) {
+	c, op, err := New("coin", 3, []byte("value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lie := op
+	lie.Value = []byte("other")
+	if err := Verify("coin", 3, c, lie); err == nil {
+		t.Error("different value must not open the commitment")
+	}
+	lie = op
+	lie.Salt = append([]byte(nil), op.Salt...)
+	lie.Salt[0] ^= 1
+	if err := Verify("coin", 3, c, lie); err == nil {
+		t.Error("different salt must not open the commitment")
+	}
+}
+
+func TestCommitDomainSeparation(t *testing.T) {
+	c, op := NewWithSalt("coin", 3, []byte("salt"), []byte("v"))
+	if err := Verify("consensus", 3, c, op); err == nil {
+		t.Error("commitment must be bound to its domain")
+	}
+	if err := Verify("coin", 4, c, op); err == nil {
+		t.Error("commitment must be bound to its committer")
+	}
+}
+
+func TestCommitsDiffer(t *testing.T) {
+	c1, _, err := New("d", 1, []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := New("d", 1, []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Error("fresh salts must yield distinct commitments (hiding)")
+	}
+}
+
+func TestOpeningRoundTrip(t *testing.T) {
+	f := func(salt, value []byte) bool {
+		op := Opening{Salt: salt, Value: value}
+		got, err := DecodeOpening(EncodeOpening(op))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Salt, salt) && bytes.Equal(got.Value, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeOpeningGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = DecodeOpening(raw) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: commitments verify for arbitrary values and committers.
+func TestQuickCommitRoundTrip(t *testing.T) {
+	f := func(id uint32, value []byte) bool {
+		c, op, err := New("q", wire.NodeID(id), value)
+		if err != nil {
+			return false
+		}
+		return Verify("q", wire.NodeID(id), c, op) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

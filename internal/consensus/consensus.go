@@ -1,0 +1,224 @@
+// Package consensus implements the rational-consensus building block used by
+// bid agreement (§4.1 of the paper, after Afek, Ginzberg, Landau Feibish and
+// Sulamy, PODC 2014).
+//
+// The paper runs one binary consensus instance per bit of every bidder's bid
+// stream, multiplexing instances by tagging messages with the bidder
+// identifier and bit position. This implementation batches that whole
+// ensemble into one *vector* consensus: each provider proposes the full
+// vector of per-bidder values in a single commit, and a jointly-elected
+// random leader decides each slot. The message complexity drops from
+// O(bits·m²) to O(m²) per auction round while preserving the construction's
+// two properties:
+//
+//  1. If all providers follow the protocol, they output a common vector in
+//     which every slot equals some provider's proposal for that slot; if all
+//     proposals for a slot agree, the output is that value (validity).
+//  2. The per-slot leader is uniform and fixed before any proposal is
+//     revealed (commit → echo → reveal, as in the common coin), so with
+//     m > 2k a coalition can neither dictate a disputed slot nor learn
+//     anything useful before committing — it can only force ⊥.
+//
+// The leader election is the ADH13 scheme: every provider commits to a
+// random 64-bit share alongside its proposal; the sum of shares seeds a
+// deterministic PRNG that picks an independent leader per slot.
+package consensus
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"distauction/internal/commit"
+	"distauction/internal/prng"
+	"distauction/internal/proto"
+	"distauction/internal/wire"
+)
+
+// Protocol steps within a consensus instance.
+const (
+	stepCommit uint8 = 1
+	stepEcho   uint8 = 2
+	stepReveal uint8 = 3
+)
+
+// MaxSlots bounds the proposal vector length (defence against hostile
+// allocations; real auctions have at most a few thousand bidders).
+const MaxSlots = 1 << 20
+
+func domain(round uint64, instance uint32) string {
+	return fmt.Sprintf("consensus/%d/%d", round, instance)
+}
+
+// proposal is the committed value: the leader-election share plus the full
+// per-slot vector.
+type proposal struct {
+	share  uint64
+	values [][]byte
+}
+
+func encodeProposal(p proposal) []byte {
+	size := 16
+	for _, v := range p.values {
+		size += len(v) + 4
+	}
+	enc := wire.NewEncoder(size)
+	enc.Uint64(p.share)
+	enc.Uvarint(uint64(len(p.values)))
+	for _, v := range p.values {
+		enc.Bytes(v)
+	}
+	return enc.Buffer()
+}
+
+func decodeProposal(b []byte) (proposal, error) {
+	d := wire.NewDecoder(b)
+	var p proposal
+	p.share = d.Uint64()
+	n := d.Uvarint()
+	if d.Err() == nil && n > MaxSlots {
+		return proposal{}, fmt.Errorf("consensus: %d slots exceeds limit", n)
+	}
+	if d.Err() == nil && n > uint64(d.Remaining()) {
+		return proposal{}, wire.ErrTruncated
+	}
+	p.values = make([][]byte, n)
+	for i := range p.values {
+		p.values[i] = d.Bytes()
+	}
+	if err := d.Finish(); err != nil {
+		return proposal{}, fmt.Errorf("decode proposal: %w", err)
+	}
+	return p, nil
+}
+
+// Propose runs one vector consensus among all providers of peer. inputs is
+// the local proposal: one value per slot; slot counts must match across
+// providers (bid agreement guarantees this by construction — one slot per
+// registered bidder).
+//
+// On success every honest provider returns the same output vector, where
+// each slot is the proposal of the slot's leader. On any deviation or
+// timeout the round is aborted (⊥).
+func Propose(ctx context.Context, peer *proto.Peer, round uint64, instance uint32, inputs [][]byte) ([][]byte, error) {
+	if err := peer.AbortErr(round); err != nil {
+		return nil, err
+	}
+	if len(inputs) > MaxSlots {
+		return nil, fmt.Errorf("consensus: %d slots exceeds limit", len(inputs))
+	}
+	providers := peer.Providers()
+	dom := domain(round, instance)
+
+	var shareBytes [8]byte
+	if _, err := rand.Read(shareBytes[:]); err != nil {
+		return nil, peer.FailRound(round, fmt.Sprintf("consensus: entropy: %v", err))
+	}
+	local := proposal{share: binary.BigEndian.Uint64(shareBytes[:]), values: inputs}
+	encoded := encodeProposal(local)
+	com, op, err := commit.New(dom, peer.Self(), encoded)
+	if err != nil {
+		return nil, peer.FailRound(round, fmt.Sprintf("consensus: commit: %v", err))
+	}
+
+	// Phase 1: commit.
+	commitTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepCommit}
+	if err := peer.BroadcastProviders(commitTag, com[:]); err != nil {
+		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast commit: %v", err))
+	}
+	commitPayloads, err := peer.GatherProviders(ctx, commitTag)
+	if err != nil {
+		return nil, failUnlessAborted(peer, round, "consensus: gather commits", err)
+	}
+	commits := make(map[wire.NodeID]commit.Commitment, len(commitPayloads))
+	for id, payload := range commitPayloads {
+		if len(payload) != commit.Size {
+			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d sent malformed commitment", id))
+		}
+		var c commit.Commitment
+		copy(c[:], payload)
+		commits[id] = c
+	}
+
+	// Phase 2: echo the commitment set so equivocated commitments abort the
+	// round while all proposals are still hidden.
+	echo := commitSetDigest(providers, commits)
+	echoTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepEcho}
+	if err := peer.BroadcastProviders(echoTag, echo[:]); err != nil {
+		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast echo: %v", err))
+	}
+	echoes, err := peer.GatherProviders(ctx, echoTag)
+	if err != nil {
+		return nil, failUnlessAborted(peer, round, "consensus: gather echoes", err)
+	}
+	for id, payload := range echoes {
+		if !bytes.Equal(payload, echo[:]) {
+			return nil, peer.FailRound(round, fmt.Sprintf("consensus: commitment set mismatch with provider %d", id))
+		}
+	}
+
+	// Phase 3: reveal.
+	revealTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepReveal}
+	if err := peer.BroadcastProviders(revealTag, commit.EncodeOpening(op)); err != nil {
+		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast reveal: %v", err))
+	}
+	reveals, err := peer.GatherProviders(ctx, revealTag)
+	if err != nil {
+		return nil, failUnlessAborted(peer, round, "consensus: gather reveals", err)
+	}
+
+	proposals := make(map[wire.NodeID]proposal, len(providers))
+	var seed uint64
+	for _, id := range providers {
+		opening, err := commit.DecodeOpening(reveals[id])
+		if err != nil {
+			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d sent malformed opening", id))
+		}
+		if err := commit.Verify(dom, id, commits[id], opening); err != nil {
+			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d mis-opened its commitment", id))
+		}
+		prop, err := decodeProposal(opening.Value)
+		if err != nil {
+			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d: %v", id, err))
+		}
+		if len(prop.values) != len(inputs) {
+			return nil, peer.FailRound(round, fmt.Sprintf(
+				"consensus: provider %d proposed %d slots, expected %d", id, len(prop.values), len(inputs)))
+		}
+		proposals[id] = prop
+		seed += prop.share
+	}
+
+	// Decide every slot by its leader.
+	base := prng.New(seed)
+	out := make([][]byte, len(inputs))
+	for i := range out {
+		leader := providers[base.Fork(uint64(i)).Intn(len(providers))]
+		out[i] = proposals[leader].values[i]
+	}
+	return out, nil
+}
+
+func failUnlessAborted(peer *proto.Peer, round uint64, op string, err error) error {
+	if abortErr := peer.AbortErr(round); abortErr != nil {
+		return abortErr
+	}
+	return peer.FailRound(round, fmt.Sprintf("%s: %v", op, err))
+}
+
+func commitSetDigest(providers []wire.NodeID, commits map[wire.NodeID]commit.Commitment) [sha256.Size]byte {
+	h := sha256.New()
+	var idBuf [4]byte
+	for _, id := range providers {
+		binary.BigEndian.PutUint32(idBuf[:], uint32(id))
+		h.Write(idBuf[:])
+		c := commits[id]
+		h.Write(c[:])
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}

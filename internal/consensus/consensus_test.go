@@ -1,0 +1,375 @@
+package consensus
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/commit"
+	"distauction/internal/proto"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+func newPeers(t *testing.T, n int) []*proto.Peer {
+	t.Helper()
+	hub := transport.NewHub(transport.LatencyModel{}, 1)
+	t.Cleanup(func() { hub.Close() })
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	peers := make([]*proto.Peer, n)
+	for i, id := range ids {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = proto.NewPeer(conn, ids)
+		t.Cleanup(func(p *proto.Peer) func() { return func() { p.Close() } }(peers[i]))
+	}
+	return peers
+}
+
+// proposeAll runs Propose at every peer with the given per-peer inputs.
+func proposeAll(t *testing.T, peers []*proto.Peer, round uint64, inputs [][][]byte) ([][][]byte, []error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	outs := make([][][]byte, len(peers))
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *proto.Peer) {
+			defer wg.Done()
+			outs[i], errs[i] = Propose(ctx, p, round, 0, inputs[i])
+		}(i, p)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+func sameVectors(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAgreementAndValidityUnanimous(t *testing.T) {
+	peers := newPeers(t, 4)
+	input := [][]byte{[]byte("bid-alice"), []byte("bid-bob"), []byte("bid-carol")}
+	inputs := make([][][]byte, 4)
+	for i := range inputs {
+		inputs[i] = input
+	}
+	outs, errs := proposeAll(t, peers, 1, inputs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	for i := range outs {
+		if !sameVectors(outs[i], input) {
+			t.Errorf("peer %d output %q, want the unanimous input", i, outs[i])
+		}
+	}
+}
+
+func TestAgreementWithDisputedSlot(t *testing.T) {
+	peers := newPeers(t, 3)
+	// Slot 0 unanimous; slot 1 disputed (a bidder equivocated its bid).
+	inputs := [][][]byte{
+		{[]byte("same"), []byte("v-from-1")},
+		{[]byte("same"), []byte("v-from-2")},
+		{[]byte("same"), []byte("v-from-3")},
+	}
+	outs, errs := proposeAll(t, peers, 1, inputs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	// All providers agree.
+	for i := 1; i < len(outs); i++ {
+		if !sameVectors(outs[i], outs[0]) {
+			t.Fatalf("outputs disagree:\n%q\n%q", outs[0], outs[i])
+		}
+	}
+	// Slot 0 kept the unanimous value; slot 1 is one of the proposals.
+	if string(outs[0][0]) != "same" {
+		t.Errorf("unanimous slot changed: %q", outs[0][0])
+	}
+	got := string(outs[0][1])
+	if got != "v-from-1" && got != "v-from-2" && got != "v-from-3" {
+		t.Errorf("disputed slot %q is nobody's proposal", got)
+	}
+}
+
+func TestDisputedSlotLeaderVaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	peers := newPeers(t, 3)
+	winners := map[string]int{}
+	for r := uint64(1); r <= 40; r++ {
+		inputs := [][][]byte{
+			{[]byte("a")}, {[]byte("b")}, {[]byte("c")},
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		outs := make([][][]byte, 3)
+		errs := make([]error, 3)
+		var wg sync.WaitGroup
+		for i, p := range peers {
+			wg.Add(1)
+			go func(i int, p *proto.Peer) {
+				defer wg.Done()
+				outs[i], errs[i] = Propose(ctx, p, r, 0, inputs[i])
+			}(i, p)
+		}
+		wg.Wait()
+		cancel()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d peer %d: %v", r, i, err)
+			}
+		}
+		winners[string(outs[0][0])]++
+	}
+	// Each of the three proposals should win sometimes: P(never in 40) ≈ 9e-8.
+	for _, v := range []string{"a", "b", "c"} {
+		if winners[v] == 0 {
+			t.Errorf("proposal %q never chosen in 40 rounds: %v", v, winners)
+		}
+	}
+}
+
+func TestSlotCountMismatchAborts(t *testing.T) {
+	peers := newPeers(t, 3)
+	inputs := [][][]byte{
+		{[]byte("x"), []byte("y")},
+		{[]byte("x"), []byte("y")},
+		{[]byte("x")}, // deviant claims fewer bidders
+	}
+	_, errs := proposeAll(t, peers, 1, inputs)
+	for i := 0; i < 2; i++ {
+		if !errors.Is(errs[i], proto.ErrAborted) {
+			t.Errorf("honest peer %d: got %v, want abort", i, errs[i])
+		}
+	}
+}
+
+func TestTamperedRevealAborts(t *testing.T) {
+	peers := newPeers(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	const round = 1
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Propose(ctx, peers[i], round, 0, [][]byte{[]byte("v")})
+		}(i)
+	}
+
+	// Deviant commits to one proposal, reveals another.
+	devi := peers[2]
+	dom := domain(round, 0)
+	honest := encodeProposal(proposal{share: 7, values: [][]byte{[]byte("v")}})
+	lie := encodeProposal(proposal{share: 7, values: [][]byte{[]byte("w")}})
+	com, op, err := commit.New(dom, devi.Self(), honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: 0, Step: stepCommit}
+	if err := devi.BroadcastProviders(commitTag, com[:]); err != nil {
+		t.Fatal(err)
+	}
+	commitPayloads, err := devi.GatherProviders(ctx, commitTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commits := make(map[wire.NodeID]commit.Commitment)
+	for id, p := range commitPayloads {
+		var c commit.Commitment
+		copy(c[:], p)
+		commits[id] = c
+	}
+	echo := commitSetDigest(devi.Providers(), commits)
+	echoTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: 0, Step: stepEcho}
+	if err := devi.BroadcastProviders(echoTag, echo[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := devi.GatherProviders(ctx, echoTag); err != nil {
+		t.Fatal(err)
+	}
+	revealTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: 0, Step: stepReveal}
+	bad := commit.Opening{Salt: op.Salt, Value: lie}
+	if err := devi.BroadcastProviders(revealTag, commit.EncodeOpening(bad)); err != nil {
+		t.Fatal(err)
+	}
+
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, proto.ErrAborted) {
+			t.Errorf("honest peer %d: got %v, want abort", i, err)
+		}
+	}
+}
+
+func TestSilentProviderTimesOutToAbort(t *testing.T) {
+	peers := newPeers(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = Propose(ctx, peers[i], 1, 0, [][]byte{[]byte("v")})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("peer %d succeeded despite silent provider", i)
+		}
+	}
+}
+
+func TestProposeOnAbortedRound(t *testing.T) {
+	peers := newPeers(t, 2)
+	if err := peers[0].Abort(9, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Propose(context.Background(), peers[0], 9, 0, nil); !errors.Is(err, proto.ErrAborted) {
+		t.Errorf("got %v, want abort", err)
+	}
+}
+
+func TestProposalRoundTrip(t *testing.T) {
+	for _, p := range []proposal{
+		{share: 0, values: nil},
+		{share: 42, values: [][]byte{[]byte("a"), nil, []byte("ccc")}},
+	} {
+		got, err := decodeProposal(encodeProposal(p))
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		if got.share != p.share || len(got.values) != len(p.values) {
+			t.Errorf("round trip mismatch: %+v vs %+v", got, p)
+		}
+		for i := range p.values {
+			if !bytes.Equal(got.values[i], p.values[i]) {
+				t.Errorf("slot %d mismatch", i)
+			}
+		}
+	}
+}
+
+func TestDecodeProposalGarbage(t *testing.T) {
+	cases := [][]byte{nil, {1}, bytes.Repeat([]byte{0xFF}, 40)}
+	for _, c := range cases {
+		if _, err := decodeProposal(c); err == nil {
+			t.Errorf("garbage %v decoded", c)
+		}
+	}
+	// Slot-count bomb: header claims 2^30 slots.
+	enc := wire.NewEncoder(32)
+	enc.Uint64(1)
+	enc.Uvarint(1 << 30)
+	if _, err := decodeProposal(enc.Buffer()); err == nil {
+		t.Error("slot bomb decoded")
+	}
+}
+
+func TestManySlots(t *testing.T) {
+	peers := newPeers(t, 3)
+	const slots = 500
+	input := make([][]byte, slots)
+	for i := range input {
+		input[i] = []byte(fmt.Sprintf("bid-%d", i))
+	}
+	inputs := [][][]byte{input, input, input}
+	outs, errs := proposeAll(t, peers, 1, inputs)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	if !sameVectors(outs[0], input) || !sameVectors(outs[1], input) {
+		t.Error("large unanimous vector mangled")
+	}
+}
+
+// Property: for arbitrary disputed proposals, all honest providers output
+// the same vector and every slot is one of the proposals for that slot.
+func TestQuickAgreementProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up many clusters")
+	}
+	peers := newPeers(t, 3)
+	for round := uint64(1); round <= 15; round++ {
+		inputs := make([][][]byte, 3)
+		slots := 1 + int(round%4)
+		for pi := range inputs {
+			inputs[pi] = make([][]byte, slots)
+			for s := range inputs[pi] {
+				// Providers 0 and 1 agree; provider 2 disputes odd slots.
+				val := fmt.Sprintf("v%d", s)
+				if pi == 2 && s%2 == 1 {
+					val = fmt.Sprintf("w%d", s)
+				}
+				inputs[pi][s] = []byte(val)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		outs := make([][][]byte, 3)
+		errs := make([]error, 3)
+		var wg sync.WaitGroup
+		for i, p := range peers {
+			wg.Add(1)
+			go func(i int, p *proto.Peer) {
+				defer wg.Done()
+				outs[i], errs[i] = Propose(ctx, p, round, 0, inputs[i])
+			}(i, p)
+		}
+		wg.Wait()
+		cancel()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("round %d peer %d: %v", round, i, err)
+			}
+		}
+		for i := 1; i < 3; i++ {
+			if !sameVectors(outs[i], outs[0]) {
+				t.Fatalf("round %d: disagreement", round)
+			}
+		}
+		for s := 0; s < slots; s++ {
+			got := string(outs[0][s])
+			want1 := fmt.Sprintf("v%d", s)
+			want2 := fmt.Sprintf("w%d", s)
+			if got != want1 && got != want2 {
+				t.Fatalf("round %d slot %d: %q is nobody's proposal", round, s, got)
+			}
+		}
+		for _, p := range peers {
+			p.EndRound(round)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"distauction/internal/auction"
+	"distauction/internal/proto"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+// ErrOutcomeBot reports that the auction ended in ⊥ (aborted) or that
+// providers disagreed on the result — which the external mechanism treats
+// the same way (§3.2: the outcome is (x, ~p) only if all providers output
+// that pair).
+var ErrOutcomeBot = fmt.Errorf("core: outcome is ⊥")
+
+// Bidder is a user-side client: it submits bids to every provider and
+// collects the unanimous outcome.
+type Bidder struct {
+	peer *proto.Peer
+}
+
+// NewBidder wraps conn into a bidder client for the given provider set.
+func NewBidder(conn transport.Conn, providers []wire.NodeID) *Bidder {
+	return &Bidder{peer: proto.NewPeer(conn, providers)}
+}
+
+// Close releases the bidder's network resources.
+func (b *Bidder) Close() error { return b.peer.Close() }
+
+// Self returns the bidder's node ID.
+func (b *Bidder) Self() wire.NodeID { return b.peer.Self() }
+
+// EndRound releases the round's buffered protocol state.
+func (b *Bidder) EndRound(round uint64) { b.peer.EndRound(round) }
+
+// Submit sends the same bid to every provider (the honest strategy; by
+// Theorem 1 and the truthfulness of A it is utility-maximising to make it
+// the true valuation).
+func (b *Bidder) Submit(round uint64, bid auction.UserBid) error {
+	tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
+	raw := bid.Encode()
+	var firstErr error
+	for _, p := range b.peer.Providers() {
+		if err := b.peer.Send(p, tag, raw); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SubmitRaw sends an arbitrary per-provider payload — the deviation surface
+// of §3.2 (different bids to different providers, garbage, or nothing).
+// Deviation tests and examples use it; honest bidders use Submit.
+func (b *Bidder) SubmitRaw(round uint64, payloads map[wire.NodeID][]byte) error {
+	tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
+	var firstErr error
+	for p, raw := range payloads {
+		if err := b.peer.Send(p, tag, raw); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// AwaitOutcome gathers the round result from every provider. It returns the
+// outcome only when all providers reported the same non-⊥ pair; otherwise
+// ErrOutcomeBot.
+func (b *Bidder) AwaitOutcome(ctx context.Context, round uint64) (auction.Outcome, error) {
+	tag := wire.Tag{Round: round, Block: wire.BlockResult, Step: 1}
+	var agreed []byte
+	first := true
+	for _, p := range b.peer.Providers() {
+		payload, err := b.peer.Receive(ctx, tag, p)
+		if err != nil {
+			return auction.Outcome{}, fmt.Errorf("%w: provider %d unreachable: %v", ErrOutcomeBot, p, err)
+		}
+		d := wire.NewDecoder(payload)
+		ok := d.Bool()
+		raw := d.Bytes()
+		if err := d.Finish(); err != nil {
+			return auction.Outcome{}, fmt.Errorf("%w: provider %d sent malformed result", ErrOutcomeBot, p)
+		}
+		if !ok {
+			return auction.Outcome{}, fmt.Errorf("%w: provider %d reported abort", ErrOutcomeBot, p)
+		}
+		if first {
+			agreed, first = raw, false
+		} else if !bytes.Equal(agreed, raw) {
+			return auction.Outcome{}, fmt.Errorf("%w: providers disagree on the outcome", ErrOutcomeBot)
+		}
+	}
+	out, err := auction.DecodeOutcome(agreed)
+	if err != nil {
+		return auction.Outcome{}, fmt.Errorf("%w: undecodable outcome: %v", ErrOutcomeBot, err)
+	}
+	return out, nil
+}

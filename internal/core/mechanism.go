@@ -1,0 +1,269 @@
+// Package core assembles the distributed auctioneer of §4: it chains the
+// bid-agreement block and the (parallel) allocator block into a provider
+// runtime, provides the bidder client, and implements the centralized
+// trusted-auctioneer baseline that the evaluation compares against.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"distauction/internal/auction"
+	"distauction/internal/fixed"
+	"distauction/internal/mechanism/doubleauction"
+	"distauction/internal/mechanism/standardauction"
+	"distauction/internal/taskgraph"
+	"distauction/internal/wire"
+)
+
+// GraphConfig carries the deployment facts a mechanism needs to decompose
+// its algorithm into tasks.
+type GraphConfig struct {
+	// Providers is the provider node set (sorted).
+	Providers []wire.NodeID
+	// K is the coalition bound; every task group has ≥ K+1 members.
+	K int
+}
+
+// Mechanism abstracts the allocation algorithm A (§3.1): its direct
+// execution (trusted auctioneer baseline) and its task decomposition for
+// the parallel allocator.
+type Mechanism interface {
+	// Name identifies the mechanism in logs and CLIs.
+	Name() string
+	// DoubleSided reports whether providers submit bids (double auction).
+	DoubleSided() bool
+	// Solve runs A directly on the agreed bids. seed feeds randomized
+	// mechanisms; deterministic ones ignore it.
+	Solve(bids auction.BidVector, seed uint64) (auction.Outcome, error)
+	// BuildGraph returns the task decomposition of A for the agreed bids.
+	BuildGraph(cfg GraphConfig, bids auction.BidVector) (*taskgraph.Graph, error)
+}
+
+// DoubleAuction is the double-auction mechanism of §5.2.1. Its algorithm is
+// sorting-dominated, so the task graph is a single replicated task: every
+// provider runs the full algorithm and the group digest-check
+// cross-validates the redundant executions (no data transfer needed,
+// exactly as the paper prescribes).
+type DoubleAuction struct{}
+
+var _ Mechanism = DoubleAuction{}
+
+// Name implements Mechanism.
+func (DoubleAuction) Name() string { return "double" }
+
+// DoubleSided implements Mechanism: providers bid in a double auction.
+func (DoubleAuction) DoubleSided() bool { return true }
+
+// Solve implements Mechanism; the algorithm is deterministic, seed unused.
+func (DoubleAuction) Solve(bids auction.BidVector, _ uint64) (auction.Outcome, error) {
+	return doubleauction.Solve(bids)
+}
+
+// BuildGraph implements Mechanism with the single replicated task.
+func (m DoubleAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*taskgraph.Graph, error) {
+	run := func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+		out, err := doubleauction.Solve(bids)
+		if err != nil {
+			return nil, err
+		}
+		return out.Encode(), nil
+	}
+	return taskgraph.New(cfg.Providers, cfg.K, []taskgraph.Task{
+		{ID: 1, Name: "double-auction", Group: cfg.Providers, Run: run},
+	})
+}
+
+// StandardAuction is the standard-auction mechanism of §5.2.2 with the task
+// decomposition of Algorithm 1: Task 1 computes the randomized allocation at
+// every provider (it draws the common coin); Tasks 2.S compute the VCG
+// payments of disjoint user subsets, one per provider group, in parallel;
+// the final task gathers the payment shares into the outcome.
+type StandardAuction struct {
+	// Params configures the underlying (1−ε) mechanism. Capacities must be
+	// set; they are deployment facts, not bids.
+	Params standardauction.Params
+	// Replicated disables the parallel decomposition: every provider runs
+	// the whole algorithm (like the double auction). This is the ablation
+	// baseline for the design choice that §5.2.2 motivates — it keeps all
+	// of the framework's resilience but none of its speedup.
+	Replicated bool
+}
+
+var _ Mechanism = StandardAuction{}
+
+// Name implements Mechanism.
+func (StandardAuction) Name() string { return "standard" }
+
+// DoubleSided implements Mechanism: only users bid.
+func (StandardAuction) DoubleSided() bool { return false }
+
+// Solve implements Mechanism: the serial baseline of Figure 5 (p=1).
+func (m StandardAuction) Solve(bids auction.BidVector, seed uint64) (auction.Outcome, error) {
+	return standardauction.Solve(bids.Users, m.Params, seed)
+}
+
+// BuildGraph implements Mechanism with the three-stage decomposition of
+// Algorithm 1 (or a single replicated task when Replicated is set).
+func (m StandardAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*taskgraph.Graph, error) {
+	if m.Replicated {
+		users := bids.Users
+		params := m.Params
+		return taskgraph.New(cfg.Providers, cfg.K, []taskgraph.Task{{
+			ID: 1, Name: "standard-replicated", Group: cfg.Providers, UsesCoin: true,
+			Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+				seed, err := tc.Coin()
+				if err != nil {
+					return nil, err
+				}
+				out, err := standardauction.Solve(users, params, seed)
+				if err != nil {
+					return nil, err
+				}
+				return out.Encode(), nil
+			},
+		}})
+	}
+	groups := taskgraph.Groups(cfg.Providers, cfg.K)
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: cannot form any group of %d providers from %d", cfg.K+1, len(cfg.Providers))
+	}
+	users := bids.Users
+	params := m.Params
+	c := len(groups)
+
+	tasks := make([]taskgraph.Task, 0, c+2)
+	tasks = append(tasks, taskgraph.Task{
+		ID: 1, Name: "allocate", Group: cfg.Providers, UsesCoin: true,
+		Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+			seed, err := tc.Coin()
+			if err != nil {
+				return nil, err
+			}
+			assign, err := standardauction.SolveAllocation(users, params, seed)
+			if err != nil {
+				return nil, err
+			}
+			return encodeAllocResult(seed, assign), nil
+		},
+	})
+	deps := []uint32{1}
+	for gi := range groups {
+		gi := gi
+		tasks = append(tasks, taskgraph.Task{
+			ID: uint32(2 + gi), Name: fmt.Sprintf("payments-%d", gi), Deps: []uint32{1}, Group: groups[gi],
+			Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+				seed, assign, err := decodeAllocResult(tc.Inputs[1], len(users))
+				if err != nil {
+					return nil, err
+				}
+				var idx []int
+				var pays []fixed.Fixed
+				for i := range users {
+					if i%c != gi {
+						continue
+					}
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					pay, err := standardauction.Payment(users, params, seed, assign, i)
+					if err != nil {
+						return nil, err
+					}
+					idx = append(idx, i)
+					pays = append(pays, pay)
+				}
+				return encodePayShare(idx, pays), nil
+			},
+		})
+		deps = append(deps, uint32(2+gi))
+	}
+	tasks = append(tasks, taskgraph.Task{
+		ID: uint32(2 + c), Name: "gather", Deps: deps, Group: cfg.Providers,
+		Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+			_, assign, err := decodeAllocResult(tc.Inputs[1], len(users))
+			if err != nil {
+				return nil, err
+			}
+			pays := make([]fixed.Fixed, len(users))
+			for gi := 0; gi < c; gi++ {
+				idx, share, err := decodePayShare(tc.Inputs[uint32(2+gi)])
+				if err != nil {
+					return nil, err
+				}
+				for j, i := range idx {
+					if i < 0 || i >= len(users) || i%c != gi {
+						return nil, fmt.Errorf("core: payment share %d covers foreign user %d", gi, i)
+					}
+					pays[i] = share[j]
+				}
+			}
+			out, err := standardauction.BuildOutcome(users, params, assign, pays)
+			if err != nil {
+				return nil, err
+			}
+			return out.Encode(), nil
+		},
+	})
+	return taskgraph.New(cfg.Providers, cfg.K, tasks)
+}
+
+// encodeAllocResult serialises Task 1's output: the coin seed plus the
+// assignment vector.
+func encodeAllocResult(seed uint64, assign standardauction.Assignment) []byte {
+	enc := wire.NewEncoder(16 + 2*len(assign))
+	enc.Uint64(seed)
+	enc.Uvarint(uint64(len(assign)))
+	for _, p := range assign {
+		enc.Varint(int64(p))
+	}
+	return enc.Buffer()
+}
+
+func decodeAllocResult(raw []byte, wantUsers int) (uint64, standardauction.Assignment, error) {
+	d := wire.NewDecoder(raw)
+	seed := d.Uint64()
+	n := d.SliceLen(1)
+	assign := make(standardauction.Assignment, n)
+	for i := range assign {
+		assign[i] = int(d.Varint())
+	}
+	if err := d.Finish(); err != nil {
+		return 0, nil, fmt.Errorf("decode alloc result: %w", err)
+	}
+	if n != wantUsers {
+		return 0, nil, fmt.Errorf("core: alloc result covers %d users, want %d", n, wantUsers)
+	}
+	return seed, assign, nil
+}
+
+// encodePayShare serialises one group's payment share as (user, payment)
+// pairs.
+func encodePayShare(idx []int, pays []fixed.Fixed) []byte {
+	enc := wire.NewEncoder(8 + 10*len(idx))
+	enc.Uvarint(uint64(len(idx)))
+	for j, i := range idx {
+		enc.Uvarint(uint64(i))
+		enc.Fixed(pays[j])
+	}
+	return enc.Buffer()
+}
+
+func decodePayShare(raw []byte) ([]int, []fixed.Fixed, error) {
+	d := wire.NewDecoder(raw)
+	n := d.SliceLen(2)
+	idx := make([]int, n)
+	pays := make([]fixed.Fixed, n)
+	for j := 0; j < n; j++ {
+		idx[j] = int(d.Uvarint())
+		pays[j] = d.Fixed()
+	}
+	if err := d.Finish(); err != nil {
+		return nil, nil, fmt.Errorf("decode pay share: %w", err)
+	}
+	return idx, pays, nil
+}
+
+// ErrConfig reports an invalid deployment configuration.
+var ErrConfig = errors.New("core: invalid configuration")

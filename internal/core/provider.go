@@ -1,0 +1,260 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"distauction/internal/allocator"
+	"distauction/internal/auction"
+	"distauction/internal/bidagree"
+	"distauction/internal/proto"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+// MaxRawBidSize bounds a submitted bid's encoding. Anything larger is
+// treated as no submission (the neutral bid takes its place).
+const MaxRawBidSize = 64
+
+// Config describes one auction deployment shared by all participants.
+type Config struct {
+	// Providers are the provider nodes that jointly simulate the auctioneer
+	// (the m of the paper).
+	Providers []wire.NodeID
+	// Users are the user bidder nodes (the n of the paper), slot-aligned:
+	// Users[i] is consensus slot i.
+	Users []wire.NodeID
+	// K is the coalition bound. The rational-consensus construction
+	// requires m > 2K (§6).
+	K int
+	// Mechanism is the allocation algorithm A.
+	Mechanism Mechanism
+	// BidWindow is how long providers wait for bid submissions before
+	// substituting neutral bids. Zero means 2 s.
+	BidWindow time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.BidWindow == 0 {
+		c.BidWindow = 2 * time.Second
+	}
+	return c
+}
+
+// Validate checks the deployment facts.
+func (c Config) Validate() error {
+	m := len(c.Providers)
+	if m == 0 {
+		return fmt.Errorf("%w: no providers", ErrConfig)
+	}
+	if c.K < 0 {
+		return fmt.Errorf("%w: negative k", ErrConfig)
+	}
+	if m <= 2*c.K {
+		return fmt.Errorf("%w: m=%d providers cannot tolerate coalitions of k=%d (need m > 2k)", ErrConfig, m, c.K)
+	}
+	if c.Mechanism == nil {
+		return fmt.Errorf("%w: no mechanism", ErrConfig)
+	}
+	seen := map[wire.NodeID]bool{}
+	for _, id := range append(append([]wire.NodeID{}, c.Providers...), c.Users...) {
+		if seen[id] {
+			return fmt.Errorf("%w: duplicate node id %d", ErrConfig, id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// slotCount returns the number of bid-agreement slots: one per user, plus
+// one per provider when the mechanism is double-sided.
+func (c Config) slotCount() int {
+	n := len(c.Users)
+	if c.Mechanism.DoubleSided() {
+		n += len(c.Providers)
+	}
+	return n
+}
+
+// Provider is one provider node's runtime: it collects bids, runs the
+// distributed simulation and reports outcomes to bidders.
+type Provider struct {
+	cfg  Config
+	peer *proto.Peer
+}
+
+// NewProvider wraps conn (which must belong to one of cfg.Providers) into a
+// provider runtime.
+func NewProvider(conn transport.Conn, cfg Config) (*Provider, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	found := false
+	for _, id := range cfg.Providers {
+		if id == conn.Self() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: node %d is not a configured provider", ErrConfig, conn.Self())
+	}
+	return &Provider{cfg: cfg, peer: proto.NewPeer(conn, cfg.Providers)}, nil
+}
+
+// Peer exposes the protocol peer (deviation tests script raw messages
+// through it).
+func (p *Provider) Peer() *proto.Peer { return p.peer }
+
+// Close releases the provider's network resources.
+func (p *Provider) Close() error { return p.peer.Close() }
+
+// RunRound executes one complete auction round (Figure 1):
+//
+//	collect bids → bid agreement → allocator (validate + task graph) →
+//	deliver outcome to bidders.
+//
+// ownBid is this provider's bid for double-sided mechanisms (ignored
+// otherwise; nil means neutral). The returned error matches
+// proto.ErrAborted when the outcome is ⊥.
+func (p *Provider) RunRound(ctx context.Context, round uint64, ownBid *auction.ProviderBid) (auction.Outcome, error) {
+	cfg := p.cfg
+
+	// Phase 0: providers that bid broadcast their own bids like any bidder.
+	if cfg.Mechanism.DoubleSided() {
+		bid := auction.NeutralProviderBid()
+		if ownBid != nil {
+			bid = *ownBid
+		}
+		tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
+		if err := p.peer.BroadcastProviders(tag, bid.Encode()); err != nil {
+			return p.fail(round, fmt.Sprintf("broadcast own bid: %v", err))
+		}
+	}
+
+	// Phase 1: collect one raw submission per slot within the bid window.
+	inputs, err := p.collectBids(ctx, round)
+	if err != nil {
+		return auction.Outcome{}, err
+	}
+
+	// Phase 2: bid agreement (Property 1).
+	agreed, err := bidagree.Agree(ctx, p.peer, round, inputs)
+	if err != nil {
+		return p.deliverAbort(ctx, round, err)
+	}
+
+	// Phase 3: decode the agreed vector, substituting neutral bids for
+	// anything invalid (identical at every provider: the inputs agree).
+	bids := auction.BidVector{Users: make([]auction.UserBid, len(cfg.Users))}
+	for i := range cfg.Users {
+		bids.Users[i] = auction.SanitizeUserBid(agreed[i])
+	}
+	if cfg.Mechanism.DoubleSided() {
+		bids.Providers = make([]auction.ProviderBid, len(cfg.Providers))
+		for j := range cfg.Providers {
+			bids.Providers[j] = auction.SanitizeProviderBid(agreed[len(cfg.Users)+j])
+		}
+	}
+
+	// Phase 4: the allocator (Property 2) — input validation, then the
+	// task-graph simulation of A.
+	graph, err := cfg.Mechanism.BuildGraph(GraphConfig{Providers: p.peer.Providers(), K: cfg.K}, bids)
+	if err != nil {
+		return p.deliverAbort(ctx, round, p.peer.FailRound(round, fmt.Sprintf("build graph: %v", err)))
+	}
+	rawOutcome, err := allocator.Run(ctx, p.peer, round, bids.Encode(), graph)
+	if err != nil {
+		return p.deliverAbort(ctx, round, err)
+	}
+	outcome, err := auction.DecodeOutcome(rawOutcome)
+	if err != nil {
+		return p.deliverAbort(ctx, round, p.peer.FailRound(round, fmt.Sprintf("decode outcome: %v", err)))
+	}
+
+	// Phase 5: report to bidders.
+	p.deliverResult(round, true, rawOutcome)
+	return outcome, nil
+}
+
+// EndRound releases the round's buffered protocol state.
+func (p *Provider) EndRound(round uint64) { p.peer.EndRound(round) }
+
+func (p *Provider) fail(round uint64, reason string) (auction.Outcome, error) {
+	return auction.Outcome{}, p.peer.FailRound(round, reason)
+}
+
+// collectBids gathers the raw submission for every slot, substituting nil
+// (→ neutral) when the window expires first.
+func (p *Provider) collectBids(ctx context.Context, round uint64) ([][]byte, error) {
+	cfg := p.cfg
+	window, cancel := context.WithTimeout(ctx, cfg.BidWindow)
+	defer cancel()
+
+	slots := make([][]byte, cfg.slotCount())
+	tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
+	for i, bidder := range cfg.Users {
+		raw, err := p.peer.Receive(window, tag, bidder)
+		switch {
+		case err == nil:
+			if len(raw) <= MaxRawBidSize {
+				slots[i] = raw
+			}
+		case errors.Is(err, context.DeadlineExceeded):
+			// No submission: neutral.
+		case errors.Is(err, proto.ErrAborted):
+			return nil, err
+		default:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			// Equivocating bidders may have poisoned the round.
+			if abortErr := p.peer.AbortErr(round); abortErr != nil {
+				return nil, abortErr
+			}
+			return nil, err
+		}
+	}
+	if cfg.Mechanism.DoubleSided() {
+		for j, prov := range cfg.Providers {
+			raw, err := p.peer.Receive(window, tag, prov)
+			switch {
+			case err == nil:
+				if len(raw) <= MaxRawBidSize {
+					slots[len(cfg.Users)+j] = raw
+				}
+			case errors.Is(err, context.DeadlineExceeded):
+			case errors.Is(err, proto.ErrAborted):
+				return nil, err
+			default:
+				if abortErr := p.peer.AbortErr(round); abortErr != nil {
+					return nil, abortErr
+				}
+				return nil, err
+			}
+		}
+	}
+	return slots, nil
+}
+
+// deliverAbort reports ⊥ to all bidders and returns the abort error.
+func (p *Provider) deliverAbort(_ context.Context, round uint64, err error) (auction.Outcome, error) {
+	p.deliverResult(round, false, nil)
+	return auction.Outcome{}, err
+}
+
+// deliverResult sends the round result (ok + outcome, or ⊥) to every user.
+func (p *Provider) deliverResult(round uint64, ok bool, rawOutcome []byte) {
+	enc := wire.NewEncoder(2 + len(rawOutcome))
+	enc.Bool(ok)
+	enc.Bytes(rawOutcome)
+	payload := enc.Buffer()
+	tag := wire.Tag{Round: round, Block: wire.BlockResult, Step: 1}
+	for _, u := range p.cfg.Users {
+		// Best effort: a dead bidder must not wedge the provider.
+		_ = p.peer.Send(u, tag, payload)
+	}
+}

@@ -1,0 +1,307 @@
+// Integration suite: one deviant provider runs the honest protocol over a
+// fault-injecting connection while the rest stay honest. Safety must hold:
+// honest providers either unanimously produce the reference outcome or
+// unanimously ⊥ — never a different accepted outcome.
+package deviation
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/core"
+	"distauction/internal/fixed"
+	"distauction/internal/mechanism/doubleauction"
+	"distauction/internal/proto"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+// scenario builds a 3-provider, 2-user double-auction deployment where
+// provider 3's connection is wrapped with the given rules.
+type scenario struct {
+	cfg       core.Config
+	providers []*core.Provider
+	bidders   []*core.Bidder
+	deviant   *Conn
+}
+
+func newScenario(t *testing.T, rules ...Rule) *scenario {
+	t.Helper()
+	hub := transport.NewHub(transport.LatencyModel{}, 1)
+	t.Cleanup(func() { hub.Close() })
+
+	cfg := core.Config{
+		Providers: []wire.NodeID{1, 2, 3},
+		Users:     []wire.NodeID{100, 101},
+		K:         1,
+		Mechanism: core.DoubleAuction{},
+		BidWindow: 400 * time.Millisecond,
+	}
+	s := &scenario{cfg: cfg}
+	for _, id := range cfg.Providers {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tc transport.Conn = conn
+		if id == 3 {
+			s.deviant = Wrap(conn, rules...)
+			tc = s.deviant
+		}
+		p, err := core.NewProvider(tc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		s.providers = append(s.providers, p)
+	}
+	for _, id := range cfg.Users {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := core.NewBidder(conn, cfg.Providers)
+		t.Cleanup(func() { b.Close() })
+		s.bidders = append(s.bidders, b)
+	}
+	return s
+}
+
+var (
+	testUserBids = []auction.UserBid{
+		{Value: fixed.MustFloat(10), Demand: fixed.One},
+		{Value: fixed.MustFloat(8), Demand: fixed.One},
+	}
+	testProvBids = []auction.ProviderBid{
+		{Cost: fixed.One, Capacity: fixed.MustFloat(5)},
+		{Cost: fixed.MustFloat(2), Capacity: fixed.MustFloat(5)},
+		{Cost: fixed.MustFloat(3), Capacity: fixed.MustFloat(5)},
+	}
+)
+
+// referenceOutcome is what the honest execution of A produces.
+func referenceOutcome(t *testing.T) auction.Outcome {
+	t.Helper()
+	out, err := doubleauction.Solve(auction.BidVector{Users: testUserBids, Providers: testProvBids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// run drives one round and returns the honest providers' results.
+func (s *scenario) run(t *testing.T, timeout time.Duration) (outs []auction.Outcome, errs []error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	for i, b := range s.bidders {
+		if err := b.Submit(1, testUserBids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outs = make([]auction.Outcome, len(s.providers))
+	errs = make([]error, len(s.providers))
+	var wg sync.WaitGroup
+	for i, p := range s.providers {
+		wg.Add(1)
+		go func(i int, p *core.Provider) {
+			defer wg.Done()
+			outs[i], errs[i] = p.RunRound(ctx, 1, &testProvBids[i])
+		}(i, p)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// assertSafety checks the core claim of §3.2: no honest provider (1 or 2)
+// ever outputs a WRONG pair. A split between the reference outcome and ⊥ is
+// allowed — by Definition 1 the *global* outcome is then ⊥, and the external
+// mechanism (bidder unanimity, ledger) withholds enforcement. It returns the
+// number of honest providers that locally output ⊥.
+func assertSafety(t *testing.T, outs []auction.Outcome, errs []error, ref auction.Outcome) (aborted int) {
+	t.Helper()
+	for i := 0; i < 2; i++ {
+		if errs[i] == nil {
+			if outs[i].Digest() != ref.Digest() {
+				t.Errorf("honest provider %d accepted a WRONG outcome", i+1)
+			}
+			continue
+		}
+		if !errors.Is(errs[i], proto.ErrAborted) && !errors.Is(errs[i], context.DeadlineExceeded) {
+			t.Errorf("honest provider %d unexpected error: %v", i+1, errs[i])
+		}
+		aborted++
+	}
+	return aborted
+}
+
+func TestNoDeviationBaseline(t *testing.T) {
+	s := newScenario(t) // no rules
+	outs, errs := s.run(t, 30*time.Second)
+	ref := referenceOutcome(t)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("provider %d: %v", i+1, err)
+		}
+	}
+	for i := range outs {
+		if outs[i].Digest() != ref.Digest() {
+			t.Errorf("provider %d outcome differs from reference", i+1)
+		}
+	}
+}
+
+func TestSilentProviderForcesBot(t *testing.T) {
+	// Provider 3 goes silent for everything after bid submission.
+	s := newScenario(t, Rule{
+		Match:  func(env wire.Envelope) bool { return env.Tag.Block != wire.BlockBidSubmit },
+		Action: Drop,
+	})
+	outs, errs := s.run(t, 5*time.Second)
+	if got := assertSafety(t, outs, errs, referenceOutcome(t)); got != 2 {
+		t.Errorf("silence should force ⊥ at both honest providers, got %d", got)
+	}
+}
+
+func TestCorruptedConsensusRevealForcesBot(t *testing.T) {
+	// Provider 3 corrupts its bid-agreement reveal (step 3): it can no
+	// longer open its commitment, so the round must abort.
+	s := newScenario(t, Rule{
+		Match:     MatchBlockStep(wire.BlockBidAgree, 3),
+		Action:    Mutate,
+		Transform: FlipPayloadByte(),
+	})
+	outs, errs := s.run(t, 10*time.Second)
+	if got := assertSafety(t, outs, errs, referenceOutcome(t)); got != 2 {
+		t.Errorf("corrupted reveal should force ⊥ at both honest providers, got %d", got)
+	}
+	if s.deviant.Matched.Load() == 0 {
+		t.Error("rule never fired; test is vacuous")
+	}
+}
+
+func TestEquivocatedTaskDigestForcesBot(t *testing.T) {
+	// Provider 3 lies about its task result digest to provider 1 only.
+	s := newScenario(t, Rule{
+		Match:     And(MatchBlock(wire.BlockTask), MatchReceiver(1)),
+		Action:    Mutate,
+		Transform: FlipPayloadByte(),
+	})
+	outs, errs := s.run(t, 10*time.Second)
+	// The lied-to provider 1 must abort; provider 2 may race to the
+	// reference outcome before the abort reaches it (the global outcome is
+	// still ⊥ by non-unanimity).
+	if assertSafety(t, outs, errs, referenceOutcome(t)) == 0 {
+		t.Error("task digest equivocation should force ⊥ at least at its victim")
+	}
+	if errs[0] == nil {
+		t.Error("provider 1 (the victim of the lie) must output ⊥")
+	}
+}
+
+func TestEquivocatedValidationForcesBot(t *testing.T) {
+	// Provider 3 sends a different input-validation digest to provider 2.
+	s := newScenario(t, Rule{
+		Match:     MatchBlock(wire.BlockValidate),
+		Action:    Mutate,
+		Transform: EquivocateTo(2),
+	})
+	outs, errs := s.run(t, 10*time.Second)
+	if assertSafety(t, outs, errs, referenceOutcome(t)) == 0 {
+		t.Error("validation equivocation should force ⊥ at least at its victim")
+	}
+	if errs[1] == nil {
+		t.Error("provider 2 (the victim of the lie) must output ⊥")
+	}
+}
+
+// Duplicated identical messages are absorbed by the runtime: the round must
+// succeed with the reference outcome.
+func TestDuplicationIsHarmless(t *testing.T) {
+	var inner transport.Conn
+	s := newScenario(t, Rule{
+		Match:  func(env wire.Envelope) bool { return env.Tag.Block != wire.BlockBidSubmit },
+		Action: Mutate,
+		Transform: func(env wire.Envelope) wire.Envelope {
+			// Send a first copy out-of-band, then let the original go out.
+			if inner != nil {
+				_ = inner.Send(env)
+			}
+			return env
+		},
+	})
+	inner = s.deviant.inner
+
+	outs, errs := s.run(t, 30*time.Second)
+	ref := referenceOutcome(t)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("provider %d: %v (duplication must be harmless)", i+1, err)
+		}
+	}
+	for i := range outs {
+		if outs[i].Digest() != ref.Digest() {
+			t.Errorf("provider %d outcome differs under duplication", i+1)
+		}
+	}
+}
+
+// A deviant that corrupts its outcome report to a bidder cannot make the
+// bidder accept it: the bidder requires unanimity across providers.
+func TestCorruptedResultReportDetectedByBidder(t *testing.T) {
+	s := newScenario(t, Rule{
+		Match:     MatchBlock(wire.BlockResult),
+		Action:    Mutate,
+		Transform: FlipPayloadByte(),
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	botCh := make(chan error, len(s.bidders))
+	for _, b := range s.bidders {
+		go func(b *core.Bidder) {
+			_, err := b.AwaitOutcome(ctx, 1)
+			botCh <- err
+		}(b)
+	}
+	outs, errs := s.run(t, 30*time.Second)
+	_ = outs
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("provider %d: %v", i+1, errs[i])
+		}
+	}
+	for range s.bidders {
+		if err := <-botCh; !errors.Is(err, core.ErrOutcomeBot) {
+			t.Errorf("bidder accepted a non-unanimous outcome: %v", err)
+		}
+	}
+}
+
+func TestPassRuleCountsWithoutChanging(t *testing.T) {
+	s := newScenario(t, Rule{
+		Match:  MatchBlock(wire.BlockCoin),
+		Action: Pass,
+	})
+	outs, errs := s.run(t, 30*time.Second)
+	ref := referenceOutcome(t)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("provider %d: %v", i+1, err)
+		}
+	}
+	for i := range outs {
+		if outs[i].Digest() != ref.Digest() {
+			t.Errorf("provider %d outcome changed under Pass rule", i+1)
+		}
+	}
+	// The double auction never tosses the coin, so the matcher must not
+	// have fired; the rule machinery itself was exercised by Send.
+	if s.deviant.Matched.Load() != 0 {
+		t.Error("coin matcher fired in a coinless mechanism")
+	}
+}

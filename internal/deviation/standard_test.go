@@ -1,0 +1,275 @@
+package deviation
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/audit"
+	"distauction/internal/core"
+	"distauction/internal/fixed"
+	"distauction/internal/mechanism/standardauction"
+	"distauction/internal/proto"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+// stdScenario builds a 4-provider standard auction (k=1, two payment
+// groups after task 1) with provider 4 behind the given rules.
+type stdScenario struct {
+	cfg       core.Config
+	providers []*core.Provider
+	bidders   []*core.Bidder
+	deviant   *Conn
+}
+
+func newStdScenario(t *testing.T, rules ...Rule) *stdScenario {
+	t.Helper()
+	hub := transport.NewHub(transport.LatencyModel{}, 2)
+	t.Cleanup(func() { hub.Close() })
+
+	caps := []fixed.Fixed{fixed.MustInt(2), fixed.MustInt(2), fixed.MustInt(2), fixed.MustInt(2)}
+	cfg := core.Config{
+		Providers: []wire.NodeID{1, 2, 3, 4},
+		Users:     []wire.NodeID{100, 101, 102},
+		K:         1,
+		Mechanism: core.StandardAuction{Params: standardauction.Params{
+			Capacities: caps, InvEpsilon: 3,
+		}},
+		BidWindow: 400 * time.Millisecond,
+	}
+	s := &stdScenario{cfg: cfg}
+	for _, id := range cfg.Providers {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tc transport.Conn = conn
+		if id == 4 {
+			s.deviant = Wrap(conn, rules...)
+			tc = s.deviant
+		}
+		p, err := core.NewProvider(tc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		s.providers = append(s.providers, p)
+	}
+	for _, id := range cfg.Users {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := core.NewBidder(conn, cfg.Providers)
+		t.Cleanup(func() { b.Close() })
+		s.bidders = append(s.bidders, b)
+	}
+	return s
+}
+
+func (s *stdScenario) run(t *testing.T, timeout time.Duration) ([]auction.Outcome, []error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	bids := []auction.UserBid{
+		{Value: fixed.MustFloat(9), Demand: fixed.One},
+		{Value: fixed.MustFloat(8), Demand: fixed.One},
+		{Value: fixed.MustFloat(7), Demand: fixed.One},
+	}
+	for i, b := range s.bidders {
+		if err := b.Submit(1, bids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outs := make([]auction.Outcome, len(s.providers))
+	errs := make([]error, len(s.providers))
+	var wg sync.WaitGroup
+	for i, p := range s.providers {
+		wg.Add(1)
+		go func(i int, p *core.Provider) {
+			defer wg.Done()
+			outs[i], errs[i] = p.RunRound(ctx, 1, nil)
+		}(i, p)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// honest checks the baseline: all four providers agree on a feasible
+// outcome with zero-payment winners (no contention at these capacities).
+func TestStandardAuctionBaseline(t *testing.T) {
+	s := newStdScenario(t)
+	outs, errs := s.run(t, 30*time.Second)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("provider %d: %v", i+1, err)
+		}
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i].Digest() != outs[0].Digest() {
+			t.Fatal("providers disagree")
+		}
+	}
+	caps := s.cfg.Mechanism.(core.StandardAuction).Params.Capacities
+	if err := outs[0].Alloc.CheckFeasible(caps); err != nil {
+		t.Errorf("infeasible: %v", err)
+	}
+}
+
+// A corrupted coin reveal (provider 4 cannot open its commitment) aborts
+// the round before any allocation happens.
+func TestStandardCorruptedCoinReveal(t *testing.T) {
+	s := newStdScenario(t, Rule{
+		Match:     MatchBlockStep(wire.BlockCoin, 3),
+		Action:    Mutate,
+		Transform: FlipPayloadByte(),
+	})
+	_, errs := s.run(t, 10*time.Second)
+	for i := 0; i < 3; i++ {
+		if !errors.Is(errs[i], proto.ErrAborted) && !errors.Is(errs[i], context.DeadlineExceeded) {
+			t.Errorf("honest provider %d: got %v, want abort", i+1, errs[i])
+		}
+	}
+	if s.deviant.Matched.Load() == 0 {
+		t.Error("rule never fired")
+	}
+}
+
+// Provider 4 (a member of one payment group) lies on the data transfer of
+// its group's payment share toward the final gather: receivers compare the
+// two senders' values and abort. Honest providers never accept the lie.
+func TestStandardLyingPaymentTransfer(t *testing.T) {
+	s := newStdScenario(t, Rule{
+		Match:     MatchBlock(wire.BlockTransfer),
+		Action:    Mutate,
+		Transform: FlipPayloadByte(),
+	})
+	outs, errs := s.run(t, 10*time.Second)
+	for i := 0; i < 3; i++ {
+		if errs[i] == nil {
+			// If a provider finished despite the lie, its outcome must be
+			// untouched by it — the lie was caught before adoption, or the
+			// provider never consumed a corrupted transfer.
+			caps := s.cfg.Mechanism.(core.StandardAuction).Params.Capacities
+			if err := outs[i].Alloc.CheckFeasible(caps); err != nil {
+				t.Errorf("provider %d accepted infeasible outcome: %v", i+1, err)
+			}
+			continue
+		}
+		if !errors.Is(errs[i], proto.ErrAborted) && !errors.Is(errs[i], context.DeadlineExceeded) {
+			t.Errorf("honest provider %d: %v", i+1, errs[i])
+		}
+	}
+	// At least one honest provider must have observed the conflict.
+	aborted := 0
+	for i := 0; i < 3; i++ {
+		if errs[i] != nil {
+			aborted++
+		}
+	}
+	if s.deviant.Matched.Load() > 0 && aborted == 0 {
+		t.Error("transfer lies fired but nobody aborted")
+	}
+}
+
+// Heavy reordering: with large random per-message jitter (delays up to
+// 25 ms, no base), messages arrive wildly out of order across senders.
+// The protocol is asynchronous by design (§3.3) and must still terminate
+// with a unanimous outcome.
+func TestHeavyReorderingStillAgrees(t *testing.T) {
+	hub := transport.NewHub(transport.LatencyModel{Jitter: 25 * time.Millisecond}, 99)
+	t.Cleanup(func() { hub.Close() })
+
+	cfg := core.Config{
+		Providers: []wire.NodeID{1, 2, 3},
+		Users:     []wire.NodeID{100, 101},
+		K:         1,
+		Mechanism: core.DoubleAuction{},
+		BidWindow: 2 * time.Second,
+	}
+	var providers []*core.Provider
+	for _, id := range cfg.Providers {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewProvider(conn, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { p.Close() })
+		providers = append(providers, p)
+	}
+	var bidders []*core.Bidder
+	for _, id := range cfg.Users {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := core.NewBidder(conn, cfg.Providers)
+		t.Cleanup(func() { b.Close() })
+		bidders = append(bidders, b)
+	}
+	for i, b := range bidders {
+		if err := b.Submit(1, testUserBids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	outs := make([]auction.Outcome, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for i, p := range providers {
+		wg.Add(1)
+		go func(i int, p *core.Provider) {
+			defer wg.Done()
+			outs[i], errs[i] = p.RunRound(ctx, 1, &testProvBids[i])
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("provider %d under reordering: %v", i+1, err)
+		}
+	}
+	ref := referenceOutcome(t)
+	for i := range outs {
+		if outs[i].Digest() != ref.Digest() {
+			t.Errorf("provider %d outcome differs under reordering", i+1)
+		}
+	}
+}
+
+// The audit loop end to end: rounds with a misbehaving provider accumulate
+// attributed strikes until the community's exclusion budget recommends
+// expelling it, while timeouts alone never cost membership.
+func TestAuditLoopRecommendsExclusion(t *testing.T) {
+	log := audit.New(nil)
+	for round := uint64(1); round <= 2; round++ {
+		s := newScenario(t, Rule{
+			Match:     MatchBlockStep(wire.BlockBidAgree, 3),
+			Action:    Mutate,
+			Transform: FlipPayloadByte(),
+		})
+		_, errs := s.run(t, 10*time.Second)
+		// Feed the first honest provider's view into the audit log.
+		if errs[0] == nil {
+			log.RecordOutcome(round)
+		} else {
+			log.RecordAbort(round, errs[0])
+		}
+	}
+	// Both aborts name provider 3 (it mis-opened its commitment).
+	if got := log.Strikes(3); got != 2 {
+		t.Fatalf("strikes(3) = %d, want 2 (records: %+v)", got, log.Records())
+	}
+	ex := log.Exclusions(2)
+	if len(ex) != 1 || ex[0] != 3 {
+		t.Errorf("exclusions = %v, want [3]", ex)
+	}
+}

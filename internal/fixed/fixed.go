@@ -1,0 +1,337 @@
+// Package fixed implements deterministic fixed-point arithmetic used for all
+// protocol-visible quantities (currency, bandwidth, probabilities).
+//
+// The distributed auctioneer cross-validates redundant computations performed
+// by different providers, so every provider must obtain bit-identical results
+// for the same inputs. Floating point does not guarantee that across
+// compilers, platforms, or evaluation orders; int64 micro-units do.
+//
+// A Fixed value counts micro-units: Fixed(1_000_000) == 1.0.
+package fixed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Scale is the number of micro-units per whole unit.
+const Scale = 1_000_000
+
+// Fixed is a fixed-point number with six decimal digits of fraction.
+type Fixed int64
+
+// Common constants.
+const (
+	Zero Fixed = 0
+	One  Fixed = Scale
+	// Max and Min bound the representable range (±9.2 trillion units).
+	Max Fixed = math.MaxInt64
+	Min Fixed = math.MinInt64
+)
+
+// ErrOverflow reports that an arithmetic result does not fit in a Fixed.
+var ErrOverflow = errors.New("fixed: overflow")
+
+// ErrRange reports a conversion from an out-of-range or non-finite float.
+var ErrRange = errors.New("fixed: value out of range")
+
+// FromInt converts a whole number of units to a Fixed.
+// It returns ErrOverflow if the result is unrepresentable.
+func FromInt(units int64) (Fixed, error) {
+	hi, lo := bits.Mul64(uint64(abs64(units)), Scale)
+	if hi != 0 || lo > math.MaxInt64 {
+		return 0, ErrOverflow
+	}
+	if units < 0 {
+		return Fixed(-int64(lo)), nil
+	}
+	return Fixed(lo), nil
+}
+
+// MustInt is FromInt for values known to be in range; it panics otherwise.
+// Intended for constants in tests and examples.
+func MustInt(units int64) Fixed {
+	f, err := FromInt(units)
+	if err != nil {
+		panic(fmt.Sprintf("fixed.MustInt(%d): %v", units, err))
+	}
+	return f
+}
+
+// FromFloat converts a float64 to the nearest Fixed.
+// It returns ErrRange for NaN, infinities, and out-of-range values.
+//
+// FromFloat is for ingesting external configuration and workload parameters
+// only; protocol code never round-trips through floats.
+func FromFloat(v float64) (Fixed, error) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, ErrRange
+	}
+	scaled := math.Round(v * Scale)
+	if scaled >= math.MaxInt64 || scaled <= math.MinInt64 {
+		return 0, ErrRange
+	}
+	return Fixed(scaled), nil
+}
+
+// MustFloat is FromFloat for values known to be in range; it panics otherwise.
+func MustFloat(v float64) Fixed {
+	f, err := FromFloat(v)
+	if err != nil {
+		panic(fmt.Sprintf("fixed.MustFloat(%g): %v", v, err))
+	}
+	return f
+}
+
+// FromRatio returns num/den as a Fixed, rounding toward zero.
+// It returns ErrOverflow when den is zero or the result is unrepresentable.
+func FromRatio(num, den int64) (Fixed, error) {
+	if den == 0 {
+		return 0, ErrOverflow
+	}
+	neg := (num < 0) != (den < 0)
+	n := uint64(abs64(num))
+	d := uint64(abs64(den))
+	hi, lo := bits.Mul64(n, Scale)
+	if hi >= d {
+		return 0, ErrOverflow
+	}
+	q, _ := bits.Div64(hi, lo, d)
+	if q > math.MaxInt64 {
+		return 0, ErrOverflow
+	}
+	if neg {
+		return Fixed(-int64(q)), nil
+	}
+	return Fixed(q), nil
+}
+
+// Float64 converts f to a float64 for reporting and plotting only.
+func (f Fixed) Float64() float64 { return float64(f) / Scale }
+
+// Int returns the whole-unit part of f, truncated toward zero.
+func (f Fixed) Int() int64 { return int64(f) / Scale }
+
+// Frac returns the fractional part of f in micro-units, with the sign of f.
+func (f Fixed) Frac() int64 { return int64(f) % Scale }
+
+// IsZero reports whether f is exactly zero.
+func (f Fixed) IsZero() bool { return f == 0 }
+
+// IsNeg reports whether f is strictly negative.
+func (f Fixed) IsNeg() bool { return f < 0 }
+
+// IsPos reports whether f is strictly positive.
+func (f Fixed) IsPos() bool { return f > 0 }
+
+// Neg returns -f. Negating Min saturates to Max.
+func (f Fixed) Neg() Fixed {
+	if f == Min {
+		return Max
+	}
+	return -f
+}
+
+// Abs returns |f|. The absolute value of Min saturates to Max.
+func (f Fixed) Abs() Fixed {
+	if f < 0 {
+		return f.Neg()
+	}
+	return f
+}
+
+// Cmp compares f and g, returning -1, 0, or +1.
+func (f Fixed) Cmp(g Fixed) int {
+	switch {
+	case f < g:
+		return -1
+	case f > g:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Add returns f+g, or ErrOverflow if the sum is unrepresentable.
+func (f Fixed) Add(g Fixed) (Fixed, error) {
+	s := f + g
+	if (f > 0 && g > 0 && s < 0) || (f < 0 && g < 0 && s >= 0) {
+		return 0, ErrOverflow
+	}
+	return s, nil
+}
+
+// Sub returns f-g, or ErrOverflow if the difference is unrepresentable.
+func (f Fixed) Sub(g Fixed) (Fixed, error) {
+	if g == Min {
+		if f >= 0 {
+			return 0, ErrOverflow
+		}
+		// f - Min == f + Max + 1; f < 0 keeps both steps in range.
+		s, err := f.Add(Max)
+		if err != nil {
+			return 0, err
+		}
+		return s + 1, nil
+	}
+	return f.Add(-g)
+}
+
+// SatAdd returns f+g, saturating at Min/Max instead of overflowing.
+func (f Fixed) SatAdd(g Fixed) Fixed {
+	s, err := f.Add(g)
+	if err == nil {
+		return s
+	}
+	if f > 0 {
+		return Max
+	}
+	return Min
+}
+
+// SatSub returns f-g, saturating at Min/Max instead of overflowing.
+func (f Fixed) SatSub(g Fixed) Fixed {
+	s, err := f.Sub(g)
+	if err == nil {
+		return s
+	}
+	if f >= 0 {
+		return Max
+	}
+	return Min
+}
+
+// Mul returns f*g (a product of two fixed-point numbers), rounding toward
+// zero, or ErrOverflow when unrepresentable.
+func (f Fixed) Mul(g Fixed) (Fixed, error) {
+	return mulDiv(f, g, Scale)
+}
+
+// Div returns f/g as a fixed-point quotient, rounding toward zero.
+// It returns ErrOverflow when g is zero or the quotient is unrepresentable.
+func (f Fixed) Div(g Fixed) (Fixed, error) {
+	if g == 0 {
+		return 0, ErrOverflow
+	}
+	return mulDiv(f, Scale, int64(g))
+}
+
+// MulInt returns f*n, or ErrOverflow when unrepresentable.
+func (f Fixed) MulInt(n int64) (Fixed, error) {
+	neg := (f < 0) != (n < 0)
+	hi, lo := bits.Mul64(uint64(abs64(int64(f))), uint64(abs64(n)))
+	if hi != 0 || lo > math.MaxInt64 {
+		return 0, ErrOverflow
+	}
+	if neg {
+		return Fixed(-int64(lo)), nil
+	}
+	return Fixed(lo), nil
+}
+
+// DivInt returns f/n, rounding toward zero; ErrOverflow when n is zero.
+func (f Fixed) DivInt(n int64) (Fixed, error) {
+	if n == 0 {
+		return 0, ErrOverflow
+	}
+	return Fixed(int64(f) / n), nil
+}
+
+// mulDiv computes a*b/den with a 128-bit intermediate, rounding toward zero.
+func mulDiv(a, b Fixed, den int64) (Fixed, error) {
+	if den == 0 {
+		return 0, ErrOverflow
+	}
+	neg := (a < 0) != (b < 0)
+	if den < 0 {
+		neg = !neg
+		den = -den
+	}
+	hi, lo := bits.Mul64(uint64(abs64(int64(a))), uint64(abs64(int64(b))))
+	d := uint64(den)
+	if hi >= d {
+		return 0, ErrOverflow
+	}
+	q, _ := bits.Div64(hi, lo, d)
+	if q > math.MaxInt64 {
+		return 0, ErrOverflow
+	}
+	if neg {
+		return Fixed(-int64(q)), nil
+	}
+	return Fixed(q), nil
+}
+
+// MulFrac returns f scaled by the fraction frac (frac is a Fixed in [0,1]
+// typically, but any value is accepted), saturating on overflow.
+//
+// MulFrac is the workhorse for capacity scaling in workload generation.
+func (f Fixed) MulFrac(frac Fixed) Fixed {
+	v, err := f.Mul(frac)
+	if err != nil {
+		if (f < 0) != (frac < 0) {
+			return Min
+		}
+		return Max
+	}
+	return v
+}
+
+// Min2 returns the smaller of a and b.
+func Min2(a, b Fixed) Fixed {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max2 returns the larger of a and b.
+func Max2(a, b Fixed) Fixed {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp restricts f to the closed interval [lo, hi].
+// It panics if lo > hi, which is always a programming error.
+func Clamp(f, lo, hi Fixed) Fixed {
+	if lo > hi {
+		panic("fixed.Clamp: lo > hi")
+	}
+	if f < lo {
+		return lo
+	}
+	if f > hi {
+		return hi
+	}
+	return f
+}
+
+// Sum adds all values, returning ErrOverflow if any partial sum overflows.
+func Sum(vs ...Fixed) (Fixed, error) {
+	var total Fixed
+	for _, v := range vs {
+		t, err := total.Add(v)
+		if err != nil {
+			return 0, err
+		}
+		total = t
+	}
+	return total, nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		if v == math.MinInt64 {
+			// abs(MinInt64) overflows; callers only pass values whose
+			// magnitude fits because Fixed arithmetic rejects Min earlier.
+			// Saturate to MaxInt64 to keep the helper total.
+			return math.MaxInt64
+		}
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,310 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromInt(t *testing.T) {
+	tests := []struct {
+		in      int64
+		want    Fixed
+		wantErr bool
+	}{
+		{0, 0, false},
+		{1, Scale, false},
+		{-1, -Scale, false},
+		{9_000_000_000_000, 9_000_000_000_000 * Scale, false},
+		{math.MaxInt64, 0, true},
+		{math.MinInt64, 0, true},
+	}
+	for _, tt := range tests {
+		got, err := FromInt(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("FromInt(%d) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("FromInt(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFromFloat(t *testing.T) {
+	tests := []struct {
+		in      float64
+		want    Fixed
+		wantErr bool
+	}{
+		{0, 0, false},
+		{1.25, 1_250_000, false},
+		{-0.5, -500_000, false},
+		{0.0000005, 1, false}, // rounds up
+		{math.NaN(), 0, true},
+		{math.Inf(1), 0, true},
+		{math.Inf(-1), 0, true},
+		{1e19, 0, true},
+	}
+	for _, tt := range tests {
+		got, err := FromFloat(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("FromFloat(%g) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("FromFloat(%g) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFromRatio(t *testing.T) {
+	tests := []struct {
+		num, den int64
+		want     Fixed
+		wantErr  bool
+	}{
+		{1, 2, 500_000, false},
+		{-1, 2, -500_000, false},
+		{1, -2, -500_000, false},
+		{-1, -2, 500_000, false},
+		{2, 3, 666_666, false}, // truncates toward zero
+		{0, 5, 0, false},
+		{5, 0, 0, true},
+		{math.MaxInt64, 1, 0, true},
+	}
+	for _, tt := range tests {
+		got, err := FromRatio(tt.num, tt.den)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("FromRatio(%d,%d) err = %v, wantErr %v", tt.num, tt.den, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("FromRatio(%d,%d) = %d, want %d", tt.num, tt.den, got, tt.want)
+		}
+	}
+}
+
+func TestAddSubOverflow(t *testing.T) {
+	if _, err := Max.Add(1); err == nil {
+		t.Error("Max+1 should overflow")
+	}
+	if _, err := Min.Sub(1); err == nil {
+		t.Error("Min-1 should overflow")
+	}
+	if got, err := Max.Add(Min); err != nil || got != -1 {
+		t.Errorf("Max+Min = %d, %v; want -1, nil", got, err)
+	}
+	if got, err := Fixed(-5).Sub(Min); err != nil || got != Max-4 {
+		t.Errorf("-5-Min = %d, %v; want %d, nil", got, err, Max-4)
+	}
+	if _, err := Fixed(0).Sub(Min); err == nil {
+		t.Error("0-Min should overflow")
+	}
+}
+
+func TestSaturating(t *testing.T) {
+	if got := Max.SatAdd(One); got != Max {
+		t.Errorf("Max SatAdd 1 = %d, want Max", got)
+	}
+	if got := Min.SatSub(One); got != Min {
+		t.Errorf("Min SatSub 1 = %d, want Min", got)
+	}
+	if got := One.SatAdd(One); got != 2*Scale {
+		t.Errorf("1 SatAdd 1 = %d, want 2", got)
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	tests := []struct {
+		a, b    Fixed
+		op      string
+		want    Fixed
+		wantErr bool
+	}{
+		{MustFloat(1.5), MustFloat(2), "mul", MustFloat(3), false},
+		{MustFloat(-1.5), MustFloat(2), "mul", MustFloat(-3), false},
+		{MustFloat(0.5), MustFloat(0.5), "mul", MustFloat(0.25), false},
+		{Max, MustFloat(2), "mul", 0, true},
+		{MustFloat(3), MustFloat(2), "div", MustFloat(1.5), false},
+		{MustFloat(1), MustFloat(3), "div", Fixed(333_333), false},
+		{MustFloat(1), 0, "div", 0, true},
+		{MustFloat(-3), MustFloat(2), "div", MustFloat(-1.5), false},
+	}
+	for _, tt := range tests {
+		var got Fixed
+		var err error
+		switch tt.op {
+		case "mul":
+			got, err = tt.a.Mul(tt.b)
+		case "div":
+			got, err = tt.a.Div(tt.b)
+		}
+		if (err != nil) != tt.wantErr {
+			t.Errorf("%s(%d,%d) err = %v, wantErr %v", tt.op, tt.a, tt.b, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", tt.op, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMulInt(t *testing.T) {
+	if got, err := MustFloat(1.5).MulInt(4); err != nil || got != MustFloat(6) {
+		t.Errorf("1.5*4 = %v, %v", got, err)
+	}
+	if got, err := MustFloat(1.5).MulInt(-4); err != nil || got != MustFloat(-6) {
+		t.Errorf("1.5*-4 = %v, %v", got, err)
+	}
+	if _, err := Max.MulInt(2); err == nil {
+		t.Error("Max*2 should overflow")
+	}
+}
+
+func TestMinMaxClampAbs(t *testing.T) {
+	if Min2(One, Zero) != Zero || Max2(One, Zero) != One {
+		t.Error("Min2/Max2 wrong")
+	}
+	if Clamp(MustFloat(5), Zero, One) != One {
+		t.Error("Clamp upper failed")
+	}
+	if Clamp(MustFloat(-5), Zero, One) != Zero {
+		t.Error("Clamp lower failed")
+	}
+	if Clamp(MustFloat(0.5), Zero, One) != MustFloat(0.5) {
+		t.Error("Clamp identity failed")
+	}
+	if MustFloat(-2).Abs() != MustFloat(2) {
+		t.Error("Abs failed")
+	}
+	if Min.Abs() != Max || Min.Neg() != Max {
+		t.Error("Abs/Neg saturation at Min failed")
+	}
+}
+
+func TestSum(t *testing.T) {
+	got, err := Sum(One, One, MustFloat(0.5))
+	if err != nil || got != MustFloat(2.5) {
+		t.Errorf("Sum = %v, %v", got, err)
+	}
+	if _, err := Sum(Max, One); err == nil {
+		t.Error("Sum overflow not detected")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	tests := []string{"0", "1", "-1", "1.5", "0.000001", "-0.000001", "1234.56789", "9000000000000"}
+	for _, s := range tests {
+		f, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if got := f.String(); got != s {
+			t.Errorf("Parse(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", ".", "-", "+", "1.", "1.2345678", "abc", "1..2", "1e5", "--1"}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+	if _, err := Parse("99999999999999999999"); err == nil {
+		t.Error("Parse overflow should fail")
+	}
+}
+
+// Property: String/Parse round-trips for arbitrary Fixed values.
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(v int64) bool {
+		x := Fixed(v)
+		if x == Min { // Min has no positive counterpart; String still works but
+			x = Min + 1 // Parse of "-9223372036854.775808" overflows symmetric range
+		}
+		y, err := Parse(x.String())
+		return err == nil && y == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SatAdd is commutative and bounded.
+func TestQuickSatAdd(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Fixed(a), Fixed(b)
+		s1, s2 := x.SatAdd(y), y.SatAdd(x)
+		return s1 == s2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add either errors or agrees with big-int addition semantics
+// (checked via float approximation with wide tolerance on magnitude).
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Fixed(a), Fixed(b)
+		s, err := x.Add(y)
+		if err != nil {
+			return true
+		}
+		back, err := s.Sub(y)
+		return err == nil && back == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mul magnitude never silently wraps: result sign is correct.
+func TestQuickMulSign(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := Fixed(a), Fixed(b)
+		p, err := x.Mul(y)
+		if err != nil {
+			return false // int32 inputs cannot overflow a 128-bit intermediate
+		}
+		if x == 0 || y == 0 {
+			return true // truncation can make small products zero
+		}
+		wantNeg := (x < 0) != (y < 0)
+		return p == 0 || (p < 0) == wantNeg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromRatio(a,b) ≈ a/b within one micro-unit.
+func TestQuickFromRatio(t *testing.T) {
+	f := func(num int32, den int32) bool {
+		if den == 0 {
+			return true
+		}
+		got, err := FromRatio(int64(num), int64(den))
+		if err != nil {
+			return false
+		}
+		want := float64(num) / float64(den)
+		return math.Abs(got.Float64()-want) < 2.0/Scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := MustFloat(1.2345), MustFloat(6.7891)
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Mul(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package fixed
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders f as a decimal with up to six fractional digits, trailing
+// zeros trimmed ("1.5", "-0.000001", "3").
+func (f Fixed) String() string {
+	neg := f < 0
+	v := uint64(int64(f))
+	if neg {
+		v = uint64(-int64(f))
+	}
+	whole := v / Scale
+	frac := v % Scale
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	b.WriteString(strconv.FormatUint(whole, 10))
+	if frac != 0 {
+		s := fmt.Sprintf("%06d", frac)
+		s = strings.TrimRight(s, "0")
+		b.WriteByte('.')
+		b.WriteString(s)
+	}
+	return b.String()
+}
+
+// ErrSyntax reports an unparseable decimal string.
+var ErrSyntax = errors.New("fixed: invalid decimal syntax")
+
+// Parse converts a decimal string ("1.25", "-0.5", "3") to a Fixed.
+// At most six fractional digits are accepted; more is a syntax error rather
+// than a silent rounding, because bids are protocol inputs and must be exact.
+func Parse(s string) (Fixed, error) {
+	if s == "" {
+		return 0, ErrSyntax
+	}
+	neg := false
+	switch s[0] {
+	case '+':
+		s = s[1:]
+	case '-':
+		neg = true
+		s = s[1:]
+	}
+	if s == "" {
+		return 0, ErrSyntax
+	}
+	wholePart := s
+	fracPart := ""
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		wholePart, fracPart = s[:i], s[i+1:]
+		if fracPart == "" {
+			return 0, ErrSyntax
+		}
+	}
+	if wholePart == "" {
+		wholePart = "0"
+	}
+	if len(fracPart) > 6 {
+		return 0, ErrSyntax
+	}
+	whole, err := strconv.ParseUint(wholePart, 10, 64)
+	if err != nil {
+		return 0, ErrSyntax
+	}
+	var frac uint64
+	if fracPart != "" {
+		frac, err = strconv.ParseUint(fracPart, 10, 64)
+		if err != nil {
+			return 0, ErrSyntax
+		}
+		for i := len(fracPart); i < 6; i++ {
+			frac *= 10
+		}
+	}
+	const maxWhole = uint64(1<<63-1) / Scale
+	if whole > maxWhole {
+		return 0, ErrOverflow
+	}
+	v := whole*Scale + frac
+	if v > 1<<63-1 {
+		return 0, ErrOverflow
+	}
+	if neg {
+		return Fixed(-int64(v)), nil
+	}
+	return Fixed(v), nil
+}
+
+// MustParse is Parse for literals known to be valid; it panics otherwise.
+func MustParse(s string) Fixed {
+	f, err := Parse(s)
+	if err != nil {
+		panic(fmt.Sprintf("fixed.MustParse(%q): %v", s, err))
+	}
+	return f
+}

@@ -1,0 +1,251 @@
+// Package gateway models the community-network substrate of the case study
+// (§5.1): Internet gateways with limited external bandwidth, reservations
+// created from auction outcomes, and token-bucket shaping that enforces
+// them.
+//
+// Together with the ledger this is the "external mechanism" of §3.2: when
+// the distributed auctioneer outputs (x, ~p), the allocation x becomes
+// reservations on the gateways and the payments ~p settle atomically; when
+// it outputs ⊥, nothing is reserved and nothing is paid.
+package gateway
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/fixed"
+	"distauction/internal/ledger"
+	"distauction/internal/wire"
+)
+
+// ErrCapacity reports a reservation that would exceed gateway capacity.
+var ErrCapacity = errors.New("gateway: capacity exceeded")
+
+// ErrUnknownReservation reports an operation on a missing reservation.
+var ErrUnknownReservation = errors.New("gateway: unknown reservation")
+
+// Clock abstracts time for tests.
+type Clock func() time.Time
+
+// ReservationID identifies a reservation within one gateway.
+type ReservationID uint64
+
+// Reservation grants a user bandwidth at a gateway until it expires.
+type Reservation struct {
+	ID        ReservationID
+	User      wire.NodeID
+	Bandwidth fixed.Fixed // units per second
+	ExpiresAt time.Time
+
+	bucket *TokenBucket
+}
+
+// Gateway is one Internet gateway.
+type Gateway struct {
+	id       wire.NodeID
+	capacity fixed.Fixed
+	clock    Clock
+
+	mu           sync.Mutex
+	nextID       ReservationID
+	reservations map[ReservationID]*Reservation
+	allocated    fixed.Fixed
+}
+
+// New creates a gateway with the given external-bandwidth capacity.
+// A nil clock uses time.Now.
+func New(id wire.NodeID, capacity fixed.Fixed, clock Clock) *Gateway {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Gateway{
+		id:           id,
+		capacity:     capacity,
+		clock:        clock,
+		reservations: make(map[ReservationID]*Reservation),
+	}
+}
+
+// ID returns the gateway's node ID.
+func (g *Gateway) ID() wire.NodeID { return g.id }
+
+// Capacity returns the gateway's total capacity.
+func (g *Gateway) Capacity() fixed.Fixed { return g.capacity }
+
+// Available returns the currently unreserved capacity, after expiring stale
+// reservations.
+func (g *Gateway) Available() fixed.Fixed {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.expireLocked()
+	return g.capacity.SatSub(g.allocated)
+}
+
+// Reserve grants bandwidth to a user for the given duration.
+func (g *Gateway) Reserve(user wire.NodeID, bandwidth fixed.Fixed, ttl time.Duration) (*Reservation, error) {
+	if bandwidth <= 0 {
+		return nil, fmt.Errorf("gateway: non-positive bandwidth %v", bandwidth)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.expireLocked()
+	if g.allocated.SatAdd(bandwidth) > g.capacity {
+		return nil, fmt.Errorf("%w: %v requested, %v available",
+			ErrCapacity, bandwidth, g.capacity.SatSub(g.allocated))
+	}
+	g.nextID++
+	r := &Reservation{
+		ID:        g.nextID,
+		User:      user,
+		Bandwidth: bandwidth,
+		ExpiresAt: g.clock().Add(ttl),
+		// Shape at the reserved rate with a one-second burst.
+		bucket: NewTokenBucket(bandwidth, bandwidth, g.clock),
+	}
+	g.reservations[r.ID] = r
+	g.allocated = g.allocated.SatAdd(bandwidth)
+	return r, nil
+}
+
+// ReleaseAll frees every reservation — the turnover at the end of an
+// auction period, before the next round's outcome is enforced.
+func (g *Gateway) ReleaseAll() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.reservations = make(map[ReservationID]*Reservation)
+	g.allocated = 0
+}
+
+// Release frees a reservation early.
+func (g *Gateway) Release(id ReservationID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.reservations[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownReservation, id)
+	}
+	delete(g.reservations, id)
+	g.allocated = g.allocated.SatSub(r.Bandwidth)
+	return nil
+}
+
+// Transmit attempts to send `units` of traffic under a reservation; the
+// token bucket admits it only within the reserved rate.
+func (g *Gateway) Transmit(id ReservationID, units fixed.Fixed) (bool, error) {
+	g.mu.Lock()
+	r, ok := g.reservations[id]
+	if ok && g.clock().After(r.ExpiresAt) {
+		delete(g.reservations, id)
+		g.allocated = g.allocated.SatSub(r.Bandwidth)
+		ok = false
+	}
+	g.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownReservation, id)
+	}
+	return r.bucket.Take(units), nil
+}
+
+// expireLocked drops expired reservations. Caller holds g.mu.
+func (g *Gateway) expireLocked() {
+	now := g.clock()
+	for id, r := range g.reservations {
+		if now.After(r.ExpiresAt) {
+			delete(g.reservations, id)
+			g.allocated = g.allocated.SatSub(r.Bandwidth)
+		}
+	}
+}
+
+// TokenBucket shapes traffic to a sustained rate with a bounded burst.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   fixed.Fixed // tokens per second
+	burst  fixed.Fixed // bucket size
+	tokens fixed.Fixed
+	last   time.Time
+	clock  Clock
+}
+
+// NewTokenBucket creates a full bucket. A nil clock uses time.Now.
+func NewTokenBucket(rate, burst fixed.Fixed, clock Clock) *TokenBucket {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: clock(), clock: clock}
+}
+
+// Take consumes n tokens if available, refilling for elapsed time first.
+func (b *TokenBucket) Take(n fixed.Fixed) bool {
+	if n <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock()
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		refill := b.rate.MulFrac(fixed.MustFloat(elapsed.Seconds()))
+		b.tokens = fixed.Min2(b.burst, b.tokens.SatAdd(refill))
+		b.last = now
+	}
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Enforcer is the deployment glue: it applies auction outcomes to the
+// gateways and the ledger, all or nothing.
+type Enforcer struct {
+	Ledger   *ledger.Ledger
+	Gateways []*Gateway // index-aligned with the outcome's provider axis
+	Escrow   wire.NodeID
+	// TTL is the reservation lifetime (one auction period).
+	TTL time.Duration
+}
+
+// Enforce applies a non-⊥ outcome: payments settle atomically, then the
+// allocation becomes reservations. If settlement fails nothing is reserved;
+// if a reservation fails (which cannot happen for feasible outcomes), the
+// already-created reservations of this round are rolled back.
+func (e *Enforcer) Enforce(round uint64, out auction.Outcome, users, providers []wire.NodeID) error {
+	if len(e.Gateways) != out.Alloc.NumProviders {
+		return fmt.Errorf("gateway: %d gateways for %d providers", len(e.Gateways), out.Alloc.NumProviders)
+	}
+	transfers, err := ledger.OutcomeTransfers(out, users, providers, e.Escrow)
+	if err != nil {
+		return err
+	}
+	if err := e.Ledger.Settle(round, transfers); err != nil {
+		return fmt.Errorf("gateway: settlement failed, nothing reserved: %w", err)
+	}
+	var created []struct {
+		g  *Gateway
+		id ReservationID
+	}
+	for u := 0; u < out.Alloc.NumUsers; u++ {
+		for p := 0; p < out.Alloc.NumProviders; p++ {
+			bw := out.Alloc.At(u, p)
+			if bw <= 0 {
+				continue
+			}
+			r, err := e.Gateways[p].Reserve(users[u], bw, e.TTL)
+			if err != nil {
+				for _, c := range created {
+					_ = c.g.Release(c.id)
+				}
+				return fmt.Errorf("gateway: reservation failed after settlement — rolled back reservations "+
+					"(payments stand; deployment-level reconciliation required): %w", err)
+			}
+			created = append(created, struct {
+				g  *Gateway
+				id ReservationID
+			}{e.Gateways[p], r.ID})
+		}
+	}
+	return nil
+}

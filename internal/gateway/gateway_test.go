@@ -1,0 +1,203 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/fixed"
+	"distauction/internal/ledger"
+	"distauction/internal/wire"
+)
+
+// fakeClock is a controllable clock.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1000, 0)} }
+func clockOf(c *fakeClock) Clock             { return c.Now }
+func bw(v float64) fixed.Fixed               { return fixed.MustFloat(v) }
+func mustReserve(t *testing.T, g *Gateway, user wire.NodeID, b fixed.Fixed) *Reservation {
+	t.Helper()
+	r, err := g.Reserve(user, b, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReserveWithinCapacity(t *testing.T) {
+	clk := newFakeClock()
+	g := New(1, bw(10), clockOf(clk))
+	mustReserve(t, g, 100, bw(6))
+	if got := g.Available(); got != bw(4) {
+		t.Errorf("available = %v, want 4", got)
+	}
+	if _, err := g.Reserve(101, bw(5), time.Hour); !errors.Is(err, ErrCapacity) {
+		t.Errorf("over-capacity reserve: %v", err)
+	}
+	mustReserve(t, g, 101, bw(4))
+	if got := g.Available(); got != 0 {
+		t.Errorf("available = %v, want 0", got)
+	}
+}
+
+func TestReserveRejectsNonPositive(t *testing.T) {
+	g := New(1, bw(10), nil)
+	if _, err := g.Reserve(100, 0, time.Hour); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := g.Reserve(100, -1, time.Hour); err == nil {
+		t.Error("negative bandwidth accepted")
+	}
+}
+
+func TestReleaseFreesCapacity(t *testing.T) {
+	clk := newFakeClock()
+	g := New(1, bw(10), clockOf(clk))
+	r := mustReserve(t, g, 100, bw(10))
+	if err := g.Release(r.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Available(); got != bw(10) {
+		t.Errorf("available = %v after release", got)
+	}
+	if err := g.Release(r.ID); !errors.Is(err, ErrUnknownReservation) {
+		t.Errorf("double release: %v", err)
+	}
+}
+
+func TestExpiryFreesCapacity(t *testing.T) {
+	clk := newFakeClock()
+	g := New(1, bw(10), clockOf(clk))
+	r, err := g.Reserve(100, bw(10), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Minute)
+	if got := g.Available(); got != bw(10) {
+		t.Errorf("expired reservation still counted: %v", got)
+	}
+	if _, err := g.Transmit(r.ID, bw(1)); !errors.Is(err, ErrUnknownReservation) {
+		t.Errorf("transmit on expired reservation: %v", err)
+	}
+}
+
+func TestTransmitShaping(t *testing.T) {
+	clk := newFakeClock()
+	g := New(1, bw(10), clockOf(clk))
+	r := mustReserve(t, g, 100, bw(2)) // 2 units/s, burst 2
+
+	// The full burst is available immediately.
+	if ok, err := g.Transmit(r.ID, bw(2)); err != nil || !ok {
+		t.Fatalf("burst transmit: %v %v", ok, err)
+	}
+	// Bucket now empty.
+	if ok, _ := g.Transmit(r.ID, bw(0.5)); ok {
+		t.Error("transmit admitted with empty bucket")
+	}
+	// Half a second refills 1 unit.
+	clk.Advance(500 * time.Millisecond)
+	if ok, _ := g.Transmit(r.ID, bw(1)); !ok {
+		t.Error("refill not admitted")
+	}
+	if ok, _ := g.Transmit(r.ID, bw(0.5)); ok {
+		t.Error("over-rate transmit admitted")
+	}
+}
+
+func TestTokenBucketNeverExceedsBurst(t *testing.T) {
+	clk := newFakeClock()
+	b := NewTokenBucket(bw(1), bw(2), clockOf(clk))
+	clk.Advance(time.Hour) // long idle must not grow the bucket beyond burst
+	if !b.Take(bw(2)) {
+		t.Error("burst not available")
+	}
+	if b.Take(bw(0.001)) {
+		t.Error("bucket exceeded burst")
+	}
+	if !b.Take(0) {
+		t.Error("zero take should always succeed")
+	}
+}
+
+func TestEnforcerAppliesOutcome(t *testing.T) {
+	clk := newFakeClock()
+	users := []wire.NodeID{100, 101}
+	provs := []wire.NodeID{1, 2}
+
+	l := ledger.New()
+	for _, id := range append(append([]wire.NodeID{999}, users...), provs...) {
+		l.Open(id)
+	}
+	if err := l.Deposit(100, bw(10)); err != nil {
+		t.Fatal(err)
+	}
+
+	gws := []*Gateway{New(1, bw(5), clockOf(clk)), New(2, bw(5), clockOf(clk))}
+	e := &Enforcer{Ledger: l, Gateways: gws, Escrow: 999, TTL: time.Hour}
+
+	out := auction.Outcome{Alloc: auction.NewAllocation(2, 2), Pay: auction.NewPayments(2, 2)}
+	out.Alloc.Set(0, 0, bw(3))
+	out.Pay.ByUser[0] = bw(6)
+	out.Pay.ToProvider[0] = bw(4)
+
+	if err := e.Enforce(1, out, users, provs); err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance(100) != bw(4) || l.Balance(1) != bw(4) || l.Balance(999) != bw(2) {
+		t.Errorf("balances wrong: user=%v provider=%v escrow=%v",
+			l.Balance(100), l.Balance(1), l.Balance(999))
+	}
+	if gws[0].Available() != bw(2) {
+		t.Errorf("gateway 1 available = %v, want 2", gws[0].Available())
+	}
+	if gws[1].Available() != bw(5) {
+		t.Errorf("gateway 2 available = %v, want 5", gws[1].Available())
+	}
+}
+
+func TestEnforcerInsufficientFundsReservesNothing(t *testing.T) {
+	clk := newFakeClock()
+	users := []wire.NodeID{100}
+	provs := []wire.NodeID{1}
+	l := ledger.New()
+	l.Open(100)
+	l.Open(1)
+	l.Open(999) // user 100 has no funds
+
+	gws := []*Gateway{New(1, bw(5), clockOf(clk))}
+	e := &Enforcer{Ledger: l, Gateways: gws, Escrow: 999, TTL: time.Hour}
+
+	out := auction.Outcome{Alloc: auction.NewAllocation(1, 1), Pay: auction.NewPayments(1, 1)}
+	out.Alloc.Set(0, 0, bw(3))
+	out.Pay.ByUser[0] = bw(6)
+
+	if err := e.Enforce(1, out, users, provs); err == nil {
+		t.Fatal("enforce should fail on insufficient funds")
+	}
+	if gws[0].Available() != bw(5) {
+		t.Error("reservation created despite failed settlement")
+	}
+}
+
+func TestEnforcerShapeMismatch(t *testing.T) {
+	e := &Enforcer{Ledger: ledger.New(), Gateways: nil, Escrow: 999}
+	out := auction.Outcome{Alloc: auction.NewAllocation(1, 1), Pay: auction.NewPayments(1, 1)}
+	if err := e.Enforce(1, out, []wire.NodeID{100}, []wire.NodeID{1}); err == nil {
+		t.Error("gateway count mismatch accepted")
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	clk := newFakeClock()
+	g := New(1, bw(10), clockOf(clk))
+	mustReserve(t, g, 100, bw(4))
+	mustReserve(t, g, 101, bw(6))
+	g.ReleaseAll()
+	if got := g.Available(); got != bw(10) {
+		t.Errorf("available after ReleaseAll = %v, want 10", got)
+	}
+}

@@ -1,0 +1,319 @@
+// Package harness drives full auction rounds for the evaluation (§6),
+// reproducing the paper's measurement methodology: a client submits the
+// generated bids to the providers and the clock runs "from when the inputs
+// are generated at this client node, till the time it receives the results
+// from all the experiment instances".
+//
+// One harness call = one complete deployment (transport, providers,
+// bidders) + one timed round. The latency model stands in for the Guifi.net
+// links; see DESIGN.md §2 for the substitution argument.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/core"
+	"distauction/internal/mechanism/standardauction"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+	"distauction/internal/workload"
+)
+
+// Options configures one experiment deployment.
+type Options struct {
+	// M is the number of providers executing the protocol.
+	M int
+	// N is the number of users.
+	N int
+	// K is the coalition bound (distributed runs; m > 2k).
+	K int
+	// Latency is the link model (zero = instant, for unit tests).
+	Latency transport.LatencyModel
+	// Seed drives the workload generator and the latency jitter.
+	Seed uint64
+	// BidWindow bounds bid collection; it must comfortably exceed the
+	// latency model's delay. Zero means 10 s.
+	BidWindow time.Duration
+	// InvEpsilon / IterFactor tune the standard auction's compute cost.
+	InvEpsilon int
+	IterFactor int
+	// ModelDelay is the virtual per-solve compute time of the standard
+	// auction (see standardauction.Params.ModelDelay): it models the
+	// paper's one-CPU-per-provider testbed on hosts with fewer cores.
+	ModelDelay time.Duration
+	// Replicated disables the standard auction's parallel decomposition
+	// (ablation baseline: full resilience, no speedup).
+	Replicated bool
+	// Timeout bounds the whole round. Zero means 5 min.
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.BidWindow == 0 {
+		o.BidWindow = 10 * time.Second
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 5 * time.Minute
+	}
+	return o
+}
+
+// Result is one timed round.
+type Result struct {
+	// Duration is the client-observed running time (paper's metric).
+	Duration time.Duration
+	// Outcome is the (x, ~p) pair all providers agreed on.
+	Outcome auction.Outcome
+	// Msgs and Bytes are the network totals for the round.
+	Msgs  int64
+	Bytes int64
+}
+
+// ids yields 1..m for providers and 1001..1000+n for users.
+func ids(m, n int) (providers, users []wire.NodeID) {
+	providers = make([]wire.NodeID, m)
+	for i := range providers {
+		providers[i] = wire.NodeID(i + 1)
+	}
+	users = make([]wire.NodeID, n)
+	for i := range users {
+		users[i] = wire.NodeID(1001 + i)
+	}
+	return providers, users
+}
+
+// RunDistributedDouble times one distributed double-auction round
+// (Figure 4, distributed series).
+func RunDistributedDouble(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	inst := workload.NewDoubleAuction(opts.Seed, opts.N, opts.M)
+	return runDistributed(opts, core.DoubleAuction{}, inst.Users, inst.Providers)
+}
+
+// RunDistributedStandard times one distributed standard-auction round
+// (Figure 5, distributed series). The parallelism is p = ⌊m/(k+1)⌋.
+func RunDistributedStandard(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	inst := workload.NewStandardAuction(opts.Seed, opts.N, opts.M)
+	mech := core.StandardAuction{
+		Params: standardauction.Params{
+			Capacities: inst.Capacities,
+			InvEpsilon: opts.InvEpsilon,
+			IterFactor: opts.IterFactor,
+			ModelDelay: opts.ModelDelay,
+		},
+		Replicated: opts.Replicated,
+	}
+	return runDistributed(opts, mech, inst.Users, nil)
+}
+
+func runDistributed(opts Options, mech core.Mechanism, userBids []auction.UserBid, provBids []auction.ProviderBid) (Result, error) {
+	hub := transport.NewHub(opts.Latency, int64(opts.Seed))
+	defer hub.Close()
+	providerIDs, userIDs := ids(opts.M, opts.N)
+	cfg := core.Config{
+		Providers: providerIDs,
+		Users:     userIDs,
+		K:         opts.K,
+		Mechanism: mech,
+		BidWindow: opts.BidWindow,
+	}
+
+	providers := make([]*core.Provider, opts.M)
+	for i, id := range providerIDs {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			return Result{}, err
+		}
+		p, err := core.NewProvider(conn, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		defer p.Close()
+		providers[i] = p
+	}
+	bidders := make([]*core.Bidder, opts.N)
+	for i, id := range userIDs {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			return Result{}, err
+		}
+		bidders[i] = core.NewBidder(conn, providerIDs)
+		defer bidders[i].Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+	defer cancel()
+	const round = 1
+
+	// The clock starts when the client begins submitting the generated
+	// inputs (paper §6.1).
+	start := time.Now()
+
+	provErrs := make([]error, opts.M)
+	var provWG sync.WaitGroup
+	for i, p := range providers {
+		var own *auction.ProviderBid
+		if provBids != nil {
+			own = &provBids[i]
+		}
+		provWG.Add(1)
+		go func(i int, p *core.Provider, own *auction.ProviderBid) {
+			defer provWG.Done()
+			_, provErrs[i] = p.RunRound(ctx, round, own)
+		}(i, p, own)
+	}
+
+	for i, b := range bidders {
+		if err := b.Submit(round, userBids[i]); err != nil {
+			return Result{}, fmt.Errorf("harness: submit %d: %w", i, err)
+		}
+	}
+
+	// The clock stops when the client has results from every instance.
+	var outcome auction.Outcome
+	outcomes := make([]auction.Outcome, opts.N)
+	bidErrs := make([]error, opts.N)
+	var bidWG sync.WaitGroup
+	for i, b := range bidders {
+		bidWG.Add(1)
+		go func(i int, b *core.Bidder) {
+			defer bidWG.Done()
+			outcomes[i], bidErrs[i] = b.AwaitOutcome(ctx, round)
+		}(i, b)
+	}
+	bidWG.Wait()
+	elapsed := time.Since(start)
+	provWG.Wait()
+
+	for i, err := range provErrs {
+		if err != nil {
+			return Result{}, fmt.Errorf("harness: provider %d: %w", i, err)
+		}
+	}
+	for i, err := range bidErrs {
+		if err != nil {
+			return Result{}, fmt.Errorf("harness: bidder %d: %w", i, err)
+		}
+	}
+	outcome = outcomes[0]
+	stats := hub.Stats()
+	return Result{Duration: elapsed, Outcome: outcome, Msgs: stats.MsgsSent, Bytes: stats.BytesSent}, nil
+}
+
+// RunCentralizedDouble times one trusted-auctioneer double-auction round
+// (Figure 4, centralized series). The m providers still participate as
+// market bidders; one extra node computes.
+func RunCentralizedDouble(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	inst := workload.NewDoubleAuction(opts.Seed, opts.N, opts.M)
+	return runCentralized(opts, core.DoubleAuction{}, inst.Users, inst.Providers)
+}
+
+// RunCentralizedStandard times one trusted-auctioneer standard-auction
+// round (Figure 5, p=1 series).
+func RunCentralizedStandard(opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	inst := workload.NewStandardAuction(opts.Seed, opts.N, opts.M)
+	mech := core.StandardAuction{Params: standardauction.Params{
+		Capacities: inst.Capacities,
+		InvEpsilon: opts.InvEpsilon,
+		IterFactor: opts.IterFactor,
+		ModelDelay: opts.ModelDelay,
+	}}
+	return runCentralized(opts, mech, inst.Users, nil)
+}
+
+func runCentralized(opts Options, mech core.Mechanism, userBids []auction.UserBid, provBids []auction.ProviderBid) (Result, error) {
+	hub := transport.NewHub(opts.Latency, int64(opts.Seed))
+	defer hub.Close()
+	providerIDs, userIDs := ids(opts.M, opts.N)
+	const auctioneerID wire.NodeID = 999
+
+	cfg := core.Config{
+		Providers: providerIDs,
+		Users:     userIDs,
+		K:         0,
+		Mechanism: mech,
+		BidWindow: opts.BidWindow,
+	}
+	aucConn, err := hub.Attach(auctioneerID)
+	if err != nil {
+		return Result{}, err
+	}
+	auctioneer, err := core.NewCentralized(aucConn, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer auctioneer.Close()
+
+	provConns := make([]transport.Conn, 0, opts.M)
+	if provBids != nil {
+		for _, id := range providerIDs {
+			conn, err := hub.Attach(id)
+			if err != nil {
+				return Result{}, err
+			}
+			defer conn.Close()
+			provConns = append(provConns, conn)
+		}
+	}
+	bidders := make([]*core.Bidder, opts.N)
+	for i, id := range userIDs {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			return Result{}, err
+		}
+		bidders[i] = core.NewBidder(conn, []wire.NodeID{auctioneerID})
+		defer bidders[i].Close()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+	defer cancel()
+	const round = 1
+	start := time.Now()
+
+	aucErrCh := make(chan error, 1)
+	go func() {
+		_, err := auctioneer.RunRound(ctx, round)
+		aucErrCh <- err
+	}()
+
+	for i, conn := range provConns {
+		if err := core.SubmitProviderBid(conn, auctioneerID, round, provBids[i]); err != nil {
+			return Result{}, err
+		}
+	}
+	for i, b := range bidders {
+		if err := b.Submit(round, userBids[i]); err != nil {
+			return Result{}, err
+		}
+	}
+
+	outcomes := make([]auction.Outcome, opts.N)
+	bidErrs := make([]error, opts.N)
+	var wg sync.WaitGroup
+	for i, b := range bidders {
+		wg.Add(1)
+		go func(i int, b *core.Bidder) {
+			defer wg.Done()
+			outcomes[i], bidErrs[i] = b.AwaitOutcome(ctx, round)
+		}(i, b)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := <-aucErrCh; err != nil {
+		return Result{}, fmt.Errorf("harness: auctioneer: %w", err)
+	}
+	for i, err := range bidErrs {
+		if err != nil {
+			return Result{}, fmt.Errorf("harness: bidder %d: %w", i, err)
+		}
+	}
+	stats := hub.Stats()
+	return Result{Duration: elapsed, Outcome: outcomes[0], Msgs: stats.MsgsSent, Bytes: stats.BytesSent}, nil
+}

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"distauction/internal/transport"
+)
+
+func TestDistributedDoubleRound(t *testing.T) {
+	res, err := RunDistributedDouble(Options{
+		M: 3, N: 5, K: 1, Seed: 1, BidWindow: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 {
+		t.Error("no duration measured")
+	}
+	if res.Msgs == 0 || res.Bytes == 0 {
+		t.Error("no traffic recorded")
+	}
+	if res.Outcome.Alloc.NumUsers != 5 || res.Outcome.Alloc.NumProviders != 3 {
+		t.Errorf("outcome shape %dx%d", res.Outcome.Alloc.NumUsers, res.Outcome.Alloc.NumProviders)
+	}
+}
+
+func TestDistributedStandardRound(t *testing.T) {
+	res, err := RunDistributedStandard(Options{
+		M: 4, N: 6, K: 1, Seed: 2, BidWindow: time.Second, InvEpsilon: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Alloc.NumUsers != 6 || res.Outcome.Alloc.NumProviders != 4 {
+		t.Errorf("outcome shape %dx%d", res.Outcome.Alloc.NumUsers, res.Outcome.Alloc.NumProviders)
+	}
+}
+
+func TestCentralizedDoubleRound(t *testing.T) {
+	res, err := RunCentralizedDouble(Options{
+		M: 3, N: 5, Seed: 1, BidWindow: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Alloc.NumUsers != 5 {
+		t.Error("outcome shape wrong")
+	}
+}
+
+func TestCentralizedStandardRound(t *testing.T) {
+	res, err := RunCentralizedStandard(Options{
+		M: 4, N: 6, Seed: 2, BidWindow: time.Second, InvEpsilon: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Alloc.NumUsers != 6 {
+		t.Error("outcome shape wrong")
+	}
+}
+
+// The same seed must yield the same workload, so double-auction outcomes
+// (deterministic mechanism) are identical between a distributed run and a
+// centralized run — the "correct simulation" property end to end.
+func TestDistributedMatchesCentralizedDouble(t *testing.T) {
+	opts := Options{M: 3, N: 8, K: 1, Seed: 42, BidWindow: time.Second}
+	dist, err := RunDistributedDouble(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, err := RunCentralizedDouble(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Outcome.Digest() != cent.Outcome.Digest() {
+		t.Error("distributed and centralized double-auction outcomes differ")
+	}
+}
+
+// With network latency injected, the distributed round must be measurably
+// slower than the zero-latency run — the communication overhead that
+// Figure 4 plots.
+func TestLatencyShowsUpInMeasurement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	fast, err := RunDistributedDouble(Options{M: 3, N: 4, K: 1, Seed: 3, BidWindow: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := RunDistributedDouble(Options{
+		M: 3, N: 4, K: 1, Seed: 3, BidWindow: 2 * time.Second,
+		Latency: transport.LatencyModel{Base: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Duration < fast.Duration+20*time.Millisecond {
+		t.Errorf("latency not reflected: fast=%v slow=%v", fast.Duration, slow.Duration)
+	}
+}

@@ -1,0 +1,170 @@
+// Package ledger implements the currency settlement layer of the
+// deployment: the "external mechanism" of §3.2 that, when the outcome is
+// (x, ~p), makes every entity perform or receive its payments — and, when
+// the outcome is ⊥, moves no money at all.
+//
+// Settlement is atomic: either every transfer of a round applies or none
+// does. This is what gives providers "preference for a solution": payment
+// happens only on unanimous non-⊥ outcomes.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"distauction/internal/auction"
+	"distauction/internal/fixed"
+	"distauction/internal/wire"
+)
+
+// ErrInsufficientFunds reports a settlement that would overdraw an account.
+var ErrInsufficientFunds = errors.New("ledger: insufficient funds")
+
+// ErrBadTransfer reports a malformed transfer (negative amount, unknown
+// account).
+var ErrBadTransfer = errors.New("ledger: bad transfer")
+
+// Transfer moves Amount from one account to another.
+type Transfer struct {
+	From   wire.NodeID
+	To     wire.NodeID
+	Amount fixed.Fixed
+	Memo   string
+}
+
+// Entry is one journaled transfer.
+type Entry struct {
+	Seq    uint64
+	Round  uint64
+	From   wire.NodeID
+	To     wire.NodeID
+	Amount fixed.Fixed
+	Memo   string
+}
+
+// Ledger holds account balances and an append-only journal.
+type Ledger struct {
+	mu       sync.Mutex
+	balances map[wire.NodeID]fixed.Fixed
+	journal  []Entry
+	seq      uint64
+}
+
+// New returns an empty ledger.
+func New() *Ledger {
+	return &Ledger{balances: make(map[wire.NodeID]fixed.Fixed)}
+}
+
+// Open creates the account if needed (zero balance). Transfers to unknown
+// accounts fail, so deployments open accounts explicitly.
+func (l *Ledger) Open(id wire.NodeID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.balances[id]; !ok {
+		l.balances[id] = 0
+	}
+}
+
+// Deposit credits an account from outside the system (e.g. a community
+// member buying credit).
+func (l *Ledger) Deposit(id wire.NodeID, amount fixed.Fixed) error {
+	if amount <= 0 {
+		return fmt.Errorf("%w: non-positive deposit", ErrBadTransfer)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.balances[id]; !ok {
+		return fmt.Errorf("%w: unknown account %d", ErrBadTransfer, id)
+	}
+	l.balances[id] = l.balances[id].SatAdd(amount)
+	return nil
+}
+
+// Balance returns the current balance of an account (0 for unknown).
+func (l *Ledger) Balance(id wire.NodeID) fixed.Fixed {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.balances[id]
+}
+
+// Settle atomically applies all transfers of a round. If any transfer is
+// malformed or any account would go negative after the *whole batch*, no
+// transfer applies.
+func (l *Ledger) Settle(round uint64, transfers []Transfer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	// Dry-run on a delta map.
+	delta := make(map[wire.NodeID]fixed.Fixed)
+	for _, t := range transfers {
+		if t.Amount < 0 {
+			return fmt.Errorf("%w: negative amount", ErrBadTransfer)
+		}
+		if _, ok := l.balances[t.From]; !ok {
+			return fmt.Errorf("%w: unknown account %d", ErrBadTransfer, t.From)
+		}
+		if _, ok := l.balances[t.To]; !ok {
+			return fmt.Errorf("%w: unknown account %d", ErrBadTransfer, t.To)
+		}
+		delta[t.From] = delta[t.From].SatSub(t.Amount)
+		delta[t.To] = delta[t.To].SatAdd(t.Amount)
+	}
+	for id, d := range delta {
+		if l.balances[id].SatAdd(d) < 0 {
+			return fmt.Errorf("%w: account %d", ErrInsufficientFunds, id)
+		}
+	}
+	// Commit.
+	for id, d := range delta {
+		l.balances[id] = l.balances[id].SatAdd(d)
+	}
+	for _, t := range transfers {
+		l.seq++
+		l.journal = append(l.journal, Entry{
+			Seq: l.seq, Round: round, From: t.From, To: t.To, Amount: t.Amount, Memo: t.Memo,
+		})
+	}
+	return nil
+}
+
+// Journal returns a copy of the full journal.
+func (l *Ledger) Journal() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry(nil), l.journal...)
+}
+
+// TotalSupply returns the sum of all balances (conserved by Settle).
+func (l *Ledger) TotalSupply() fixed.Fixed {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total fixed.Fixed
+	for _, b := range l.balances {
+		total = total.SatAdd(b)
+	}
+	return total
+}
+
+// OutcomeTransfers converts an auction outcome into the settlement batch:
+// each user pays the escrow account, and the escrow pays each provider.
+// Budget-balanced mechanisms leave a non-negative surplus in escrow (the
+// McAfee surplus; community deployments typically recycle it into
+// infrastructure).
+func OutcomeTransfers(out auction.Outcome, users, providers []wire.NodeID, escrow wire.NodeID) ([]Transfer, error) {
+	if len(users) != out.Alloc.NumUsers || len(providers) != out.Alloc.NumProviders {
+		return nil, fmt.Errorf("%w: outcome shape vs account lists", ErrBadTransfer)
+	}
+	var ts []Transfer
+	for i, id := range users {
+		if amt := out.Pay.ByUser[i]; amt > 0 {
+			ts = append(ts, Transfer{From: id, To: escrow, Amount: amt, Memo: "auction payment"})
+		}
+	}
+	for j, id := range providers {
+		if amt := out.Pay.ToProvider[j]; amt > 0 {
+			ts = append(ts, Transfer{From: escrow, To: id, Amount: amt, Memo: "auction revenue"})
+		}
+	}
+	return ts, nil
+}

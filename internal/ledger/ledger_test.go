@@ -1,0 +1,161 @@
+package ledger
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"distauction/internal/auction"
+	"distauction/internal/fixed"
+	"distauction/internal/wire"
+)
+
+func newFunded(t *testing.T, accounts map[wire.NodeID]float64) *Ledger {
+	t.Helper()
+	l := New()
+	for id, bal := range accounts {
+		l.Open(id)
+		if bal > 0 {
+			if err := l.Deposit(id, fixed.MustFloat(bal)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return l
+}
+
+func TestDepositAndBalance(t *testing.T) {
+	l := newFunded(t, map[wire.NodeID]float64{1: 10})
+	if got := l.Balance(1); got != fixed.MustFloat(10) {
+		t.Errorf("balance = %v", got)
+	}
+	if got := l.Balance(99); got != 0 {
+		t.Errorf("unknown account balance = %v", got)
+	}
+	if err := l.Deposit(99, fixed.One); err == nil {
+		t.Error("deposit to unknown account accepted")
+	}
+	if err := l.Deposit(1, -1); err == nil {
+		t.Error("negative deposit accepted")
+	}
+}
+
+func TestSettleAtomicCommit(t *testing.T) {
+	l := newFunded(t, map[wire.NodeID]float64{1: 10, 2: 0, 3: 0})
+	err := l.Settle(1, []Transfer{
+		{From: 1, To: 2, Amount: fixed.MustFloat(4)},
+		{From: 1, To: 3, Amount: fixed.MustFloat(6)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance(1) != 0 || l.Balance(2) != fixed.MustFloat(4) || l.Balance(3) != fixed.MustFloat(6) {
+		t.Error("balances wrong after settle")
+	}
+	if len(l.Journal()) != 2 {
+		t.Error("journal incomplete")
+	}
+}
+
+func TestSettleAtomicAbortOnInsufficient(t *testing.T) {
+	l := newFunded(t, map[wire.NodeID]float64{1: 5, 2: 0, 3: 0})
+	err := l.Settle(1, []Transfer{
+		{From: 1, To: 2, Amount: fixed.MustFloat(4)},
+		{From: 1, To: 3, Amount: fixed.MustFloat(4)}, // would overdraw
+	})
+	if !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("got %v, want insufficient funds", err)
+	}
+	// Nothing applied.
+	if l.Balance(1) != fixed.MustFloat(5) || l.Balance(2) != 0 || l.Balance(3) != 0 {
+		t.Error("partial settlement leaked")
+	}
+	if len(l.Journal()) != 0 {
+		t.Error("journal recorded an aborted settlement")
+	}
+}
+
+func TestSettleNettingWithinBatch(t *testing.T) {
+	// 2 pays out what it receives within the same batch: netting makes it
+	// feasible even though 2 starts at zero.
+	l := newFunded(t, map[wire.NodeID]float64{1: 10, 2: 0, 3: 0})
+	err := l.Settle(1, []Transfer{
+		{From: 1, To: 2, Amount: fixed.MustFloat(10)},
+		{From: 2, To: 3, Amount: fixed.MustFloat(10)},
+	})
+	if err != nil {
+		t.Fatalf("netted settlement rejected: %v", err)
+	}
+	if l.Balance(3) != fixed.MustFloat(10) {
+		t.Error("netted settlement wrong")
+	}
+}
+
+func TestSettleRejectsBadTransfers(t *testing.T) {
+	l := newFunded(t, map[wire.NodeID]float64{1: 10})
+	if err := l.Settle(1, []Transfer{{From: 1, To: 99, Amount: 1}}); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if err := l.Settle(1, []Transfer{{From: 99, To: 1, Amount: 1}}); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := l.Settle(1, []Transfer{{From: 1, To: 1, Amount: -1}}); err == nil {
+		t.Error("negative amount accepted")
+	}
+}
+
+// Property: settlement conserves total supply.
+func TestQuickSupplyConserved(t *testing.T) {
+	f := func(amounts []uint16) bool {
+		l := newFunded(t, map[wire.NodeID]float64{1: 1000, 2: 1000, 3: 1000})
+		before := l.TotalSupply()
+		var ts []Transfer
+		for i, a := range amounts {
+			ts = append(ts, Transfer{
+				From:   wire.NodeID(1 + i%3),
+				To:     wire.NodeID(1 + (i+1)%3),
+				Amount: fixed.Fixed(a),
+			})
+		}
+		_ = l.Settle(1, ts) // may fail; supply must hold either way
+		return l.TotalSupply() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutcomeTransfers(t *testing.T) {
+	out := auction.Outcome{Alloc: auction.NewAllocation(2, 2), Pay: auction.NewPayments(2, 2)}
+	out.Pay.ByUser[0] = fixed.MustFloat(8)
+	out.Pay.ToProvider[0] = fixed.MustFloat(2)
+	users := []wire.NodeID{100, 101}
+	provs := []wire.NodeID{1, 2}
+
+	ts, err := OutcomeTransfers(out, users, provs, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("got %d transfers, want 2 (zero payments skipped)", len(ts))
+	}
+	if ts[0].From != 100 || ts[0].To != 999 || ts[0].Amount != fixed.MustFloat(8) {
+		t.Errorf("user transfer wrong: %+v", ts[0])
+	}
+	if ts[1].From != 999 || ts[1].To != 1 || ts[1].Amount != fixed.MustFloat(2) {
+		t.Errorf("provider transfer wrong: %+v", ts[1])
+	}
+
+	// End to end: settle and check the escrow keeps the McAfee surplus.
+	l := newFunded(t, map[wire.NodeID]float64{100: 10, 101: 10, 1: 0, 2: 0, 999: 0})
+	if err := l.Settle(1, ts); err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance(999) != fixed.MustFloat(6) {
+		t.Errorf("escrow = %v, want 6 (surplus)", l.Balance(999))
+	}
+
+	if _, err := OutcomeTransfers(out, users[:1], provs, 999); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

@@ -1,0 +1,332 @@
+package doubleauction
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distauction/internal/auction"
+	"distauction/internal/fixed"
+	"distauction/internal/prng"
+)
+
+func u(v, d float64) auction.UserBid {
+	return auction.UserBid{Value: fixed.MustFloat(v), Demand: fixed.MustFloat(d)}
+}
+
+func p(c, cap float64) auction.ProviderBid {
+	return auction.ProviderBid{Cost: fixed.MustFloat(c), Capacity: fixed.MustFloat(cap)}
+}
+
+func TestHandWorkedExample(t *testing.T) {
+	// Users sorted by value: A(10), B(8), C(5); providers by cost: P1(1), P2(2), P3(6).
+	// Water-fill: A→P1, B→P2, C blocked by P3's cost. Marginal user is B.
+	// After reduction only A trades; buyer price = 8 (B's value), seller
+	// price = min(8, cost of first unused provider P2 = 2) = 2.
+	bids := auction.BidVector{
+		Users:     []auction.UserBid{u(10, 1), u(8, 1), u(5, 1)},
+		Providers: []auction.ProviderBid{p(1, 1), p(2, 1), p(6, 5)},
+	}
+	out, err := Solve(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Alloc.At(0, 0); got != fixed.One {
+		t.Errorf("A at P1 = %v, want 1", got)
+	}
+	if got := out.Alloc.UserTotal(1); got != 0 {
+		t.Errorf("marginal user B still allocated %v", got)
+	}
+	if got := out.Alloc.UserTotal(2); got != 0 {
+		t.Errorf("losing user C allocated %v", got)
+	}
+	if got := out.Pay.ByUser[0]; got != fixed.MustFloat(8) {
+		t.Errorf("A pays %v, want 8", got)
+	}
+	if got := out.Pay.ToProvider[0]; got != fixed.MustFloat(2) {
+		t.Errorf("P1 receives %v, want 2", got)
+	}
+	if !out.Pay.BudgetBalanced() {
+		t.Error("not budget balanced")
+	}
+}
+
+func TestSingleBuyerNoTrade(t *testing.T) {
+	// One profitable buyer: trade reduction removes it → nothing trades.
+	bids := auction.BidVector{
+		Users:     []auction.UserBid{u(10, 3)},
+		Providers: []auction.ProviderBid{p(1, 1), p(2, 1)},
+	}
+	out, err := Solve(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Alloc.UserTotal(0) != 0 || out.Pay.TotalPaid() != 0 || out.Pay.TotalReceived() != 0 {
+		t.Errorf("degenerate case should trade nothing: %+v", out)
+	}
+}
+
+func TestNoProfitableTrade(t *testing.T) {
+	bids := auction.BidVector{
+		Users:     []auction.UserBid{u(1, 1)},
+		Providers: []auction.ProviderBid{p(5, 10)},
+	}
+	out, err := Solve(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Alloc.UserTotal(0) != 0 {
+		t.Error("unprofitable trade executed")
+	}
+}
+
+func TestEmptySides(t *testing.T) {
+	for _, bids := range []auction.BidVector{
+		{},
+		{Users: []auction.UserBid{u(1, 1)}},
+		{Providers: []auction.ProviderBid{p(1, 1)}},
+		{Users: []auction.UserBid{auction.NeutralUserBid()}, Providers: []auction.ProviderBid{p(1, 1)}},
+	} {
+		out, err := Solve(bids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Pay.TotalPaid() != 0 {
+			t.Errorf("empty auction paid: %+v", out)
+		}
+	}
+}
+
+func TestTiedValues(t *testing.T) {
+	bids := auction.BidVector{
+		Users:     []auction.UserBid{u(5, 1), u(5, 1)},
+		Providers: []auction.ProviderBid{p(1, 2)},
+	}
+	out, err := Solve(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tie broken by index: user 0 first, user 1 marginal and excluded.
+	if out.Alloc.UserTotal(0) != fixed.One || out.Alloc.UserTotal(1) != 0 {
+		t.Errorf("tie handling wrong: %v / %v", out.Alloc.UserTotal(0), out.Alloc.UserTotal(1))
+	}
+	// Buyer price = marginal value 5 → winner pays its own value (utility 0, IR holds).
+	if out.Pay.ByUser[0] != fixed.MustFloat(5) {
+		t.Errorf("pay = %v", out.Pay.ByUser[0])
+	}
+	if !out.Pay.BudgetBalanced() {
+		t.Error("not budget balanced")
+	}
+}
+
+func TestNeutralAndInvalidBidsIgnored(t *testing.T) {
+	bids := auction.BidVector{
+		Users: []auction.UserBid{
+			{Value: -3, Demand: fixed.One}, // invalid
+			u(9, 1),
+			auction.NeutralUserBid(),
+			u(8, 1),
+		},
+		Providers: []auction.ProviderBid{
+			auction.NeutralProviderBid(),
+			p(1, 5),
+		},
+	}
+	out, err := Solve(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Alloc.UserTotal(0) != 0 || out.Alloc.UserTotal(2) != 0 {
+		t.Error("invalid/neutral users traded")
+	}
+	if out.Alloc.ProviderLoad(0) != 0 {
+		t.Error("neutral provider traded")
+	}
+	// User 1 (value 9) wins; user 3 (value 8) is marginal.
+	if out.Alloc.UserTotal(1) != fixed.One || out.Alloc.UserTotal(3) != 0 {
+		t.Error("valid users mishandled")
+	}
+}
+
+// randomInstance builds a workload instance like the paper's §6.2 setup.
+func randomInstance(seed uint64, n, m int) auction.BidVector {
+	rng := prng.New(seed)
+	bids := auction.BidVector{
+		Users:     make([]auction.UserBid, n),
+		Providers: make([]auction.ProviderBid, m),
+	}
+	var totalDemand fixed.Fixed
+	for i := range bids.Users {
+		bids.Users[i] = auction.UserBid{
+			Value:  rng.FixedRange(fixed.MustFloat(0.75), fixed.MustFloat(1.25)),
+			Demand: rng.FixedRange(1, fixed.One) + 1,
+		}
+		totalDemand = totalDemand.SatAdd(bids.Users[i].Demand)
+	}
+	for j := range bids.Providers {
+		share, _ := totalDemand.DivInt(int64(m))
+		scale := rng.FixedRange(fixed.MustFloat(0.5), fixed.MustFloat(1.5))
+		bids.Providers[j] = auction.ProviderBid{
+			Cost:     rng.FixedRange(1, fixed.One) + 1,
+			Capacity: fixed.Max2(share.MulFrac(scale), 1),
+		}
+	}
+	return bids
+}
+
+// Property: the outcome is always feasible, demand-respecting, budget
+// balanced and individually rational.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		bids := randomInstance(seed, 1+int(seed%40), 1+int(seed%7))
+		out, err := Solve(bids)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := out.Alloc.CheckFeasible(Capacities(bids)); err != nil {
+			t.Logf("seed %d infeasible: %v", seed, err)
+			return false
+		}
+		for i, b := range bids.Users {
+			if out.Alloc.UserTotal(i) > b.Demand {
+				t.Logf("seed %d user %d overfed", seed, i)
+				return false
+			}
+			// IR: utility ≥ 0 under truthful bidding.
+			if auction.UserUtility(b, i, out) < 0 {
+				t.Logf("seed %d user %d IR violated", seed, i)
+				return false
+			}
+		}
+		for j, b := range bids.Providers {
+			// Provider IR is exact up to one micro-unit per allocated cell
+			// (floor rounding when a provider's cost ties the seller price).
+			tolerance := fixed.Fixed(len(bids.Users))
+			if auction.ProviderUtility(b, j, out) < -tolerance {
+				t.Logf("seed %d provider %d IR violated: %v", seed, j, auction.ProviderUtility(b, j, out))
+				return false
+			}
+		}
+		return out.Pay.BudgetBalanced()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Solve is a pure function — identical input, identical bytes.
+func TestDeterminism(t *testing.T) {
+	bids := randomInstance(7, 30, 5)
+	a, err := Solve(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Error("Solve is not deterministic")
+	}
+}
+
+// Truthfulness spot check on unit-demand instances, where trade reduction
+// is exactly truthful: no user or provider improves its utility through any
+// misreport on a value grid.
+func TestTruthfulnessUnitDemand(t *testing.T) {
+	base := auction.BidVector{
+		Users: []auction.UserBid{
+			u(10, 1), u(8, 1), u(6, 1), u(4, 1),
+		},
+		Providers: []auction.ProviderBid{
+			p(1, 1), p(3, 1), p(5, 1),
+		},
+	}
+	truthOut, err := Solve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []float64{0.5, 2, 3.5, 5, 6.5, 7, 9, 11, 15}
+
+	for i := range base.Users {
+		truthUtil := auction.UserUtility(base.Users[i], i, truthOut)
+		for _, lie := range grid {
+			bids := base
+			bids.Users = append([]auction.UserBid(nil), base.Users...)
+			bids.Users[i] = u(lie, 1)
+			out, err := Solve(bids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lieUtil := auction.UserUtility(base.Users[i], i, out)
+			if lieUtil > truthUtil {
+				t.Errorf("user %d gains by bidding %v: %v > %v", i, lie, lieUtil, truthUtil)
+			}
+		}
+	}
+	for j := range base.Providers {
+		truthUtil := auction.ProviderUtility(base.Providers[j], j, truthOut)
+		for _, lie := range grid {
+			bids := base
+			bids.Providers = append([]auction.ProviderBid(nil), base.Providers...)
+			bids.Providers[j] = p(lie, 1)
+			out, err := Solve(bids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lieUtil := auction.ProviderUtility(base.Providers[j], j, out)
+			if lieUtil > truthUtil {
+				t.Errorf("provider %d gains by asking %v: %v > %v", j, lie, lieUtil, truthUtil)
+			}
+		}
+	}
+}
+
+func TestPartialFillAcrossProviders(t *testing.T) {
+	// One big user spans two providers; a second user marks the margin.
+	bids := auction.BidVector{
+		Users:     []auction.UserBid{u(10, 3), u(9, 1)},
+		Providers: []auction.ProviderBid{p(1, 2), p(2, 2)},
+	}
+	out, err := Solve(bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// User 0 fills 2@P1 + 1@P2; user 1 fills 1@P2 and is the marginal trade.
+	if got := out.Alloc.At(0, 0); got != fixed.MustFloat(2) {
+		t.Errorf("user0@P1 = %v", got)
+	}
+	if got := out.Alloc.At(0, 1); got != fixed.One {
+		t.Errorf("user0@P2 = %v", got)
+	}
+	if got := out.Alloc.UserTotal(1); got != 0 {
+		t.Errorf("marginal user allocated %v", got)
+	}
+	// Buyer price = 9; both providers used; no unused provider → seller price = 9.
+	if got := out.Pay.ByUser[0]; got != fixed.MustFloat(27) {
+		t.Errorf("user0 pays %v, want 27", got)
+	}
+	if !out.Pay.BudgetBalanced() {
+		t.Error("not budget balanced")
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		bids := randomInstance(42, n, 8)
+		b.Run(itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(bids); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 100 {
+		return "n=100"
+	}
+	return "n=1000"
+}

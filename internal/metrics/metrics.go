@@ -1,0 +1,175 @@
+// Package metrics provides the small statistics toolkit used by the
+// experiment harness: streaming mean/variance (Welford), percentiles and
+// series formatting.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Welford accumulates a stream's count, mean and variance in O(1) space.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add feeds one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		w.min = math.Min(w.min, x)
+		w.max = math.Max(w.max, x)
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 points).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 with none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 with none).
+func (w *Welford) Max() float64 { return w.max }
+
+// Sample collects observations for percentile queries.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add feeds one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Percentile returns the p-th percentile (p in [0,100]) by nearest-rank.
+// It returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.xs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.xs[rank]
+}
+
+// DurationStats summarises a set of durations.
+type DurationStats struct {
+	w Welford
+	s Sample
+}
+
+// Add feeds one duration.
+func (d *DurationStats) Add(t time.Duration) {
+	d.w.Add(t.Seconds())
+	d.s.Add(t.Seconds())
+}
+
+// N returns the number of observations.
+func (d *DurationStats) N() int { return d.w.N() }
+
+// Mean returns the mean duration.
+func (d *DurationStats) Mean() time.Duration { return secs(d.w.Mean()) }
+
+// Std returns the standard deviation.
+func (d *DurationStats) Std() time.Duration { return secs(d.w.Std()) }
+
+// Min returns the fastest observation.
+func (d *DurationStats) Min() time.Duration { return secs(d.w.Min()) }
+
+// Max returns the slowest observation.
+func (d *DurationStats) Max() time.Duration { return secs(d.w.Max()) }
+
+// P returns the p-th percentile.
+func (d *DurationStats) P(p float64) time.Duration { return secs(d.s.Percentile(p)) }
+
+func secs(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second))
+}
+
+// Row renders one experiment row: a label followed by columns.
+type Row struct {
+	Label string
+	Cols  []string
+}
+
+// Table formats rows with aligned columns, suitable for terminal output and
+// for pasting next to the paper's figures.
+func Table(header Row, rows []Row) string {
+	all := append([]Row{header}, rows...)
+	widths := make([]int, 0)
+	for _, r := range all {
+		cells := append([]string{r.Label}, r.Cols...)
+		for i, c := range cells {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range all {
+		cells := append([]string{r.Label}, r.Cols...)
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+// Package prng provides the deterministic pseudo-random generator used
+// inside protocol computations.
+//
+// The randomized allocation algorithm A must produce bit-identical results
+// at every provider that replays it with the same common-coin seed (§4.2:
+// "if we fix all random numbers, … every provider has the same output").
+// math/rand does not document cross-version stream stability, so the
+// protocol uses this explicit SplitMix64 generator instead. Its output is
+// part of the protocol definition and must never change.
+package prng
+
+import "distauction/internal/fixed"
+
+// SplitMix64 is a small, fast, well-distributed PRNG (Steele, Lea &
+// Flood 2014). It is NOT cryptographic; unpredictability comes from the
+// common coin that supplies the seed, not from the generator.
+type SplitMix64 struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Fork derives an independent generator for the given stream label. Provider
+// groups use Fork(i) to draw per-user randomness that is identical no matter
+// which group computes user i.
+func (s *SplitMix64) Fork(label uint64) *SplitMix64 {
+	// Mix the label through one SplitMix64 step of a copied state so forks
+	// with different labels diverge immediately.
+	z := s.state + 0x9E3779B97F4A7C15*(label+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return &SplitMix64{state: z ^ (z >> 31)}
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *SplitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *SplitMix64) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	// Rejection sampling to avoid modulo bias.
+	bound := uint64(n)
+	limit := (^uint64(0) / bound) * bound
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % bound)
+		}
+	}
+}
+
+// Fixed01 returns a uniform fixed-point value in [0, 1).
+func (s *SplitMix64) Fixed01() fixed.Fixed {
+	return fixed.Fixed(int64(s.Uint64() % uint64(fixed.Scale)))
+}
+
+// FixedRange returns a uniform fixed-point value in [lo, hi). It panics if
+// lo >= hi.
+func (s *SplitMix64) FixedRange(lo, hi fixed.Fixed) fixed.Fixed {
+	if lo >= hi {
+		panic("prng: FixedRange with lo >= hi")
+	}
+	span := uint64(hi - lo)
+	return lo + fixed.Fixed(s.Uint64()%span)
+}
+
+// Shuffle permutes indices [0, n) with Fisher-Yates, calling swap like
+// sort.Slice does.
+func (s *SplitMix64) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *SplitMix64) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

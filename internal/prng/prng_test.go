@@ -1,0 +1,144 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distauction/internal/fixed"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestKnownStream(t *testing.T) {
+	// Pin the first outputs of seed 0: the stream is part of the protocol
+	// definition and must never change across refactors.
+	g := New(0)
+	want := []uint64{
+		0xE220A8397B1DCDAF,
+		0x6E789E6AA1B965F4,
+		0x06C45D188009454F,
+	}
+	for i, w := range want {
+		if got := g.Uint64(); got != w {
+			t.Fatalf("output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	base := New(7)
+	f1 := base.Fork(1)
+	f2 := base.Fork(2)
+	f1again := base.Fork(1)
+	if f1.Uint64() != f1again.Uint64() {
+		t.Error("Fork must be deterministic in (state, label)")
+	}
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("different labels should diverge")
+	}
+	// Forking must not advance the parent.
+	a, b := New(7), New(7)
+	_ = a.Fork(9)
+	if a.Uint64() != b.Uint64() {
+		t.Error("Fork advanced the parent state")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	g := New(3)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := g.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rough uniformity: every bucket within 3x of the mean.
+	for v, c := range counts {
+		if c < 1000/3 || c > 3000 {
+			t.Errorf("bucket %d has %d hits; distribution badly skewed", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFixed01Range(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 10000; i++ {
+		v := g.Fixed01()
+		if v < 0 || v >= fixed.One {
+			t.Fatalf("Fixed01 out of range: %v", v)
+		}
+	}
+}
+
+func TestFixedRange(t *testing.T) {
+	g := New(5)
+	lo, hi := fixed.MustFloat(0.75), fixed.MustFloat(1.25)
+	for i := 0; i < 10000; i++ {
+		v := g.FixedRange(lo, hi)
+		if v < lo || v >= hi {
+			t.Fatalf("FixedRange out of range: %v", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FixedRange(1,1) must panic")
+		}
+	}()
+	g.FixedRange(fixed.One, fixed.One)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := New(seed)
+		p := g.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	g := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = g.Uint64()
+	}
+}

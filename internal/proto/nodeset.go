@@ -1,0 +1,55 @@
+package proto
+
+import (
+	"sort"
+
+	"distauction/internal/wire"
+)
+
+// SortNodes sorts ids ascending in place and returns it.
+func SortNodes(ids []wire.NodeID) []wire.NodeID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ContainsNode reports whether sorted set contains id.
+func ContainsNode(set []wire.NodeID, id wire.NodeID) bool {
+	i := sort.Search(len(set), func(i int) bool { return set[i] >= id })
+	return i < len(set) && set[i] == id
+}
+
+// EqualNodes reports whether a and b contain the same IDs in the same order.
+func EqualNodes(a, b []wire.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionNodes returns the sorted union of two sorted sets.
+func UnionNodes(a, b []wire.NodeID) []wire.NodeID {
+	out := make([]wire.NodeID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

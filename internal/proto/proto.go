@@ -1,0 +1,395 @@
+// Package proto is the protocol runtime of the distributed auctioneer.
+//
+// It layers three services over a transport.Conn:
+//
+//   - Tag routing: building blocks wait for messages by (round, block,
+//     instance, step, sender) without seeing each other's traffic, matching
+//     the paper's composition of blocks (§4).
+//   - Duplicate and equivocation handling: a re-sent identical message is
+//     absorbed; two *different* payloads from the same sender under the same
+//     tag are an equivocation, which aborts the round (output ⊥).
+//   - Abort (⊥) propagation: any provider that decides ⊥ broadcasts a
+//     control message so no peer blocks forever waiting for it; every
+//     pending and future receive in that round then fails with AbortError.
+//
+// The model is asynchronous with reliable channels (§3.3): messages are
+// never lost but may be delayed and reordered arbitrarily. Receives accept a
+// context; deadlines exist so that experiments with injected silent
+// deviations terminate — under the paper's fair-schedule assumption an
+// honest run never hits them.
+package proto
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+// Control message steps (wire.BlockControl).
+const (
+	// StepAbort carries an abort reason; receiving it poisons the round.
+	StepAbort uint8 = 1
+)
+
+// ErrAborted is the sentinel matched by errors.Is for any round abort (the
+// paper's ⊥ outcome).
+var ErrAborted = errors.New("proto: round aborted (⊥)")
+
+// AbortError describes why a round aborted.
+type AbortError struct {
+	Round  uint64
+	From   wire.NodeID // provider that signalled the abort (self included)
+	Reason string
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("proto: round %d aborted (⊥) by %d: %s", e.Round, e.From, e.Reason)
+}
+
+// Is reports that an AbortError matches ErrAborted.
+func (e *AbortError) Is(target error) bool { return target == ErrAborted }
+
+// ErrPeerClosed reports use of a closed Peer.
+var ErrPeerClosed = errors.New("proto: peer closed")
+
+type msgKey struct {
+	tag  wire.Tag
+	from wire.NodeID
+}
+
+type roundState struct {
+	abortCh  chan struct{}
+	abortErr *AbortError // set before abortCh closes
+}
+
+// Peer is one node's view of the protocol network.
+type Peer struct {
+	conn      transport.Conn
+	self      wire.NodeID
+	providers []wire.NodeID // sorted, may or may not include self
+
+	mu       sync.Mutex
+	buffered map[msgKey][]byte
+	waiters  map[msgKey][]chan []byte
+	rounds   map[uint64]*roundState
+	minRound uint64
+	closed   bool
+
+	done      chan struct{}
+	closeOnce sync.Once
+	loopDone  chan struct{}
+}
+
+// NewPeer wraps conn and starts the routing loop. providers is the full
+// provider set of the auction (used by broadcast and gather); it is copied
+// and sorted.
+func NewPeer(conn transport.Conn, providers []wire.NodeID) *Peer {
+	ps := make([]wire.NodeID, len(providers))
+	copy(ps, providers)
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	p := &Peer{
+		conn:      conn,
+		self:      conn.Self(),
+		providers: ps,
+		buffered:  make(map[msgKey][]byte),
+		waiters:   make(map[msgKey][]chan []byte),
+		rounds:    make(map[uint64]*roundState),
+		done:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
+	}
+	go p.runLoop()
+	return p
+}
+
+// Self returns the local node ID.
+func (p *Peer) Self() wire.NodeID { return p.self }
+
+// Providers returns the provider set, sorted ascending. The slice is shared;
+// callers must not modify it.
+func (p *Peer) Providers() []wire.NodeID { return p.providers }
+
+// IsProvider reports whether id is in the provider set.
+func (p *Peer) IsProvider(id wire.NodeID) bool {
+	i := sort.Search(len(p.providers), func(i int) bool { return p.providers[i] >= id })
+	return i < len(p.providers) && p.providers[i] == id
+}
+
+// Close stops the routing loop and releases the underlying connection.
+func (p *Peer) Close() error {
+	var err error
+	p.closeOnce.Do(func() {
+		close(p.done)
+		err = p.conn.Close()
+		<-p.loopDone
+		p.mu.Lock()
+		p.closed = true
+		// Wake every waiter; they will observe the closed state.
+		for _, ws := range p.waiters {
+			for _, ch := range ws {
+				close(ch)
+			}
+		}
+		p.waiters = make(map[msgKey][]chan []byte)
+		p.mu.Unlock()
+	})
+	return err
+}
+
+func (p *Peer) runLoop() {
+	defer close(p.loopDone)
+	ctx := context.Background()
+	for {
+		env, err := p.conn.Recv(ctx)
+		if err != nil {
+			return // connection closed
+		}
+		p.handle(env.From, env.Tag, env.Payload)
+	}
+}
+
+// handle routes one message. It is also the local delivery path for
+// self-addressed sends.
+func (p *Peer) handle(from wire.NodeID, tag wire.Tag, payload []byte) {
+	if tag.Block == wire.BlockControl && tag.Step == StepAbort {
+		reason := "unspecified"
+		d := wire.NewDecoder(payload)
+		if s := d.String(); d.Err() == nil {
+			reason = s
+		}
+		p.markAborted(tag.Round, from, reason)
+		return
+	}
+
+	p.mu.Lock()
+	if p.closed || tag.Round < p.minRound {
+		p.mu.Unlock()
+		return
+	}
+	key := msgKey{tag: tag, from: from}
+	if prev, ok := p.buffered[key]; ok {
+		equiv := !bytes.Equal(prev, payload)
+		p.mu.Unlock()
+		if equiv {
+			// Same sender, same tag, different payload: equivocation.
+			// This is the ⊥-inducing deviation of §3.2; poison the round
+			// and tell everyone so nobody blocks.
+			reason := fmt.Sprintf("equivocation by %d on %v", from, tag)
+			p.markAborted(tag.Round, p.self, reason)
+			_ = p.broadcastAbort(tag.Round, reason)
+		}
+		return
+	}
+	p.buffered[key] = payload
+	ws := p.waiters[key]
+	delete(p.waiters, key)
+	p.mu.Unlock()
+	for _, ch := range ws {
+		ch <- payload // buffered channel of size 1; never blocks
+	}
+}
+
+// roundLocked returns the state for round, creating it if needed.
+// Caller holds p.mu.
+func (p *Peer) roundLocked(round uint64) *roundState {
+	rs, ok := p.rounds[round]
+	if !ok {
+		rs = &roundState{abortCh: make(chan struct{})}
+		p.rounds[round] = rs
+	}
+	return rs
+}
+
+func (p *Peer) markAborted(round uint64, from wire.NodeID, reason string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if round < p.minRound {
+		return
+	}
+	rs := p.roundLocked(round)
+	if rs.abortErr != nil {
+		return // already aborted
+	}
+	rs.abortErr = &AbortError{Round: round, From: from, Reason: reason}
+	close(rs.abortCh)
+}
+
+func (p *Peer) broadcastAbort(round uint64, reason string) error {
+	enc := wire.NewEncoder(len(reason) + 4)
+	enc.String(reason)
+	payload := enc.Buffer()
+	tag := wire.Tag{Round: round, Block: wire.BlockControl, Step: StepAbort}
+	var firstErr error
+	for _, id := range p.providers {
+		if id == p.self {
+			continue
+		}
+		env := wire.Envelope{From: p.self, To: id, Tag: tag, Payload: payload}
+		if err := p.conn.Send(env); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Abort declares ⊥ for round: it poisons the local round state and notifies
+// all other providers. It is idempotent.
+func (p *Peer) Abort(round uint64, reason string) error {
+	p.markAborted(round, p.self, reason)
+	return p.broadcastAbort(round, reason)
+}
+
+// FailRound declares ⊥ for round with the given reason and returns the
+// round's abort error (which may carry an earlier reason if the round was
+// already aborted). Building blocks call it on any local failure so that no
+// peer is left blocking.
+func (p *Peer) FailRound(round uint64, reason string) error {
+	_ = p.Abort(round, reason)
+	if err := p.AbortErr(round); err != nil {
+		return err
+	}
+	return &AbortError{Round: round, From: p.self, Reason: reason}
+}
+
+// AbortErr returns the abort error for round, or nil.
+func (p *Peer) AbortErr(round uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if rs, ok := p.rounds[round]; ok && rs.abortErr != nil {
+		return rs.abortErr
+	}
+	return nil
+}
+
+// EndRound discards all buffered state for rounds <= round. Later messages
+// for those rounds are dropped. Rounds must be used in increasing order.
+func (p *Peer) EndRound(round uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if round+1 > p.minRound {
+		p.minRound = round + 1
+	}
+	for k := range p.buffered {
+		if k.tag.Round <= round {
+			delete(p.buffered, k)
+		}
+	}
+	for k, ws := range p.waiters {
+		if k.tag.Round <= round {
+			for _, ch := range ws {
+				close(ch)
+			}
+			delete(p.waiters, k)
+		}
+	}
+	for r := range p.rounds {
+		if r <= round {
+			delete(p.rounds, r)
+		}
+	}
+}
+
+// Send transmits payload under tag to a single node. Sends to self are
+// delivered locally without touching the transport.
+func (p *Peer) Send(to wire.NodeID, tag wire.Tag, payload []byte) error {
+	if to == p.self {
+		p.handle(p.self, tag, payload)
+		return nil
+	}
+	env := wire.Envelope{From: p.self, To: to, Tag: tag, Payload: payload}
+	return p.conn.Send(env)
+}
+
+// BroadcastProviders sends payload under tag to every provider, including
+// the local node (delivered locally).
+func (p *Peer) BroadcastProviders(tag wire.Tag, payload []byte) error {
+	var firstErr error
+	for _, id := range p.providers {
+		if err := p.Send(id, tag, payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Receive blocks until a message with the given tag from the given sender
+// arrives, the round aborts, the context expires, or the peer closes.
+func (p *Peer) Receive(ctx context.Context, tag wire.Tag, from wire.NodeID) ([]byte, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPeerClosed
+	}
+	rs := p.roundLocked(tag.Round)
+	if rs.abortErr != nil {
+		err := rs.abortErr
+		p.mu.Unlock()
+		return nil, err
+	}
+	key := msgKey{tag: tag, from: from}
+	if payload, ok := p.buffered[key]; ok {
+		p.mu.Unlock()
+		return payload, nil
+	}
+	ch := make(chan []byte, 1)
+	p.waiters[key] = append(p.waiters[key], ch)
+	abortCh := rs.abortCh
+	p.mu.Unlock()
+
+	select {
+	case payload, ok := <-ch:
+		if !ok {
+			return nil, ErrPeerClosed
+		}
+		return payload, nil
+	case <-abortCh:
+		// Prefer a message that raced in over the abort? No: once the round
+		// is ⊥ every block must output ⊥ (§3.2).
+		return nil, p.AbortErr(tag.Round)
+	case <-ctx.Done():
+		p.dropWaiter(key, ch)
+		return nil, ctx.Err()
+	case <-p.done:
+		return nil, ErrPeerClosed
+	}
+}
+
+func (p *Peer) dropWaiter(key msgKey, ch chan []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ws := p.waiters[key]
+	for i, w := range ws {
+		if w == ch {
+			p.waiters[key] = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(p.waiters[key]) == 0 {
+		delete(p.waiters, key)
+	}
+}
+
+// GatherProviders receives the message with the given tag from every
+// provider (including self) and returns them keyed by sender.
+func (p *Peer) GatherProviders(ctx context.Context, tag wire.Tag) (map[wire.NodeID][]byte, error) {
+	return p.Gather(ctx, tag, p.providers)
+}
+
+// Gather receives the message with the given tag from every node in set.
+func (p *Peer) Gather(ctx context.Context, tag wire.Tag, set []wire.NodeID) (map[wire.NodeID][]byte, error) {
+	out := make(map[wire.NodeID][]byte, len(set))
+	for _, id := range set {
+		payload, err := p.Receive(ctx, tag, id)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = payload
+	}
+	return out, nil
+}

@@ -1,0 +1,345 @@
+package proto
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+// newCluster attaches n provider peers (IDs 1..n) to a fresh zero-latency hub.
+func newCluster(t *testing.T, n int) []*Peer {
+	t.Helper()
+	hub := transport.NewHub(transport.LatencyModel{}, 1)
+	t.Cleanup(func() { hub.Close() })
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	peers := make([]*Peer, n)
+	for i, id := range ids {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = NewPeer(conn, ids)
+		t.Cleanup(func(p *Peer) func() { return func() { p.Close() } }(peers[i]))
+	}
+	return peers
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func tag(round uint64, block wire.BlockID, inst uint32, step uint8) wire.Tag {
+	return wire.Tag{Round: round, Block: block, Instance: inst, Step: step}
+}
+
+func TestSendReceiveByTag(t *testing.T) {
+	peers := newCluster(t, 2)
+	ctx := testCtx(t)
+	tA := tag(1, wire.BlockTask, 0, 1)
+	tB := tag(1, wire.BlockTask, 0, 2)
+
+	// Send step-2 first; a receiver waiting for step-1 must not see it.
+	if err := peers[0].Send(2, tB, []byte("step2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[0].Send(2, tA, []byte("step1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := peers[1].Receive(ctx, tA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "step1" {
+		t.Errorf("got %q, want step1", got)
+	}
+	got, err = peers[1].Receive(ctx, tB, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "step2" {
+		t.Errorf("got %q, want step2", got)
+	}
+}
+
+func TestReceiveBlocksUntilArrival(t *testing.T) {
+	peers := newCluster(t, 2)
+	ctx := testCtx(t)
+	tg := tag(1, wire.BlockCoin, 3, 1)
+	done := make(chan []byte, 1)
+	go func() {
+		got, err := peers[1].Receive(ctx, tg, 1)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := peers[0].Send(2, tg, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if string(got) != "late" {
+			t.Errorf("got %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receive never woke up")
+	}
+}
+
+func TestSelfSendIsLocal(t *testing.T) {
+	peers := newCluster(t, 1)
+	ctx := testCtx(t)
+	tg := tag(1, wire.BlockTask, 0, 1)
+	if err := peers[0].Send(1, tg, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := peers[0].Receive(ctx, tg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "self" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDuplicateIdenticalIgnored(t *testing.T) {
+	peers := newCluster(t, 2)
+	ctx := testCtx(t)
+	tg := tag(1, wire.BlockTask, 0, 1)
+	if err := peers[0].Send(2, tg, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[0].Send(2, tg, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peers[1].Receive(ctx, tg, 1); err != nil {
+		t.Fatalf("identical duplicate must not abort: %v", err)
+	}
+	if err := peers[1].AbortErr(1); err != nil {
+		t.Errorf("round aborted on identical duplicate: %v", err)
+	}
+}
+
+func TestEquivocationAbortsRound(t *testing.T) {
+	peers := newCluster(t, 3)
+	ctx := testCtx(t)
+	tg := tag(7, wire.BlockTransfer, 1, 1)
+
+	// Provider 1 equivocates toward provider 2.
+	if err := peers[0].Send(2, tg, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[0].Send(2, tg, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Provider 2 must abort round 7.
+	deadline := time.Now().Add(5 * time.Second)
+	for peers[1].AbortErr(7) == nil && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	err := peers[1].AbortErr(7)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("round not aborted at receiver: %v", err)
+	}
+
+	// And the abort must propagate to provider 3, whose receive fails.
+	if _, err := peers[2].Receive(ctx, tg, 1); !errors.Is(err, ErrAborted) {
+		t.Fatalf("provider 3 receive: got %v, want abort", err)
+	}
+
+	// Other rounds are unaffected.
+	if err := peers[1].AbortErr(8); err != nil {
+		t.Errorf("round 8 poisoned: %v", err)
+	}
+}
+
+func TestAbortWakesBlockedReceivers(t *testing.T) {
+	peers := newCluster(t, 2)
+	ctx := testCtx(t)
+	tg := tag(3, wire.BlockCoin, 0, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := peers[1].Receive(ctx, tg, 1)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := peers[0].Abort(3, "test abort"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrAborted) {
+			t.Errorf("got %v, want abort", err)
+		}
+		var ae *AbortError
+		if !errors.As(err, &ae) || ae.Round != 3 {
+			t.Errorf("abort error detail: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receiver not woken by abort")
+	}
+}
+
+func TestAbortIsIdempotentAndLocal(t *testing.T) {
+	peers := newCluster(t, 2)
+	if err := peers[0].Abort(1, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers[0].Abort(1, "second"); err != nil {
+		t.Fatal(err)
+	}
+	var ae *AbortError
+	if err := peers[0].AbortErr(1); !errors.As(err, &ae) || ae.Reason != "first" {
+		t.Errorf("first abort reason must win: %v", err)
+	}
+}
+
+func TestGatherProviders(t *testing.T) {
+	peers := newCluster(t, 3)
+	ctx := testCtx(t)
+	tg := tag(1, wire.BlockValidate, 0, 1)
+	for _, p := range peers {
+		if err := p.BroadcastProviders(tg, []byte{byte(p.Self())}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range peers {
+		got, err := p.GatherProviders(ctx, tg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("gathered %d, want 3", len(got))
+		}
+		for id, payload := range got {
+			if len(payload) != 1 || payload[0] != byte(id) {
+				t.Errorf("payload from %d = %v", id, payload)
+			}
+		}
+	}
+}
+
+func TestReceiveContextCancel(t *testing.T) {
+	peers := newCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	tg := tag(1, wire.BlockTask, 0, 1)
+	if _, err := peers[1].Receive(ctx, tg, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("got %v", err)
+	}
+	// The waiter must have been deregistered: a late message is buffered,
+	// not delivered to a dead channel, and can still be received.
+	if err := peers[0].Send(2, tg, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := peers[1].Receive(testCtx(t), tg, 1)
+	if err != nil || string(got) != "late" {
+		t.Errorf("late receive = %q, %v", got, err)
+	}
+}
+
+func TestEndRoundDropsState(t *testing.T) {
+	peers := newCluster(t, 2)
+	ctx := testCtx(t)
+	tg := tag(1, wire.BlockTask, 0, 1)
+	if err := peers[0].Send(2, tg, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peers[1].Receive(ctx, tg, 1); err != nil {
+		t.Fatal(err)
+	}
+	peers[1].EndRound(1)
+
+	// A message for an ended round is dropped silently.
+	if err := peers[0].Send(2, tg, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	shortCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := peers[1].Receive(shortCtx, tg, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("stale round receive: %v", err)
+	}
+
+	// Later rounds still work.
+	t2 := tag(2, wire.BlockTask, 0, 1)
+	if err := peers[0].Send(2, t2, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := peers[1].Receive(ctx, t2, 1); err != nil || string(got) != "fresh" {
+		t.Errorf("round 2 receive = %q, %v", got, err)
+	}
+}
+
+func TestCloseUnblocksReceive(t *testing.T) {
+	peers := newCluster(t, 2)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := peers[1].Receive(context.Background(), tag(1, wire.BlockTask, 0, 1), 1)
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := peers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrPeerClosed) {
+			t.Errorf("got %v, want ErrPeerClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receive not unblocked by close")
+	}
+	// Receive on a closed peer fails immediately.
+	if _, err := peers[1].Receive(context.Background(), tag(1, wire.BlockTask, 0, 2), 1); !errors.Is(err, ErrPeerClosed) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestIsProvider(t *testing.T) {
+	peers := newCluster(t, 3)
+	if !peers[0].IsProvider(2) {
+		t.Error("2 should be a provider")
+	}
+	if peers[0].IsProvider(99) {
+		t.Error("99 should not be a provider")
+	}
+}
+
+func TestNodeSetHelpers(t *testing.T) {
+	a := []wire.NodeID{1, 3, 5}
+	b := []wire.NodeID{2, 3, 6}
+	u := UnionNodes(a, b)
+	want := []wire.NodeID{1, 2, 3, 5, 6}
+	if !EqualNodes(u, want) {
+		t.Errorf("union = %v, want %v", u, want)
+	}
+	if !ContainsNode(u, 5) || ContainsNode(u, 4) {
+		t.Error("ContainsNode wrong")
+	}
+	if EqualNodes(a, b) || !EqualNodes(a, a) {
+		t.Error("EqualNodes wrong")
+	}
+	s := SortNodes([]wire.NodeID{5, 1, 3})
+	if !EqualNodes(s, []wire.NodeID{1, 3, 5}) {
+		t.Errorf("sort = %v", s)
+	}
+}
+
+func TestAbortErrorFormatting(t *testing.T) {
+	err := &AbortError{Round: 5, From: 2, Reason: "because"}
+	if err.Error() == "" || !errors.Is(err, ErrAborted) {
+		t.Error("abort error formatting/matching broken")
+	}
+}

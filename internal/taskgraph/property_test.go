@@ -1,0 +1,104 @@
+package taskgraph
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/prng"
+	"distauction/internal/proto"
+	"distauction/internal/wire"
+)
+
+// Property: for randomly generated layered DAGs with random (valid) group
+// assignments, execution agrees at every provider and equals the obvious
+// sequential evaluation of the same graph.
+func TestQuickRandomGraphAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up clusters")
+	}
+	const m, k = 4, 1
+	all := providerIDs(m)
+
+	for seed := uint64(1); seed <= 8; seed++ {
+		rng := prng.New(seed)
+
+		// Build a layered graph: a root at all providers, 1..3 middle tasks
+		// at random groups, a final gather at all providers.
+		middle := 1 + rng.Intn(3)
+		tasks := []Task{{
+			ID: 1, Name: "root", Group: all,
+			Run: func(ctx context.Context, tc *TaskContext) ([]byte, error) {
+				return []byte("root"), nil
+			},
+		}}
+		finalDeps := []uint32{1}
+		for i := 0; i < middle; i++ {
+			id := uint32(2 + i)
+			// Random contiguous group of size ≥ k+1.
+			size := k + 1 + rng.Intn(m-k-1)
+			start := rng.Intn(m - size + 1)
+			group := all[start : start+size]
+			label := fmt.Sprintf("mid-%d", id)
+			tasks = append(tasks, Task{
+				ID: id, Name: label, Deps: []uint32{1}, Group: group,
+				Run: func(label string) TaskFunc {
+					return func(ctx context.Context, tc *TaskContext) ([]byte, error) {
+						return append(append([]byte{}, tc.Inputs[1]...), []byte("+"+label)...), nil
+					}
+				}(label),
+			})
+			finalDeps = append(finalDeps, id)
+		}
+		tasks = append(tasks, Task{
+			ID: uint32(2 + middle), Name: "final", Deps: finalDeps, Group: all,
+			Run: func(ctx context.Context, tc *TaskContext) ([]byte, error) {
+				var out []byte
+				for _, d := range finalDeps {
+					out = append(out, tc.Inputs[d]...)
+				}
+				return out, nil
+			},
+		})
+
+		g, err := New(all, k, tasks)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		// Expected value by direct sequential evaluation.
+		want := []byte("root")
+		for i := 0; i < middle; i++ {
+			want = append(want, []byte(fmt.Sprintf("root+mid-%d", 2+i))...)
+		}
+
+		peers := newPeers(t, m)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		outs := make([][]byte, m)
+		errs := make([]error, m)
+		var wg sync.WaitGroup
+		for i, p := range peers {
+			wg.Add(1)
+			go func(i int, p *proto.Peer) {
+				defer wg.Done()
+				outs[i], errs[i] = Execute(ctx, p, seed, g)
+			}(i, p)
+		}
+		wg.Wait()
+		cancel()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("seed %d peer %d: %v", seed, i, err)
+			}
+		}
+		for i := range outs {
+			if string(outs[i]) != string(want) {
+				t.Fatalf("seed %d peer %d: got %q want %q", seed, i, outs[i], want)
+			}
+		}
+	}
+}
+
+var _ = wire.NodeID(0) // keep the import when the helper moves

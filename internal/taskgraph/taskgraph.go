@@ -1,0 +1,327 @@
+// Package taskgraph implements the parallel simulation of the allocation
+// algorithm A (§4.2 of the paper, Figures 2 and 3).
+//
+// The execution of A is decomposed into a DAG of tasks. Each task is
+// assigned to a group of at least k+1 providers, so no coalition of size ≤ k
+// controls any task; group members execute the task redundantly and
+// cross-validate their results by digest. When a task's result is needed by
+// a task with a different group, it crosses via the data-transfer block.
+// Tasks that draw randomness obtain it from the common coin; such tasks must
+// be assigned to the full provider set, because the coin involves everyone.
+// The final task depends (transitively) on every other task, runs at all
+// providers, and its result is the allocator's output.
+//
+// Two providers assigned to disjoint tasks execute them concurrently — this
+// is where the framework's parallel speedup (Figure 5) comes from.
+package taskgraph
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+
+	"distauction/internal/coin"
+	"distauction/internal/datatransfer"
+	"distauction/internal/proto"
+	"distauction/internal/wire"
+)
+
+const stepTaskDigest uint8 = 1
+
+// ErrBadGraph reports a structurally invalid task graph.
+var ErrBadGraph = errors.New("taskgraph: invalid graph")
+
+// ErrCoinUnavailable reports a Coin() call from a task not assigned to the
+// full provider set.
+var ErrCoinUnavailable = errors.New("taskgraph: coin requires a full-provider task")
+
+// TaskContext carries a task's inputs and services into its Run function.
+type TaskContext struct {
+	// Round is the auction round being simulated.
+	Round uint64
+	// Inputs holds the outputs of the task's dependencies, keyed by task ID.
+	Inputs map[uint32][]byte
+
+	coinFn func() (uint64, error)
+}
+
+// Coin draws a shared random seed from the common coin. All group members
+// obtain the same seed. Only tasks assigned to the full provider set may
+// call it; Validate enforces the restriction statically for graphs that
+// declare UsesCoin.
+func (tc *TaskContext) Coin() (uint64, error) {
+	if tc.coinFn == nil {
+		return 0, ErrCoinUnavailable
+	}
+	return tc.coinFn()
+}
+
+// TaskFunc is the deterministic computation of one task: same inputs and
+// same coin draws must yield identical bytes at every group member.
+type TaskFunc func(ctx context.Context, tc *TaskContext) ([]byte, error)
+
+// Task is a node of the graph.
+type Task struct {
+	// ID identifies the task; IDs must be unique and topologically ordered
+	// (every dependency has a smaller ID than its dependent).
+	ID uint32
+	// Name appears in error messages.
+	Name string
+	// Deps lists the task IDs whose outputs this task consumes.
+	Deps []uint32
+	// Group is the provider set that executes the task (≥ k+1 members).
+	Group []wire.NodeID
+	// UsesCoin declares that Run calls TaskContext.Coin.
+	UsesCoin bool
+	// Run is the task body.
+	Run TaskFunc
+}
+
+// Graph is a validated task decomposition.
+type Graph struct {
+	tasks    []Task
+	edges    []edge   // transfer schedule, ordered deterministically
+	inEdges  [][]edge // per task: edges delivering its inputs
+	outEdges [][]edge // per task: edges publishing its result
+}
+
+// edge is a cross-group data dependency (from → to).
+type edge struct {
+	from, to int // indexes into tasks
+	instance uint32
+}
+
+// New assembles and validates a graph for the given provider set and
+// coalition bound k.
+func New(providers []wire.NodeID, k int, tasks []Task) (*Graph, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("%w: no tasks", ErrBadGraph)
+	}
+	sorted := append([]Task(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+
+	all := append([]wire.NodeID(nil), providers...)
+	proto.SortNodes(all)
+
+	index := make(map[uint32]int, len(sorted))
+	for i := range sorted {
+		t := &sorted[i]
+		if _, dup := index[t.ID]; dup {
+			return nil, fmt.Errorf("%w: duplicate task id %d", ErrBadGraph, t.ID)
+		}
+		index[t.ID] = i
+		if t.Run == nil {
+			return nil, fmt.Errorf("%w: task %d has no Run", ErrBadGraph, t.ID)
+		}
+		if len(t.Group) < k+1 {
+			return nil, fmt.Errorf("%w: task %d group has %d members, need ≥ k+1 = %d",
+				ErrBadGraph, t.ID, len(t.Group), k+1)
+		}
+		t.Group = append([]wire.NodeID(nil), t.Group...)
+		proto.SortNodes(t.Group)
+		for _, g := range t.Group {
+			if !proto.ContainsNode(all, g) {
+				return nil, fmt.Errorf("%w: task %d group member %d is not a provider", ErrBadGraph, t.ID, g)
+			}
+		}
+		if t.UsesCoin && !proto.EqualNodes(t.Group, all) {
+			return nil, fmt.Errorf("%w: task %d uses the coin but is not assigned to all providers",
+				ErrBadGraph, t.ID)
+		}
+		for _, d := range t.Deps {
+			j, ok := index[d]
+			if !ok || sorted[j].ID >= t.ID {
+				return nil, fmt.Errorf("%w: task %d depends on %d which is missing or not earlier",
+					ErrBadGraph, t.ID, d)
+			}
+		}
+	}
+
+	// The final task must run at all providers and transitively depend on
+	// every other task, so that the framework's output exists everywhere
+	// and reflects the whole computation.
+	final := &sorted[len(sorted)-1]
+	if !proto.EqualNodes(final.Group, all) {
+		return nil, fmt.Errorf("%w: final task %d must be assigned to all providers", ErrBadGraph, final.ID)
+	}
+	reach := make(map[uint32]bool, len(sorted))
+	var mark func(id uint32)
+	mark = func(id uint32) {
+		if reach[id] {
+			return
+		}
+		reach[id] = true
+		for _, d := range sorted[index[id]].Deps {
+			mark(d)
+		}
+	}
+	mark(final.ID)
+	if len(reach) != len(sorted) {
+		return nil, fmt.Errorf("%w: final task does not depend on every task (%d of %d reachable)",
+			ErrBadGraph, len(reach), len(sorted))
+	}
+
+	// Enumerate cross-group edges in deterministic order; the edge index is
+	// the data-transfer instance number at every provider.
+	g := &Graph{
+		tasks:    sorted,
+		inEdges:  make([][]edge, len(sorted)),
+		outEdges: make([][]edge, len(sorted)),
+	}
+	for i := range sorted {
+		t := &sorted[i]
+		deps := append([]uint32(nil), t.Deps...)
+		sort.Slice(deps, func(a, b int) bool { return deps[a] < deps[b] })
+		for _, d := range deps {
+			from := index[d]
+			if proto.EqualNodes(sorted[from].Group, t.Group) {
+				continue // same group already holds the value
+			}
+			e := edge{from: from, to: i, instance: uint32(len(g.edges))}
+			g.edges = append(g.edges, e)
+			g.inEdges[i] = append(g.inEdges[i], e)
+			g.outEdges[from] = append(g.outEdges[from], e)
+		}
+	}
+	return g, nil
+}
+
+// Tasks returns the tasks in execution (ID) order.
+func (g *Graph) Tasks() []Task { return g.tasks }
+
+// NumTransfers returns the number of cross-group transfers per execution.
+func (g *Graph) NumTransfers() int { return len(g.edges) }
+
+// Execute runs the graph at the local provider and returns the final task's
+// output. Every provider of the round must call Execute with an identical
+// graph. Deviations, mismatched redundant results, and timeouts abort the
+// round (⊥).
+func Execute(ctx context.Context, peer *proto.Peer, round uint64, g *Graph) ([]byte, error) {
+	if err := peer.AbortErr(round); err != nil {
+		return nil, err
+	}
+	self := peer.Self()
+	results := make(map[uint32][]byte, len(g.tasks))
+
+	// Coin instances are numbered per graph execution in call order; only
+	// full-provider tasks draw, and they execute the same calls in the same
+	// order everywhere, so the numbering agrees across providers.
+	var coinSeq uint32
+
+	for ti := range g.tasks {
+		t := &g.tasks[ti]
+		inGroup := proto.ContainsNode(t.Group, self)
+
+		// Pull the inputs that cross group boundaries into this task.
+		// Senders already pushed them right after computing (below), so
+		// disjoint groups never wait on each other's unrelated work.
+		if inGroup {
+			for _, e := range g.inEdges[ti] {
+				src := &g.tasks[e.from]
+				v, err := datatransfer.Recv(ctx, peer, round, e.instance, src.Group)
+				if err != nil {
+					return nil, err
+				}
+				results[src.ID] = v
+			}
+		}
+
+		if !inGroup {
+			continue
+		}
+
+		// Assemble the task context.
+		tc := &TaskContext{Round: round, Inputs: make(map[uint32][]byte, len(t.Deps))}
+		for _, d := range t.Deps {
+			v, ok := results[d]
+			if !ok {
+				return nil, peer.FailRound(round, fmt.Sprintf(
+					"taskgraph: task %d (%s) missing input %d", t.ID, t.Name, d))
+			}
+			tc.Inputs[d] = v
+		}
+		if t.UsesCoin {
+			tc.coinFn = func() (uint64, error) {
+				inst := coinSeq
+				coinSeq++
+				return coin.Toss(ctx, peer, round, inst)
+			}
+		}
+
+		out, err := t.Run(ctx, tc)
+		if err != nil {
+			return nil, peer.FailRound(round, fmt.Sprintf(
+				"taskgraph: task %d (%s) failed: %v", t.ID, t.Name, err))
+		}
+
+		// Cross-validate the redundant computation within the group: every
+		// member broadcasts a digest of its result; any mismatch means some
+		// member deviated (or the task is nondeterministic) and the round
+		// aborts before the bad value can propagate.
+		digest := sha256.Sum256(out)
+		tag := wire.Tag{Round: round, Block: wire.BlockTask, Instance: t.ID, Step: stepTaskDigest}
+		for _, member := range t.Group {
+			if err := peer.Send(member, tag, digest[:]); err != nil {
+				return nil, peer.FailRound(round, fmt.Sprintf("taskgraph: task %d digest send: %v", t.ID, err))
+			}
+		}
+		digests, err := peer.Gather(ctx, tag, t.Group)
+		if err != nil {
+			if abortErr := peer.AbortErr(round); abortErr != nil {
+				return nil, abortErr
+			}
+			return nil, peer.FailRound(round, fmt.Sprintf("taskgraph: task %d digest gather: %v", t.ID, err))
+		}
+		for id, d := range digests {
+			if !bytes.Equal(d, digest[:]) {
+				return nil, peer.FailRound(round, fmt.Sprintf(
+					"taskgraph: task %d result mismatch with provider %d", t.ID, id))
+			}
+		}
+		results[t.ID] = out
+
+		// Push the validated result to every dependent group immediately
+		// (the send half of the data transfer never blocks).
+		for _, e := range g.outEdges[ti] {
+			dst := &g.tasks[e.to]
+			if err := datatransfer.Send(peer, round, e.instance, dst.Group, out); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	final := g.tasks[len(g.tasks)-1]
+	out, ok := results[final.ID]
+	if !ok {
+		// Unreachable: the final task runs at all providers.
+		return nil, peer.FailRound(round, "taskgraph: final result missing")
+	}
+	return out, nil
+}
+
+// Groups partitions providers into ⌊m/(k+1)⌋ disjoint groups of at least
+// k+1 members each (§5.2.2: payments are computed by c groups, each with at
+// least k+1 providers). Leftover providers join the last group.
+func Groups(providers []wire.NodeID, k int) [][]wire.NodeID {
+	m := len(providers)
+	size := k + 1
+	c := m / size
+	if c == 0 {
+		return nil
+	}
+	sorted := append([]wire.NodeID(nil), providers...)
+	proto.SortNodes(sorted)
+	groups := make([][]wire.NodeID, 0, c)
+	for gi := 0; gi < c; gi++ {
+		lo := gi * size
+		hi := lo + size
+		if gi == c-1 {
+			hi = m // leftovers join the last group
+		}
+		groups = append(groups, sorted[lo:hi:hi])
+	}
+	return groups
+}

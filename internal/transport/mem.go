@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"distauction/internal/wire"
+)
+
+// LatencyModel computes the one-way delay of a message. The defaults in
+// CommunityNetModel approximate a community wireless mesh: a couple of
+// milliseconds of base latency and roughly 10 MB/s of throughput.
+type LatencyModel struct {
+	// Base is the fixed per-message delay.
+	Base time.Duration
+	// PerByte is the serialisation delay per payload byte.
+	PerByte time.Duration
+	// Jitter is the upper bound of a uniform random extra delay.
+	Jitter time.Duration
+}
+
+// CommunityNetModel returns a latency model calibrated to a community
+// network link (≈2 ms base, ≈10 MB/s, 1 ms jitter). See EXPERIMENTS.md for
+// the calibration rationale.
+func CommunityNetModel() LatencyModel {
+	return LatencyModel{Base: 2 * time.Millisecond, PerByte: 100 * time.Nanosecond, Jitter: time.Millisecond}
+}
+
+// Delay computes the delay for a message of n bytes, drawing jitter from rng.
+func (m LatencyModel) Delay(n int, rng *rand.Rand) time.Duration {
+	d := m.Base + time.Duration(n)*m.PerByte
+	if m.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(m.Jitter)))
+	}
+	return d
+}
+
+// Zero reports whether the model introduces no delay at all.
+func (m LatencyModel) Zero() bool {
+	return m.Base == 0 && m.PerByte == 0 && m.Jitter == 0
+}
+
+// Hub is an in-process message switch connecting MemConns.
+type Hub struct {
+	model LatencyModel
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	nodes  map[wire.NodeID]*MemConn
+	closed bool
+
+	stats Stats
+
+	// timers tracks in-flight delayed deliveries so Close can stop them.
+	timers sync.WaitGroup
+}
+
+// NewHub creates a hub with the given latency model. The seed makes jitter
+// reproducible; runs remain nondeterministic at the goroutine-scheduling
+// level, which is intended (the protocol must tolerate any fair schedule).
+func NewHub(model LatencyModel, seed int64) *Hub {
+	return &Hub{
+		model: model,
+		rng:   rand.New(rand.NewSource(seed)),
+		nodes: make(map[wire.NodeID]*MemConn),
+	}
+}
+
+// Stats returns hub-wide traffic counters.
+func (h *Hub) Stats() StatsSnapshot { return h.stats.Snapshot() }
+
+// Attach registers a node and returns its connection. Attaching an already
+// attached ID is a configuration error.
+func (h *Hub) Attach(id wire.NodeID) (*MemConn, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := h.nodes[id]; dup {
+		return nil, fmt.Errorf("transport: node %d already attached", id)
+	}
+	c := &MemConn{
+		hub:   h,
+		id:    id,
+		inbox: make(chan wire.Envelope, 4096),
+		done:  make(chan struct{}),
+	}
+	h.nodes[id] = c
+	return c, nil
+}
+
+// Close shuts the hub and all attached connections.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	conns := make([]*MemConn, 0, len(h.nodes))
+	for _, c := range h.nodes {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	h.timers.Wait()
+	return nil
+}
+
+// deliver routes env to its destination after the modelled delay.
+func (h *Hub) deliver(env wire.Envelope) error {
+	size := len(env.Payload)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	dst, ok := h.nodes[env.To]
+	var delay time.Duration
+	if ok && !h.model.Zero() {
+		delay = h.model.Delay(size, h.rng)
+	}
+	h.mu.Unlock()
+	if !ok {
+		// Unknown destination: the reliable-channels assumption only covers
+		// configured nodes; a message to nobody is a programming error.
+		return fmt.Errorf("transport: unknown destination %d", env.To)
+	}
+
+	h.stats.MsgsSent.Add(1)
+	h.stats.BytesSent.Add(int64(size))
+
+	if delay == 0 {
+		dst.push(env)
+		return nil
+	}
+	h.timers.Add(1)
+	timer := time.AfterFunc(delay, func() {
+		defer h.timers.Done()
+		dst.push(env)
+	})
+	_ = timer
+	return nil
+}
+
+// MemConn is a node's attachment to a Hub.
+type MemConn struct {
+	hub   *Hub
+	id    wire.NodeID
+	inbox chan wire.Envelope
+
+	closeOnce sync.Once
+	done      chan struct{}
+
+	stats Stats
+}
+
+var _ Conn = (*MemConn)(nil)
+
+// Self returns the local node ID.
+func (c *MemConn) Self() wire.NodeID { return c.id }
+
+// Stats returns per-connection traffic counters.
+func (c *MemConn) Stats() StatsSnapshot { return c.stats.Snapshot() }
+
+// Send queues env for delivery.
+func (c *MemConn) Send(env wire.Envelope) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	if env.From != c.id {
+		return fmt.Errorf("transport: sending as %d from conn %d", env.From, c.id)
+	}
+	c.stats.MsgsSent.Add(1)
+	c.stats.BytesSent.Add(int64(len(env.Payload)))
+	return c.hub.deliver(env)
+}
+
+// Recv blocks for the next envelope, the context, or Close.
+func (c *MemConn) Recv(ctx context.Context) (wire.Envelope, error) {
+	select {
+	case env := <-c.inbox:
+		c.stats.MsgsReceived.Add(1)
+		c.stats.BytesReceived.Add(int64(len(env.Payload)))
+		return env, nil
+	case <-ctx.Done():
+		return wire.Envelope{}, ctx.Err()
+	case <-c.done:
+		// Drain anything that raced with Close so shutdown is not flaky.
+		select {
+		case env := <-c.inbox:
+			return env, nil
+		default:
+			return wire.Envelope{}, ErrClosed
+		}
+	}
+}
+
+// Close detaches the connection. Messages already queued are dropped.
+func (c *MemConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return nil
+}
+
+// push delivers an envelope into the inbox, dropping it if the node closed.
+func (c *MemConn) push(env wire.Envelope) {
+	select {
+	case <-c.done:
+	case c.inbox <- env:
+	}
+}

@@ -1,0 +1,288 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distauction/internal/auth"
+	"distauction/internal/wire"
+)
+
+// TCPConfig configures a TCP transport node.
+type TCPConfig struct {
+	// Self is the local node ID.
+	Self wire.NodeID
+	// ListenAddr is the local listen address ("host:port"; port 0 picks one).
+	ListenAddr string
+	// Peers maps node IDs to dialable addresses. Only peers this node sends
+	// to need entries.
+	Peers map[wire.NodeID]string
+	// Registry authenticates traffic. If nil, messages are unauthenticated
+	// (tests only; production deployments must set it).
+	Registry *auth.Registry
+	// DialTimeout bounds outbound connection establishment. Zero means 5s.
+	DialTimeout time.Duration
+}
+
+// TCPNode is a node on a TCP network. Identity is established per message:
+// each envelope carries an HMAC under the pairwise key of (From, To), so no
+// connection handshake is needed and connections are interchangeable.
+type TCPNode struct {
+	cfg   TCPConfig
+	ln    net.Listener
+	inbox chan wire.Envelope
+
+	mu       sync.Mutex
+	outbound map[wire.NodeID]*tcpOut
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+
+	stats Stats
+	// Dropped counts inbound messages discarded for failing decode or
+	// authentication. A nonzero value under honest operation indicates
+	// misconfiguration; under attack it is expected and harmless.
+	Dropped atomic.Int64
+}
+
+type tcpOut struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+var _ Conn = (*TCPNode)(nil)
+
+// ListenTCP starts a TCP node: it binds cfg.ListenAddr and serves inbound
+// connections until Close.
+func ListenTCP(cfg TCPConfig) (*TCPNode, error) {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.ListenAddr, err)
+	}
+	peers := make(map[wire.NodeID]string, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		peers[id] = addr
+	}
+	cfg.Peers = peers
+	n := &TCPNode{
+		cfg:      cfg,
+		ln:       ln,
+		inbox:    make(chan wire.Envelope, 4096),
+		outbound: make(map[wire.NodeID]*tcpOut),
+		done:     make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
+
+// Self returns the local node ID.
+func (n *TCPNode) Self() wire.NodeID { return n.cfg.Self }
+
+// Stats returns traffic counters.
+func (n *TCPNode) Stats() StatsSnapshot { return n.stats.Snapshot() }
+
+// SetPeer registers or updates a peer address.
+func (n *TCPNode) SetPeer(id wire.NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.Peers[id] = addr
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			// Transient accept errors: back off briefly and continue.
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			return
+		}
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	go func() {
+		<-n.done
+		conn.Close() // unblock the pending read on shutdown
+	}()
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		env, err := wire.DecodeEnvelope(frame)
+		if err != nil {
+			n.Dropped.Add(1)
+			continue
+		}
+		if n.cfg.Registry != nil {
+			if err := n.cfg.Registry.Verify(&env); err != nil {
+				n.Dropped.Add(1)
+				continue
+			}
+		} else if env.To != n.cfg.Self {
+			n.Dropped.Add(1)
+			continue
+		}
+		n.stats.MsgsReceived.Add(1)
+		n.stats.BytesReceived.Add(int64(len(env.Payload)))
+		select {
+		case n.inbox <- env:
+		case <-n.done:
+			return
+		}
+	}
+}
+
+// Send signs (when configured) and transmits env to its destination,
+// dialing or reusing a connection. A stale connection is retried once.
+func (n *TCPNode) Send(env wire.Envelope) error {
+	select {
+	case <-n.done:
+		return ErrClosed
+	default:
+	}
+	if env.From != n.cfg.Self {
+		return fmt.Errorf("transport: sending as %d from node %d", env.From, n.cfg.Self)
+	}
+	if n.cfg.Registry != nil {
+		if err := n.cfg.Registry.Sign(&env); err != nil {
+			return fmt.Errorf("transport: %w", err)
+		}
+	}
+	raw := env.Encode()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		out, err := n.conn(env.To, attempt > 0)
+		if err != nil {
+			return err
+		}
+		out.mu.Lock()
+		err = wire.WriteFrame(out.conn, raw)
+		out.mu.Unlock()
+		if err == nil {
+			n.stats.MsgsSent.Add(1)
+			n.stats.BytesSent.Add(int64(len(env.Payload)))
+			return nil
+		}
+		lastErr = err
+		n.dropConn(env.To, out)
+	}
+	return fmt.Errorf("transport: send to %d: %w", env.To, lastErr)
+}
+
+// conn returns the outbound connection for id, dialing if absent or if
+// redial is set.
+func (n *TCPNode) conn(id wire.NodeID, redial bool) (*tcpOut, error) {
+	n.mu.Lock()
+	if out, ok := n.outbound[id]; ok && !redial {
+		n.mu.Unlock()
+		return out, nil
+	}
+	addr, ok := n.cfg.Peers[id]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for peer %d", id)
+	}
+	// Retry refused connections within the dial budget: peers of a round
+	// start concurrently and a listener may be a beat behind its dialers.
+	deadline := time.Now().Add(n.cfg.DialTimeout)
+	var c net.Conn
+	var err error
+	for {
+		c, err = net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dial %d (%s): %w", id, addr, err)
+		}
+		select {
+		case <-n.done:
+			return nil, ErrClosed
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	out := &tcpOut{conn: c}
+	n.mu.Lock()
+	if old, ok := n.outbound[id]; ok && !redial {
+		// Lost the race; keep the existing connection.
+		n.mu.Unlock()
+		c.Close()
+		return old, nil
+	}
+	n.outbound[id] = out
+	n.mu.Unlock()
+	return out, nil
+}
+
+func (n *TCPNode) dropConn(id wire.NodeID, out *tcpOut) {
+	n.mu.Lock()
+	if n.outbound[id] == out {
+		delete(n.outbound, id)
+	}
+	n.mu.Unlock()
+	out.conn.Close()
+}
+
+// Recv blocks for the next authenticated envelope.
+func (n *TCPNode) Recv(ctx context.Context) (wire.Envelope, error) {
+	select {
+	case env := <-n.inbox:
+		return env, nil
+	case <-ctx.Done():
+		return wire.Envelope{}, ctx.Err()
+	case <-n.done:
+		select {
+		case env := <-n.inbox:
+			return env, nil
+		default:
+			return wire.Envelope{}, ErrClosed
+		}
+	}
+}
+
+// Close shuts the node down and waits for its goroutines.
+func (n *TCPNode) Close() error {
+	var err error
+	n.closeOnce.Do(func() {
+		close(n.done)
+		err = n.ln.Close()
+		n.mu.Lock()
+		for id, out := range n.outbound {
+			out.conn.Close()
+			delete(n.outbound, id)
+		}
+		n.mu.Unlock()
+		n.wg.Wait()
+	})
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}

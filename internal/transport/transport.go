@@ -1,0 +1,77 @@
+// Package transport moves protocol envelopes between nodes.
+//
+// Two implementations are provided:
+//
+//   - Hub/MemConn: an in-process network with a configurable latency model
+//     (base + per-byte + jitter). This is the reproduction substitute for the
+//     paper's Guifi.net testbed: protocol running time is compute plus
+//     rounds×latency plus bytes/bandwidth, and the model exercises exactly
+//     those terms. Delivery order between different senders is not
+//     guaranteed, which matches the asynchronous model of §3.3.
+//
+//   - TCPNode: a real TCP transport (length-prefixed frames, HMAC
+//     authenticated) for deployments and loopback/LAN experiments.
+//
+// Both satisfy Conn. Messages are never lost (reliable channels assumption);
+// they may be arbitrarily delayed and reordered.
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"distauction/internal/wire"
+)
+
+// ErrClosed reports use of a closed connection.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is one node's attachment to the network.
+type Conn interface {
+	// Self returns the local node ID.
+	Self() wire.NodeID
+	// Send transmits env to env.To. It returns once the message is durably
+	// queued; delivery is asynchronous.
+	Send(env wire.Envelope) error
+	// Recv blocks for the next inbound envelope.
+	Recv(ctx context.Context) (wire.Envelope, error)
+	// Close releases the connection; pending Recv calls return ErrClosed.
+	Close() error
+}
+
+// Stats counts traffic through a connection or hub.
+type Stats struct {
+	MsgsSent      atomic.Int64
+	BytesSent     atomic.Int64
+	MsgsReceived  atomic.Int64
+	BytesReceived atomic.Int64
+}
+
+// Snapshot returns a plain copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		MsgsSent:      s.MsgsSent.Load(),
+		BytesSent:     s.BytesSent.Load(),
+		MsgsReceived:  s.MsgsReceived.Load(),
+		BytesReceived: s.BytesReceived.Load(),
+	}
+}
+
+// StatsSnapshot is an immutable view of Stats.
+type StatsSnapshot struct {
+	MsgsSent      int64
+	BytesSent     int64
+	MsgsReceived  int64
+	BytesReceived int64
+}
+
+// Add returns the component-wise sum of two snapshots.
+func (a StatsSnapshot) Add(b StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		MsgsSent:      a.MsgsSent + b.MsgsSent,
+		BytesSent:     a.BytesSent + b.BytesSent,
+		MsgsReceived:  a.MsgsReceived + b.MsgsReceived,
+		BytesReceived: a.BytesReceived + b.BytesReceived,
+	}
+}

@@ -1,0 +1,116 @@
+package validate
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/proto"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+func newPeers(t *testing.T, n int) []*proto.Peer {
+	t.Helper()
+	hub := transport.NewHub(transport.LatencyModel{}, 1)
+	t.Cleanup(func() { hub.Close() })
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	peers := make([]*proto.Peer, n)
+	for i, id := range ids {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[i] = proto.NewPeer(conn, ids)
+		t.Cleanup(func(p *proto.Peer) func() { return func() { p.Close() } }(peers[i]))
+	}
+	return peers
+}
+
+func runAll(t *testing.T, peers []*proto.Peer, round uint64, inputs [][]byte) []error {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *proto.Peer) {
+			defer wg.Done()
+			errs[i] = Run(ctx, p, round, inputs[i])
+		}(i, p)
+	}
+	wg.Wait()
+	return errs
+}
+
+func TestAllSameInputPasses(t *testing.T) {
+	peers := newPeers(t, 4)
+	in := []byte("the agreed bid vector")
+	errs := runAll(t, peers, 1, [][]byte{in, in, in, in})
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("peer %d: %v", i, err)
+		}
+	}
+}
+
+func TestMismatchAborts(t *testing.T) {
+	peers := newPeers(t, 3)
+	errs := runAll(t, peers, 1, [][]byte{
+		[]byte("vector-A"), []byte("vector-A"), []byte("vector-B"),
+	})
+	// Property 3(1): the two providers with different inputs both output ⊥.
+	// In this implementation every provider aborts, which is stronger.
+	for i, err := range errs {
+		if !errors.Is(err, proto.ErrAborted) {
+			t.Errorf("peer %d: got %v, want abort", i, err)
+		}
+	}
+}
+
+func TestEmptyInputsAgree(t *testing.T) {
+	peers := newPeers(t, 2)
+	errs := runAll(t, peers, 1, [][]byte{nil, nil})
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("peer %d: %v", i, err)
+		}
+	}
+}
+
+func TestAlreadyAbortedRound(t *testing.T) {
+	peers := newPeers(t, 2)
+	if err := peers[0].Abort(3, "pre"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(context.Background(), peers[0], 3, []byte("x")); !errors.Is(err, proto.ErrAborted) {
+		t.Errorf("got %v, want abort", err)
+	}
+}
+
+func TestSilentProviderTimesOut(t *testing.T) {
+	peers := newPeers(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Run(ctx, peers[i], 1, []byte("v"))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("peer %d succeeded despite silent peer", i)
+		}
+	}
+}

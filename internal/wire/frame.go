@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WriteFrame writes a length-prefixed frame to w. The prefix is a 4-byte
+// big-endian length. WriteFrame performs a single Write call so that
+// concurrent writers interleave at frame granularity when w serialises
+// writes (callers still normally hold a mutex per connection).
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameLen {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r. It returns io.EOF when
+// the stream ends cleanly before a frame starts, and io.ErrUnexpectedEOF when
+// it ends mid-frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("read frame body: %w", err)
+	}
+	return payload, nil
+}

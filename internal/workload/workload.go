@@ -1,0 +1,101 @@
+// Package workload generates the synthetic auction inputs of the paper's
+// evaluation (§6.2, §6.3).
+//
+// Double auction (§6.2): user bids uniform in [0.75, 1.25], demands uniform
+// in (0, 1]; provider unit costs uniform in (0, 1]; provider capacities
+// sized to the overall demand and scaled by a uniform factor in [0.5, 1.5]
+// so both shortage and surplus regimes occur.
+//
+// Standard auction (§6.3): same user distribution; provider capacities are
+// the per-provider demand share scaled down by a uniform factor in
+// [0, 0.25], so roughly no more than a quarter of the users win.
+//
+// All draws come from a seeded deterministic generator so experiments are
+// reproducible run-to-run.
+package workload
+
+import (
+	"distauction/internal/auction"
+	"distauction/internal/fixed"
+	"distauction/internal/prng"
+)
+
+// DoubleAuctionInstance is one §6.2 experiment input.
+type DoubleAuctionInstance struct {
+	Users     []auction.UserBid
+	Providers []auction.ProviderBid
+}
+
+// BidVector packs the instance into the auction-domain vector.
+func (in DoubleAuctionInstance) BidVector() auction.BidVector {
+	return auction.BidVector{Users: in.Users, Providers: in.Providers}
+}
+
+// NewDoubleAuction draws a §6.2 instance with n users and m providers.
+func NewDoubleAuction(seed uint64, n, m int) DoubleAuctionInstance {
+	rng := prng.New(seed)
+	inst := DoubleAuctionInstance{
+		Users:     drawUsers(rng, n),
+		Providers: make([]auction.ProviderBid, m),
+	}
+	var totalDemand fixed.Fixed
+	for _, u := range inst.Users {
+		totalDemand = totalDemand.SatAdd(u.Demand)
+	}
+	for j := range inst.Providers {
+		share := totalDemand
+		if m > 0 {
+			share, _ = totalDemand.DivInt(int64(m))
+		}
+		scale := rng.FixedRange(fixed.MustFloat(0.5), fixed.MustFloat(1.5))
+		inst.Providers[j] = auction.ProviderBid{
+			// Cost uniform in (0, 1]: draw [0,1) and shift by one micro-unit.
+			Cost:     rng.Fixed01() + 1,
+			Capacity: fixed.Max2(share.MulFrac(scale), 1),
+		}
+	}
+	return inst
+}
+
+// StandardAuctionInstance is one §6.3 experiment input.
+type StandardAuctionInstance struct {
+	Users      []auction.UserBid
+	Capacities []fixed.Fixed
+}
+
+// NewStandardAuction draws a §6.3 instance with n users and m providers.
+func NewStandardAuction(seed uint64, n, m int) StandardAuctionInstance {
+	rng := prng.New(seed)
+	inst := StandardAuctionInstance{
+		Users:      drawUsers(rng, n),
+		Capacities: make([]fixed.Fixed, m),
+	}
+	var totalDemand fixed.Fixed
+	for _, u := range inst.Users {
+		totalDemand = totalDemand.SatAdd(u.Demand)
+	}
+	for j := range inst.Capacities {
+		share := totalDemand
+		if m > 0 {
+			share, _ = totalDemand.DivInt(int64(m))
+		}
+		// Scale factor uniform in [0, 0.25] "so roughly no more than a
+		// quarter of the users win the bids" (§6.3).
+		scale := rng.FixedRange(0, fixed.MustFloat(0.25)+1)
+		inst.Capacities[j] = fixed.Max2(share.MulFrac(scale), 1)
+	}
+	return inst
+}
+
+// drawUsers samples n users with the common §6.2/§6.3 distributions.
+func drawUsers(rng *prng.SplitMix64, n int) []auction.UserBid {
+	users := make([]auction.UserBid, n)
+	for i := range users {
+		users[i] = auction.UserBid{
+			Value: rng.FixedRange(fixed.MustFloat(0.75), fixed.MustFloat(1.25)),
+			// Demand uniform in (0, 1].
+			Demand: rng.Fixed01() + 1,
+		}
+	}
+	return users
+}

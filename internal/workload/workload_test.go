@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distauction/internal/fixed"
+)
+
+func TestDoubleAuctionDistributions(t *testing.T) {
+	inst := NewDoubleAuction(1, 500, 8)
+	if len(inst.Users) != 500 || len(inst.Providers) != 8 {
+		t.Fatal("wrong sizes")
+	}
+	lo, hi := fixed.MustFloat(0.75), fixed.MustFloat(1.25)
+	for i, u := range inst.Users {
+		if u.Value < lo || u.Value >= hi {
+			t.Errorf("user %d value %v outside [0.75,1.25)", i, u.Value)
+		}
+		if u.Demand <= 0 || u.Demand > fixed.One {
+			t.Errorf("user %d demand %v outside (0,1]", i, u.Demand)
+		}
+		if u.Validate() != nil {
+			t.Errorf("user %d bid invalid", i)
+		}
+	}
+	for j, p := range inst.Providers {
+		if p.Cost <= 0 || p.Cost > fixed.One {
+			t.Errorf("provider %d cost %v outside (0,1]", j, p.Cost)
+		}
+		if p.Capacity <= 0 {
+			t.Errorf("provider %d capacity %v not positive", j, p.Capacity)
+		}
+		if p.Validate() != nil {
+			t.Errorf("provider %d bid invalid", j)
+		}
+	}
+}
+
+func TestDoubleAuctionCapacityRegimes(t *testing.T) {
+	// Across many draws, capacities must cover both shortage (< share) and
+	// surplus (> share) regimes — the scale factor spans [0.5, 1.5].
+	shortage, surplus := 0, 0
+	for seed := uint64(1); seed <= 50; seed++ {
+		inst := NewDoubleAuction(seed, 100, 4)
+		var demand fixed.Fixed
+		for _, u := range inst.Users {
+			demand = demand.SatAdd(u.Demand)
+		}
+		share, _ := demand.DivInt(4)
+		for _, p := range inst.Providers {
+			if p.Capacity < share {
+				shortage++
+			} else {
+				surplus++
+			}
+		}
+	}
+	if shortage == 0 || surplus == 0 {
+		t.Errorf("capacity regimes not mixed: %d shortage, %d surplus", shortage, surplus)
+	}
+}
+
+func TestStandardAuctionScarcity(t *testing.T) {
+	inst := NewStandardAuction(2, 200, 8)
+	if len(inst.Users) != 200 || len(inst.Capacities) != 8 {
+		t.Fatal("wrong sizes")
+	}
+	var demand, capacity fixed.Fixed
+	for _, u := range inst.Users {
+		demand = demand.SatAdd(u.Demand)
+	}
+	for _, c := range inst.Capacities {
+		if c <= 0 {
+			t.Error("non-positive capacity")
+		}
+		capacity = capacity.SatAdd(c)
+	}
+	// §6.3: capacity ≈ [0, 0.25] of demand, so strictly less than ~30%.
+	if capacity > demand.MulFrac(fixed.MustFloat(0.3)) {
+		t.Errorf("capacity %v too large vs demand %v for the scarcity regime", capacity, demand)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewDoubleAuction(7, 50, 4)
+	b := NewDoubleAuction(7, 50, 4)
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] {
+			t.Fatal("user draws not deterministic")
+		}
+	}
+	for j := range a.Providers {
+		if a.Providers[j] != b.Providers[j] {
+			t.Fatal("provider draws not deterministic")
+		}
+	}
+	c := NewDoubleAuction(8, 50, 4)
+	same := 0
+	for i := range a.Users {
+		if a.Users[i] == c.Users[i] {
+			same++
+		}
+	}
+	if same == len(a.Users) {
+		t.Error("different seeds gave identical workloads")
+	}
+}
+
+// Property: every generated bid validates, for arbitrary seeds and sizes.
+func TestQuickAllBidsValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 1 + int(seed%64)
+		m := 1 + int(seed%8)
+		d := NewDoubleAuction(seed, n, m)
+		for _, u := range d.Users {
+			if u.Validate() != nil {
+				return false
+			}
+		}
+		for _, p := range d.Providers {
+			if p.Validate() != nil {
+				return false
+			}
+		}
+		s := NewStandardAuction(seed, n, m)
+		for _, u := range s.Users {
+			if u.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBidVectorPacking(t *testing.T) {
+	inst := NewDoubleAuction(3, 10, 2)
+	v := inst.BidVector()
+	if len(v.Users) != 10 || len(v.Providers) != 2 {
+		t.Error("BidVector shapes wrong")
+	}
+}
