@@ -53,16 +53,18 @@ func BenchmarkFig4DoubleAuction(b *testing.B) {
 		n := n
 		b.Run(fmt.Sprintf("centralized/m=8/n=%d", n), func(b *testing.B) {
 			reportRound(b, func(seed uint64) (harness.Result, error) {
-				return harness.RunCentralizedDouble(harness.Options{M: 8, N: n, Seed: seed, Latency: lat})
+				return harness.RunCentralizedDouble(
+					harness.WithProviders(8), harness.WithUsers(n),
+					harness.WithSeed(seed), harness.WithLatency(lat))
 			})
 		})
 		for _, series := range []struct{ k, m int }{{1, 3}, {2, 5}, {3, 8}} {
 			series := series
 			b.Run(fmt.Sprintf("distributed/k=%d/m=%d/n=%d", series.k, series.m, n), func(b *testing.B) {
 				reportRound(b, func(seed uint64) (harness.Result, error) {
-					return harness.RunDistributedDouble(harness.Options{
-						M: series.m, N: n, K: series.k, Seed: seed, Latency: lat,
-					})
+					return harness.RunDistributedDouble(
+						harness.WithProviders(series.m), harness.WithUsers(n), harness.WithK(series.k),
+						harness.WithSeed(seed), harness.WithLatency(lat))
 				})
 			})
 		}
@@ -80,18 +82,20 @@ func BenchmarkFig5StandardAuction(b *testing.B) {
 		delay := figures.Fig5ModelDelay(n)
 		b.Run(fmt.Sprintf("p=1/n=%d", n), func(b *testing.B) {
 			reportRound(b, func(seed uint64) (harness.Result, error) {
-				return harness.RunCentralizedStandard(harness.Options{
-					M: 8, N: n, Seed: seed, Latency: lat, InvEpsilon: 5, ModelDelay: delay,
-				})
+				return harness.RunCentralizedStandard(
+					harness.WithProviders(8), harness.WithUsers(n),
+					harness.WithSeed(seed), harness.WithLatency(lat),
+					harness.WithInvEpsilon(5), harness.WithModelDelay(delay))
 			})
 		})
 		for _, series := range []struct{ p, k int }{{2, 3}, {4, 1}} {
 			series := series
 			b.Run(fmt.Sprintf("p=%d/n=%d", series.p, n), func(b *testing.B) {
 				reportRound(b, func(seed uint64) (harness.Result, error) {
-					return harness.RunDistributedStandard(harness.Options{
-						M: 8, N: n, K: series.k, Seed: seed, Latency: lat, InvEpsilon: 5, ModelDelay: delay,
-					})
+					return harness.RunDistributedStandard(
+						harness.WithProviders(8), harness.WithUsers(n), harness.WithK(series.k),
+						harness.WithSeed(seed), harness.WithLatency(lat),
+						harness.WithInvEpsilon(5), harness.WithModelDelay(delay))
 				})
 			})
 		}
@@ -330,10 +334,56 @@ func BenchmarkVCGPayments(b *testing.B) {
 // distributed double-auction round with no link delay at all.
 func BenchmarkFullRoundZeroLatency(b *testing.B) {
 	reportRound(b, func(seed uint64) (harness.Result, error) {
-		return harness.RunDistributedDouble(harness.Options{
-			M: 3, N: 50, K: 1, Seed: seed, BidWindow: 5 * time.Second,
-		})
+		return harness.RunDistributedDouble(
+			harness.WithProviders(3), harness.WithUsers(50), harness.WithK(1),
+			harness.WithSeed(seed), harness.WithBidWindow(5*time.Second))
 	})
+}
+
+// BenchmarkSessionThroughput measures multi-round rounds/sec over the
+// session engine on the Hub transport: one deployment, 100 pipelined
+// double-auction rounds per iteration, bidders running ahead of the
+// pipeline. It is the baseline for future scaling PRs; the residual-state
+// check guards the no-monotonic-growth property (per-round protocol state
+// is reclaimed as rounds complete).
+func BenchmarkSessionThroughput(b *testing.B) {
+	const rounds = 100
+	for _, cfgCase := range []struct {
+		name  string
+		m, n  int
+		depth int
+	}{
+		{"m=3/n=10/depth=1", 3, 10, 1},
+		{"m=3/n=10/depth=4", 3, 10, 4},
+		{"m=5/n=20/depth=4", 5, 20, 4},
+	} {
+		cfgCase := cfgCase
+		b.Run(cfgCase.name, func(b *testing.B) {
+			var totalRounds int
+			var totalTime time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunSessionDouble(rounds,
+					harness.WithProviders(cfgCase.m), harness.WithUsers(cfgCase.n), harness.WithK(1),
+					harness.WithSeed(uint64(i+1)),
+					harness.WithBidWindow(5*time.Second),
+					harness.WithPipelineDepth(cfgCase.depth),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Accepted != rounds {
+					b.Fatalf("accepted %d of %d rounds", res.Accepted, rounds)
+				}
+				if res.ResidualMsgs != 0 || res.ResidualRounds != 0 {
+					b.Fatalf("protocol state grew: %d msgs, %d rounds left after %d rounds",
+						res.ResidualMsgs, res.ResidualRounds, rounds)
+				}
+				totalRounds += res.Rounds
+				totalTime += res.Duration
+			}
+			b.ReportMetric(float64(totalRounds)/totalTime.Seconds(), "rounds/s")
+		})
+	}
 }
 
 // BenchmarkReplicatedVsParallel ablates the standard auction's task
@@ -345,18 +395,19 @@ func BenchmarkReplicatedVsParallel(b *testing.B) {
 	delay := figures.Fig5ModelDelay(n)
 	b.Run("replicated", func(b *testing.B) {
 		reportRound(b, func(seed uint64) (harness.Result, error) {
-			return harness.RunDistributedStandard(harness.Options{
-				M: 8, N: n, K: 1, Seed: seed, Latency: lat,
-				InvEpsilon: 5, ModelDelay: delay, Replicated: true,
-			})
+			return harness.RunDistributedStandard(
+				harness.WithProviders(8), harness.WithUsers(n), harness.WithK(1),
+				harness.WithSeed(seed), harness.WithLatency(lat),
+				harness.WithInvEpsilon(5), harness.WithModelDelay(delay),
+				harness.WithReplicated())
 		})
 	})
 	b.Run("parallel", func(b *testing.B) {
 		reportRound(b, func(seed uint64) (harness.Result, error) {
-			return harness.RunDistributedStandard(harness.Options{
-				M: 8, N: n, K: 1, Seed: seed, Latency: lat,
-				InvEpsilon: 5, ModelDelay: delay,
-			})
+			return harness.RunDistributedStandard(
+				harness.WithProviders(8), harness.WithUsers(n), harness.WithK(1),
+				harness.WithSeed(seed), harness.WithLatency(lat),
+				harness.WithInvEpsilon(5), harness.WithModelDelay(delay))
 		})
 	})
 }

@@ -1,10 +1,11 @@
-// Command auctionsim runs one complete distributed (or centralized) auction
-// round on an in-memory network and reports the outcome: allocation,
+// Command auctionsim runs complete distributed (or centralized) auction
+// rounds on an in-memory network and reports the outcome: allocation,
 // payments, welfare, timing and traffic.
 //
 //	auctionsim -mechanism double -m 5 -n 20 -k 2
 //	auctionsim -mechanism standard -m 8 -n 40 -k 1
 //	auctionsim -centralized -mechanism double -n 100
+//	auctionsim -mechanism double -rounds 100   # pipelined session throughput
 package main
 
 import (
@@ -14,37 +15,64 @@ import (
 	"time"
 
 	"distauction/internal/auction"
+	"distauction/internal/core"
 	"distauction/internal/harness"
 	"distauction/internal/transport"
 	"distauction/internal/workload"
 )
 
 func main() {
-	mechanism := flag.String("mechanism", "double", "auction mechanism: double or standard")
+	mechanism := flag.String("mechanism", "double", fmt.Sprintf("auction mechanism: %v", core.MechanismNames()))
 	m := flag.Int("m", 5, "number of providers")
 	n := flag.Int("n", 20, "number of users")
 	k := flag.Int("k", 2, "coalition bound (requires m > 2k)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	rounds := flag.Int("rounds", 1, "rounds to run through the session engine (>1: double only)")
+	pipeline := flag.Int("pipeline", 3, "session pipeline depth (with -rounds)")
 	centralized := flag.Bool("centralized", false, "run the trusted-auctioneer baseline instead")
 	noLatency := flag.Bool("no-latency", false, "disable the community-network latency model")
 	invEps := flag.Int("inveps", 5, "standard auction: 1/ε approximation effort")
 	verbose := flag.Bool("v", false, "print the full allocation matrix")
 	flag.Parse()
 
-	if err := run(*mechanism, *m, *n, *k, *seed, *centralized, *noLatency, *invEps, *verbose); err != nil {
+	if err := run(*mechanism, *m, *n, *k, *seed, *rounds, *pipeline, *centralized, *noLatency, *invEps, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "auctionsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mechanism string, m, n, k int, seed uint64, centralized, noLatency bool, invEps int, verbose bool) error {
-	opts := harness.Options{
-		M: m, N: n, K: k, Seed: seed,
-		InvEpsilon: invEps,
-		BidWindow:  10 * time.Second,
+func run(mechanism string, m, n, k int, seed uint64, rounds, pipeline int, centralized, noLatency bool, invEps int, verbose bool) error {
+	if _, ok := core.LookupMechanism(mechanism); !ok {
+		return fmt.Errorf("unknown mechanism %q (registered: %v)", mechanism, core.MechanismNames())
+	}
+
+	opts := []harness.Option{
+		harness.WithProviders(m), harness.WithUsers(n), harness.WithK(k),
+		harness.WithSeed(seed),
+		harness.WithInvEpsilon(invEps),
+		harness.WithBidWindow(10 * time.Second),
+		harness.WithPipelineDepth(pipeline),
 	}
 	if !noLatency {
-		opts.Latency = transport.CommunityNetModel()
+		opts = append(opts, harness.WithLatency(transport.CommunityNetModel()))
+	}
+
+	if rounds > 1 {
+		if centralized || mechanism != "double" {
+			return fmt.Errorf("-rounds > 1 runs the session engine (distributed double auction only)")
+		}
+		res, err := harness.RunSessionDouble(rounds, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("session: m=%d providers, n=%d users, k=%d, %d pipelined rounds (depth %d)\n",
+			m, n, k, res.Rounds, pipeline)
+		fmt.Printf("total time: %v   throughput: %.1f rounds/s\n", res.Duration, res.RoundsPerSec())
+		fmt.Printf("accepted: %d / %d   messages: %d   bytes: %d\n",
+			res.Accepted, res.Rounds, res.Msgs, res.Bytes)
+		fmt.Printf("residual protocol state: %d msgs, %d rounds (reclaimed per round)\n",
+			res.ResidualMsgs, res.ResidualRounds)
+		return nil
 	}
 
 	var (
@@ -53,15 +81,15 @@ func run(mechanism string, m, n, k int, seed uint64, centralized, noLatency bool
 	)
 	switch {
 	case mechanism == "double" && centralized:
-		res, err = harness.RunCentralizedDouble(opts)
+		res, err = harness.RunCentralizedDouble(opts...)
 	case mechanism == "double":
-		res, err = harness.RunDistributedDouble(opts)
+		res, err = harness.RunDistributedDouble(opts...)
 	case mechanism == "standard" && centralized:
-		res, err = harness.RunCentralizedStandard(opts)
+		res, err = harness.RunCentralizedStandard(opts...)
 	case mechanism == "standard":
-		res, err = harness.RunDistributedStandard(opts)
+		res, err = harness.RunDistributedStandard(opts...)
 	default:
-		return fmt.Errorf("unknown mechanism %q (want double or standard)", mechanism)
+		return fmt.Errorf("mechanism %q has no harness driver (want double or standard)", mechanism)
 	}
 	if err != nil {
 		return err

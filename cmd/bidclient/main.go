@@ -1,5 +1,8 @@
 // Command bidclient submits a user's bandwidth bid to every provider of a
-// distributed auction over TCP and waits for the unanimous outcome.
+// distributed auction over TCP and streams the unanimous outcomes.
+//
+// With -rounds > 1 the client stays in the session and re-submits the same
+// bid each round, printing every round's result as it arrives.
 //
 //	bidclient -id 100 -listen :0 \
 //	  -providers '1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003' \
@@ -7,7 +10,6 @@
 package main
 
 import (
-	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -15,7 +17,6 @@ import (
 	"time"
 
 	"distauction/internal/auction"
-	"distauction/internal/auth"
 	"distauction/internal/cliutil"
 	"distauction/internal/core"
 	"distauction/internal/fixed"
@@ -29,18 +30,19 @@ func main() {
 	providersFlag := flag.String("providers", "", "provider set: id=host:port, comma separated")
 	value := flag.String("value", "", "per-unit valuation (decimal)")
 	demand := flag.String("demand", "", "bandwidth demand (decimal)")
-	round := flag.Uint64("round", 1, "auction round to bid in")
-	timeout := flag.Duration("timeout", 2*time.Minute, "how long to wait for the outcome")
+	round := flag.Uint64("round", 1, "first auction round to bid in")
+	rounds := flag.Uint64("rounds", 1, "how many consecutive rounds to bid in")
+	timeout := flag.Duration("timeout", 2*time.Minute, "how long to wait for each round's outcome")
 	secret := flag.String("secret", "", "shared master secret for HMAC keys (empty = unauthenticated)")
 	flag.Parse()
 
-	if err := run(uint32(*id), *listen, *providersFlag, *value, *demand, *round, *timeout, *secret); err != nil {
+	if err := run(uint32(*id), *listen, *providersFlag, *value, *demand, *round, *rounds, *timeout, *secret); err != nil {
 		fmt.Fprintln(os.Stderr, "bidclient:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id uint32, listen, providersFlag, value, demand string, round uint64,
+func run(id uint32, listen, providersFlag, value, demand string, startRound, rounds uint64,
 	timeout time.Duration, secret string) error {
 
 	peerAddrs, providerIDs, err := cliutil.ParseAddrMap(providersFlag)
@@ -59,45 +61,88 @@ func run(id uint32, listen, providersFlag, value, demand string, round uint64,
 	if err := bid.Validate(); err != nil {
 		return err
 	}
+	if rounds == 0 {
+		return errors.New("need at least one round")
+	}
 
-	tcpCfg := transport.TCPConfig{
-		Self:       wire.NodeID(id),
-		ListenAddr: listen,
-		Peers:      peerAddrs,
-	}
-	if secret != "" {
-		all := append([]wire.NodeID{wire.NodeID(id)}, providerIDs...)
-		tcpCfg.Registry = auth.NewRegistryFromMaster([]byte(secret), wire.NodeID(id), all)
-	}
-	node, err := transport.ListenTCP(tcpCfg)
+	self := wire.NodeID(id)
+	network, conn, err := cliutil.DialTCP(self, listen, peerAddrs,
+		append([]wire.NodeID{self}, providerIDs...), secret)
 	if err != nil {
 		return err
 	}
-	bidder := core.NewBidder(node, providerIDs)
-	defer bidder.Close()
-
-	fmt.Printf("bidclient: user %d bidding value=%v demand=%v in round %d (reply address %s)\n",
-		id, v, d, round, node.Addr())
-	if err := bidder.Submit(round, bid); err != nil {
-		return fmt.Errorf("submit: %w", err)
+	defer network.Close()
+	if node, ok := conn.(*transport.TCPNode); ok {
+		// The resolved address (listen may be :0) is what gatewayd needs in
+		// -user-addrs to deliver outcomes back to this client.
+		fmt.Printf("bidclient: user %d receiving outcomes on %s\n", id, node.Addr())
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
-	out, err := bidder.AwaitOutcome(ctx, round)
-	if errors.Is(err, core.ErrOutcomeBot) {
-		fmt.Println("outcome: ⊥ (auction aborted; nothing allocated, nothing paid)")
-		return nil
-	}
+	session, err := core.OpenBidderSession(conn, providerIDs,
+		core.WithStartRound(startRound),
+		core.WithRoundLimit(rounds),
+		core.WithRoundTimeout(timeout),
+	)
 	if err != nil {
 		return err
 	}
+	defer session.Close()
 
-	// Find our own slot by matching node id order: the deployment registers
-	// users in the same order everywhere; providers address slots by index.
-	fmt.Printf("outcome accepted by all %d providers\n", len(providerIDs))
-	fmt.Printf("allocation matrix: %d users x %d providers\n", out.Alloc.NumUsers, out.Alloc.NumProviders)
-	fmt.Printf("total paid by users: %v; total to providers: %v\n",
-		out.Pay.TotalPaid(), out.Pay.TotalReceived())
-	return nil
+	fmt.Printf("bidclient: user %d bidding value=%v demand=%v from round %d (%d rounds)\n",
+		id, v, d, startRound, rounds)
+	// Pace submissions against received outcomes instead of bursting every
+	// round up front: providers buffer future-round bids until the round's
+	// window opens, so an unpaced -rounds 100000 would pin ~100000 rounds of
+	// state at every provider. A few rounds of lookahead keeps the pipeline
+	// full without unbounded buffering.
+	const lookahead = 8
+	nextBid := startRound
+	for ; nextBid < startRound+min(lookahead, rounds); nextBid++ {
+		if err := session.Submit(nextBid, bid); err != nil {
+			return fmt.Errorf("submit round %d: %w", nextBid, err)
+		}
+	}
+
+	// The deadline is per outcome, not for the whole session: a healthy
+	// multi-round stream resets it on every result, so -rounds 100 is not
+	// cut off mid-stream by a single fixed budget. 0 disables it, matching
+	// WithRoundTimeout (a nil channel never fires).
+	var deadline *time.Timer
+	var deadlineC <-chan time.Time
+	if timeout > 0 {
+		deadline = time.NewTimer(timeout)
+		defer deadline.Stop()
+		deadlineC = deadline.C
+	}
+	for {
+		select {
+		case out, ok := <-session.Outcomes():
+			if !ok {
+				return nil
+			}
+			if deadline != nil {
+				deadline.Reset(timeout) // direct Reset is race-free since Go 1.23
+			}
+			if nextBid < startRound+rounds {
+				if err := session.Submit(nextBid, bid); err != nil {
+					return fmt.Errorf("submit round %d: %w", nextBid, err)
+				}
+				nextBid++
+			}
+			if errors.Is(out.Err, core.ErrOutcomeBot) {
+				fmt.Printf("round %d: ⊥ (auction aborted; nothing allocated, nothing paid)\n", out.Round)
+				continue
+			}
+			if out.Err != nil {
+				return out.Err
+			}
+			fmt.Printf("round %d: outcome accepted by all %d providers\n", out.Round, len(providerIDs))
+			fmt.Printf("  allocation matrix: %d users x %d providers\n",
+				out.Outcome.Alloc.NumUsers, out.Outcome.Alloc.NumProviders)
+			fmt.Printf("  total paid by users: %v; total to providers: %v\n",
+				out.Outcome.Pay.TotalPaid(), out.Outcome.Pay.TotalReceived())
+		case <-deadlineC:
+			return errors.New("timed out waiting for outcomes")
+		}
+	}
 }

@@ -22,26 +22,56 @@
 //     single-provider assignment with VCG payments, the computationally
 //     heavy and parallelisable case).
 //
+// Both are also registered by name ("double", "standard") in the mechanism
+// registry, so CLIs and config files can select them by string; register
+// your own with RegisterMechanism.
+//
+// # Sessions
+//
+// The primary API is session-oriented: a provider opens a long-running
+// Session that runs auction rounds continuously — collecting bids as they
+// arrive, advancing round numbers automatically, pipelining round r+1's bid
+// collection with round r's allocation, and reclaiming per-round protocol
+// state as rounds complete. Bidders open a BidderSession and read per-round
+// results from a channel. The manual per-round Provider/Bidder API remains
+// as a compatibility shim over the same engine.
+//
 // # Quick start
 //
-// Build an in-memory network, start providers, submit bids, read the
-// outcome:
+// Build an in-memory network, open provider sessions and a bidder session,
+// submit a bid, read the outcome (error handling elided):
 //
 //	hub := distauction.NewHub(distauction.CommunityNetModel(), 1)
 //	defer hub.Close()
-//	cfg := distauction.Config{
+//	top := distauction.Topology{
 //		Providers: []distauction.NodeID{1, 2, 3},
 //		Users:     []distauction.NodeID{100, 101},
-//		K:         1,
-//		Mechanism: distauction.NewDoubleAuction(),
 //	}
-//	// attach conns, distauction.NewProvider(conn, cfg), NewBidder(...)
+//	for _, id := range top.Providers {
+//		conn, _ := hub.Attach(id)
+//		s, _ := distauction.Open(conn, top,
+//			distauction.WithK(1),
+//			distauction.WithMechanismName("double"),
+//			distauction.WithBidWindow(2*time.Second))
+//		defer s.Close()
+//		go func() {
+//			for range s.Outcomes() {
+//			} // a provider daemon would act on each outcome here
+//		}()
+//	}
+//	conn, _ := hub.Attach(top.Users[0])
+//	b, _ := distauction.OpenBidder(conn, top.Providers)
+//	defer b.Close()
+//	b.Submit(1, distauction.UserBid{Value: distauction.Fx(1.2), Demand: distauction.Fx(0.8)})
+//	out := <-b.Outcomes() // round 1's unanimous outcome (out.Err != nil on ⊥)
 //
 // See examples/ for complete programs, DESIGN.md for the architecture and
 // EXPERIMENTS.md for the reproduction of the paper's evaluation.
 package distauction
 
 import (
+	"time"
+
 	"distauction/internal/auction"
 	"distauction/internal/core"
 	"distauction/internal/fixed"
@@ -74,21 +104,41 @@ type (
 	// Outcome is the auctioneer's result: an allocation and payments.
 	Outcome = auction.Outcome
 
-	// Config describes an auction deployment (providers, users, k,
-	// mechanism).
+	// Session is a provider node's long-running auction engine: rounds run
+	// continuously and pipelined, results stream from Session.Outcomes.
+	Session = core.Session
+	// BidderSession is the user-side client: submit bids for any round,
+	// stream per-round unanimous outcomes from BidderSession.Outcomes.
+	BidderSession = core.BidderSession
+	// RoundOutcome is one round's result as streamed by sessions (Err is
+	// non-nil for ⊥ rounds).
+	RoundOutcome = core.RoundOutcome
+	// Option configures a Session or BidderSession at Open time.
+	Option = core.SessionOption
+	// MechanismSpec carries the deployment facts a named mechanism factory
+	// may need (capacities, tuning knobs).
+	MechanismSpec = core.MechanismSpec
+	// MechanismFactory builds a Mechanism from a MechanismSpec.
+	MechanismFactory = core.MechanismFactory
+
+	// Config describes an auction deployment for the manual-round
+	// compatibility API (sessions use functional options instead).
 	Config = core.Config
 	// Mechanism is the allocation algorithm A with its task decomposition.
 	Mechanism = core.Mechanism
-	// Provider is a provider node's runtime: it simulates the auctioneer
-	// together with its peers.
+	// Provider is the manual-round provider runtime (compatibility shim
+	// over the session engine).
 	Provider = core.Provider
-	// Bidder is the user-side client: submit bids, await the outcome.
+	// Bidder is the manual-round user-side client.
 	Bidder = core.Bidder
 	// Centralized is the trusted-auctioneer baseline.
 	Centralized = core.Centralized
 
 	// Conn is a node's attachment to a network.
 	Conn = transport.Conn
+	// Network is a transport that participants attach to; Hub (in-memory)
+	// and TCPNetwork (real TCP) both implement it.
+	Network = transport.Network
 	// Hub is the in-memory network with a configurable latency model.
 	Hub = transport.Hub
 	// LatencyModel configures per-message delay (base + per-byte + jitter).
@@ -97,6 +147,10 @@ type (
 	TCPConfig = transport.TCPConfig
 	// TCPNode is a node on a real TCP network.
 	TCPNode = transport.TCPNode
+	// TCPNetwork is the Network implementation over real TCP.
+	TCPNetwork = transport.TCPNetwork
+	// TCPNetworkConfig configures a TCPNetwork (address book, HMAC secret).
+	TCPNetworkConfig = transport.TCPNetworkConfig
 
 	// StandardParams tunes the standard auction's (1−ε) search.
 	StandardParams = standardauction.Params
@@ -110,9 +164,95 @@ type (
 	Enforcer = gateway.Enforcer
 )
 
+// Topology names the fixed participant set of a deployment: the providers
+// that jointly simulate the auctioneer and the user bidders. Every
+// participant of a deployment must use the same topology.
+type Topology struct {
+	Providers []NodeID
+	Users     []NodeID
+}
+
 // ErrOutcomeBot reports that the auction outcome is ⊥ (aborted or
 // non-unanimous).
 var ErrOutcomeBot = core.ErrOutcomeBot
+
+// ErrConfig reports an invalid deployment configuration — including option
+// validation failures from Open and OpenBidder.
+var ErrConfig = core.ErrConfig
+
+// Open validates the options and starts a long-running auction Session for
+// a provider node. conn must belong to one of top.Providers; all providers
+// of a deployment must open sessions with equivalent options (same k,
+// mechanism, bid window and start round).
+func Open(conn Conn, top Topology, opts ...Option) (*Session, error) {
+	return core.OpenSession(conn, top.Providers, top.Users, opts...)
+}
+
+// OpenBidder starts a bidder session over conn addressing the given
+// providers. Only WithStartRound, WithRoundLimit, WithOutcomeBuffer and
+// WithRoundTimeout (per-round wait bound; a lost result costs that round
+// as ⊥ instead of wedging the stream) apply; the start round must match
+// the providers' sessions.
+func OpenBidder(conn Conn, providers []NodeID, opts ...Option) (*BidderSession, error) {
+	return core.OpenBidderSession(conn, providers, opts...)
+}
+
+// Session options, re-exported from the engine.
+
+// WithK sets the coalition bound k (requires m > 2k providers).
+func WithK(k int) Option { return core.WithK(k) }
+
+// WithMechanism selects the allocation mechanism directly.
+func WithMechanism(m Mechanism) Option { return core.WithMechanism(m) }
+
+// WithMechanismName selects a registered mechanism by name ("double",
+// "standard", or anything added via RegisterMechanism) with a zero spec.
+func WithMechanismName(name string) Option { return core.WithMechanismName(name) }
+
+// WithNamedMechanism selects a registered mechanism by name and builds it
+// from spec at Open time.
+func WithNamedMechanism(name string, spec MechanismSpec) Option {
+	return core.WithNamedMechanism(name, spec)
+}
+
+// WithBidWindow sets how long each round waits for bid submissions.
+func WithBidWindow(d time.Duration) Option { return core.WithBidWindow(d) }
+
+// WithRoundTimeout bounds each round past bid collection; an overrunning
+// round ends in ⊥ without wedging the session (0 disables).
+func WithRoundTimeout(d time.Duration) Option { return core.WithRoundTimeout(d) }
+
+// WithMaxConcurrentRounds sets the pipeline depth (rounds in flight).
+func WithMaxConcurrentRounds(n int) Option { return core.WithMaxConcurrentRounds(n) }
+
+// WithStartRound sets the first round number (default 1).
+func WithStartRound(r uint64) Option { return core.WithStartRound(r) }
+
+// WithRoundLimit stops the session after n rounds (0 = run until Close).
+func WithRoundLimit(n uint64) Option { return core.WithRoundLimit(n) }
+
+// WithOutcomeBuffer sets the outcomes channel capacity.
+func WithOutcomeBuffer(n int) Option { return core.WithOutcomeBuffer(n) }
+
+// WithProviderBid sets the provider's initial own bid (double auctions).
+func WithProviderBid(bid ProviderBid) Option { return core.WithProviderBid(bid) }
+
+// RegisterMechanism adds a named mechanism factory so deployments can
+// select mechanisms by string (CLIs, config files, WithMechanismName).
+func RegisterMechanism(name string, factory MechanismFactory) {
+	core.RegisterMechanism(name, factory)
+}
+
+// LookupMechanism returns the factory registered under name.
+func LookupMechanism(name string) (MechanismFactory, bool) { return core.LookupMechanism(name) }
+
+// NewMechanism builds the named mechanism from spec.
+func NewMechanism(name string, spec MechanismSpec) (Mechanism, error) {
+	return core.NewMechanism(name, spec)
+}
+
+// MechanismNames lists the registered mechanism names, sorted.
+func MechanismNames() []string { return core.MechanismNames() }
 
 // Fx converts a float to Fixed, panicking on NaN/Inf/overflow. Use it for
 // literals; parse external input with ParseFixed.
@@ -144,12 +284,16 @@ func CommunityNetModel() LatencyModel { return transport.CommunityNetModel() }
 // ListenTCP starts a real TCP transport node.
 func ListenTCP(cfg TCPConfig) (*TCPNode, error) { return transport.ListenTCP(cfg) }
 
-// NewProvider starts a provider runtime over conn; conn's node must be one
-// of cfg.Providers.
+// NewTCPNetwork creates a TCP-backed Network from an address book, so the
+// same deployment code runs over the Hub or over real sockets.
+func NewTCPNetwork(cfg TCPNetworkConfig) *TCPNetwork { return transport.NewTCPNetwork(cfg) }
+
+// NewProvider starts a manual-round provider runtime over conn; conn's node
+// must be one of cfg.Providers. Prefer Open for new code.
 func NewProvider(conn Conn, cfg Config) (*Provider, error) { return core.NewProvider(conn, cfg) }
 
-// NewBidder starts a user-side client over conn addressing the given
-// providers.
+// NewBidder starts a manual-round user-side client over conn addressing the
+// given providers. Prefer OpenBidder for new code.
 func NewBidder(conn Conn, providers []NodeID) *Bidder { return core.NewBidder(conn, providers) }
 
 // NewCentralized starts the trusted-auctioneer baseline over conn.

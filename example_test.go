@@ -1,0 +1,39 @@
+package distauction_test
+
+import (
+	"fmt"
+	"time"
+
+	"distauction"
+)
+
+// Example is the package quick start from the godoc, kept compiling and
+// running by `go test`: an in-memory deployment of three provider sessions
+// and one bidder session, one submitted bid, one streamed outcome.
+func Example() {
+	hub := distauction.NewHub(distauction.LatencyModel{}, 1)
+	defer hub.Close()
+	top := distauction.Topology{
+		Providers: []distauction.NodeID{1, 2, 3},
+		Users:     []distauction.NodeID{100, 101},
+	}
+	for _, id := range top.Providers {
+		conn, _ := hub.Attach(id)
+		s, _ := distauction.Open(conn, top,
+			distauction.WithK(1),
+			distauction.WithMechanismName("double"),
+			distauction.WithBidWindow(500*time.Millisecond))
+		defer s.Close()
+		go func() {
+			for range s.Outcomes() {
+			} // a provider daemon would act on each outcome here
+		}()
+	}
+	conn, _ := hub.Attach(top.Users[0])
+	b, _ := distauction.OpenBidder(conn, top.Providers)
+	defer b.Close()
+	b.Submit(1, distauction.UserBid{Value: distauction.Fx(1.2), Demand: distauction.Fx(0.8)})
+	out := <-b.Outcomes()
+	fmt.Println("round", out.Round, "accepted:", out.Err == nil)
+	// Output: round 1 accepted: true
+}

@@ -1,22 +1,20 @@
 // Bandwidth reservation in a community network — the paper's case study
 // (§5.1) end to end.
 //
-// Five households share three Internet gateways. Each auction round, the
-// households bid for gateway bandwidth; the gateways' owners jointly
-// simulate the auctioneer (no single owner is trusted); the accepted
-// outcome settles atomically on a credit ledger and turns into token-bucket
-// shaped reservations on the gateways. An aborted round moves no money and
-// reserves nothing — that is the "external mechanism" that makes honest
-// participation an equilibrium.
+// Five households share three Internet gateways. The gateway owners open
+// long-running auction sessions that run one round per auction period; the
+// households stream their shifting demand into the rounds and read the
+// outcomes from a channel. Each accepted outcome settles atomically on a
+// credit ledger and turns into token-bucket shaped reservations on the
+// gateways. An aborted round moves no money and reserves nothing — that is
+// the "external mechanism" that makes honest participation an equilibrium.
 //
 //	go run ./examples/bandwidth
 package main
 
 import (
-	"context"
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"distauction"
@@ -28,23 +26,19 @@ func main() {
 	hub := distauction.NewHub(distauction.CommunityNetModel(), 7)
 	defer hub.Close()
 
-	gatewayIDs := []distauction.NodeID{1, 2, 3}
-	households := []distauction.NodeID{100, 101, 102, 103, 104}
-	cfg := distauction.Config{
-		Providers: gatewayIDs,
-		Users:     households,
-		K:         1,
-		Mechanism: distauction.NewDoubleAuction(),
-		BidWindow: 2 * time.Second,
+	top := distauction.Topology{
+		Providers: []distauction.NodeID{1, 2, 3},                 // gateway owners
+		Users:     []distauction.NodeID{100, 101, 102, 103, 104}, // households
 	}
+	const rounds = 2
 
 	// The community credit ledger: every member starts with 50 credits.
 	ledger := distauction.NewLedger()
 	ledger.Open(escrow)
-	for _, id := range append(append([]distauction.NodeID{}, gatewayIDs...), households...) {
+	for _, id := range append(append([]distauction.NodeID{}, top.Providers...), top.Users...) {
 		ledger.Open(id)
 	}
-	for _, id := range households {
+	for _, id := range top.Users {
 		if err := ledger.Deposit(id, distauction.Fx(50)); err != nil {
 			log.Fatal(err)
 		}
@@ -60,31 +54,6 @@ func main() {
 		Ledger: ledger, Gateways: gateways, Escrow: escrow, TTL: time.Hour,
 	}
 
-	// Protocol nodes.
-	var providers []*distauction.Provider
-	for _, id := range gatewayIDs {
-		conn, err := hub.Attach(id)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p, err := distauction.NewProvider(conn, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer p.Close()
-		providers = append(providers, p)
-	}
-	var bidders []*distauction.Bidder
-	for _, id := range households {
-		conn, err := hub.Attach(id)
-		if err != nil {
-			log.Fatal(err)
-		}
-		b := distauction.NewBidder(conn, gatewayIDs)
-		defer b.Close()
-		bidders = append(bidders, b)
-	}
-
 	// Gateway owners' asking prices per unit of uplink.
 	gatewayBids := []distauction.ProviderBid{
 		{Cost: distauction.Fx(0.20), Capacity: distauction.Fx(4)},
@@ -92,7 +61,42 @@ func main() {
 		{Cost: distauction.Fx(0.60), Capacity: distauction.Fx(2)},
 	}
 
-	// Two auction rounds with shifting demand (evening peak in round 2).
+	// Open the gateway sessions: rounds now run on their own.
+	var sessions []*distauction.Session
+	for i, id := range top.Providers {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := distauction.Open(conn, top,
+			distauction.WithK(1),
+			distauction.WithMechanismName("double"),
+			distauction.WithBidWindow(2*time.Second),
+			distauction.WithProviderBid(gatewayBids[i]),
+			distauction.WithRoundLimit(rounds),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		sessions = append(sessions, s)
+	}
+	var bidders []*distauction.BidderSession
+	for _, id := range top.Users {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := distauction.OpenBidder(conn, top.Providers, distauction.WithRoundLimit(rounds))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer b.Close()
+		bidders = append(bidders, b)
+	}
+
+	// Shifting demand: evening peak in round 2. Bids for both rounds go in
+	// immediately — the sessions buffer them until each round opens.
 	demandByRound := [][]distauction.UserBid{
 		{
 			{Value: distauction.Fx(1.10), Demand: distauction.Fx(2.0)},
@@ -109,57 +113,54 @@ func main() {
 			{Value: distauction.Fx(1.00), Demand: distauction.Fx(1.0)},
 		},
 	}
-
-	for round := uint64(1); round <= 2; round++ {
-		fmt.Printf("—— round %d ——\n", round)
-		bids := demandByRound[round-1]
+	for round := uint64(1); round <= rounds; round++ {
 		for i, b := range bidders {
-			if err := b.Submit(round, bids[i]); err != nil {
+			if err := b.Submit(round, demandByRound[round-1][i]); err != nil {
 				log.Fatal(err)
 			}
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		var wg sync.WaitGroup
-		for i, p := range providers {
-			wg.Add(1)
-			go func(i int, p *distauction.Provider) {
-				defer wg.Done()
-				if _, err := p.RunRound(ctx, round, &gatewayBids[i]); err != nil {
-					log.Printf("gateway %d: %v", i+1, err)
-				}
-			}(i, p)
-		}
-		outcome, err := bidders[0].AwaitOutcome(ctx, round)
-		wg.Wait()
-		cancel()
-		if err != nil {
-			fmt.Printf("round %d aborted (⊥): nothing reserved, nothing paid\n", round)
+	}
+
+	// The gateway daemons drain their own outcome streams; households other
+	// than the narrator do the same.
+	for _, s := range sessions {
+		go func(s *distauction.Session) {
+			for range s.Outcomes() {
+			}
+		}(s)
+	}
+	for _, b := range bidders[1:] {
+		go func(b *distauction.BidderSession) {
+			for range b.Outcomes() {
+			}
+		}(b)
+	}
+
+	// The external mechanism, driven by the outcome stream: settle payments
+	// and create reservations per accepted round; an aborted round changes
+	// nothing.
+	for out := range bidders[0].Outcomes() {
+		fmt.Printf("—— round %d ——\n", out.Round)
+		if out.Err != nil {
+			fmt.Printf("round %d aborted (⊥): nothing reserved, nothing paid\n", out.Round)
 			continue
 		}
-
-		// The external mechanism: settle payments and create reservations.
-		if err := enforcer.Enforce(round, outcome, households, gatewayIDs); err != nil {
+		if err := enforcer.Enforce(out.Round, out.Outcome, top.Users, top.Providers); err != nil {
 			log.Fatalf("enforce: %v", err)
 		}
-		for u, id := range households {
-			if total := outcome.Alloc.UserTotal(u); total > 0 {
+		for u, id := range top.Users {
+			if total := out.Outcome.Alloc.UserTotal(u); total > 0 {
 				fmt.Printf("  household %d: %v units reserved, paid %v (balance %v)\n",
-					id, total, outcome.Pay.ByUser[u], ledger.Balance(id))
+					id, total, out.Outcome.Pay.ByUser[u], ledger.Balance(id))
 			} else {
 				fmt.Printf("  household %d: no allocation this round\n", id)
 			}
 		}
 		for g, gw := range gateways {
 			fmt.Printf("  gateway %d: %v of %v units still free, earned %v total\n",
-				gatewayIDs[g], gw.Available(), gw.Capacity(), ledger.Balance(gatewayIDs[g]))
+				top.Providers[g], gw.Available(), gw.Capacity(), ledger.Balance(top.Providers[g]))
 		}
 		fmt.Printf("  escrow surplus (McAfee): %v\n", ledger.Balance(escrow))
-		for _, p := range providers {
-			p.EndRound(round)
-		}
-		for _, b := range bidders {
-			b.EndRound(round)
-		}
 		// End of the auction period: reservations expire before the next
 		// round's outcome is enforced.
 		for _, gw := range gateways {

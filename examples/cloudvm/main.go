@@ -17,10 +17,8 @@
 package main
 
 import (
-	"context"
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"distauction"
@@ -49,22 +47,22 @@ func main() {
 		{"p=2 distributed (k=3: any 3 providers may collude)", 3, false},
 		{"p=4 distributed (k=1: any single provider may collude)", 1, false},
 	} {
-		opts := harness.Options{
-			M: m, N: n, K: s.k,
-			Seed:       11,
-			Latency:    transport.CommunityNetModel(),
-			InvEpsilon: 5,
-			ModelDelay: solveCost,
-			BidWindow:  5 * time.Second,
+		opts := []harness.Option{
+			harness.WithProviders(m), harness.WithUsers(n), harness.WithK(s.k),
+			harness.WithSeed(11),
+			harness.WithLatency(transport.CommunityNetModel()),
+			harness.WithInvEpsilon(5),
+			harness.WithModelDelay(solveCost),
+			harness.WithBidWindow(5 * time.Second),
 		}
 		var (
 			res harness.Result
 			err error
 		)
 		if s.cent {
-			res, err = harness.RunCentralizedStandard(opts)
+			res, err = harness.RunCentralizedStandard(opts...)
 		} else {
-			res, err = harness.RunDistributedStandard(opts)
+			res, err = harness.RunDistributedStandard(opts...)
 		}
 		if err != nil {
 			log.Fatalf("%s: %v", s.label, err)
@@ -84,7 +82,9 @@ func main() {
 }
 
 // publicAPIRound runs a small standard auction directly against the public
-// API, to show the wiring without the benchmark harness.
+// session API, to show the wiring without the benchmark harness: the
+// mechanism is picked from the registry by name, providers are long-running
+// sessions, and the bidder reads its outcome from a channel.
 func publicAPIRound() {
 	hub := distauction.NewHub(distauction.LatencyModel{}, 3)
 	defer hub.Close()
@@ -92,29 +92,31 @@ func publicAPIRound() {
 	capacities := []distauction.Fixed{
 		distauction.Fx(2), distauction.Fx(2), distauction.Fx(1), distauction.Fx(1),
 	}
-	cfg := distauction.Config{
+	top := distauction.Topology{
 		Providers: []distauction.NodeID{1, 2, 3, 4},
 		Users:     []distauction.NodeID{100, 101, 102, 103, 104, 105},
-		K:         1,
-		Mechanism: distauction.NewStandardAuction(distauction.StandardParams{
-			Capacities: capacities,
-			InvEpsilon: 8,
-		}),
-		BidWindow: 2 * time.Second,
 	}
 
-	var providers []*distauction.Provider
-	for _, id := range cfg.Providers {
+	var sessions []*distauction.Session
+	for _, id := range top.Providers {
 		conn, err := hub.Attach(id)
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, err := distauction.NewProvider(conn, cfg)
+		s, err := distauction.Open(conn, top,
+			distauction.WithK(1),
+			distauction.WithNamedMechanism("standard", distauction.MechanismSpec{
+				Capacities: capacities,
+				InvEpsilon: 8,
+			}),
+			distauction.WithBidWindow(2*time.Second),
+			distauction.WithRoundLimit(1),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer p.Close()
-		providers = append(providers, p)
+		defer s.Close()
+		sessions = append(sessions, s)
 	}
 
 	// Six users compete for six capacity units; the two lowest-value
@@ -127,13 +129,16 @@ func publicAPIRound() {
 		{Value: distauction.Fx(5), Demand: distauction.Fx(1)},
 		{Value: distauction.Fx(4), Demand: distauction.Fx(1)},
 	}
-	var bidders []*distauction.Bidder
-	for i, id := range cfg.Users {
+	var bidders []*distauction.BidderSession
+	for i, id := range top.Users {
 		conn, err := hub.Attach(id)
 		if err != nil {
 			log.Fatal(err)
 		}
-		b := distauction.NewBidder(conn, cfg.Providers)
+		b, err := distauction.OpenBidder(conn, top.Providers, distauction.WithRoundLimit(1))
+		if err != nil {
+			log.Fatal(err)
+		}
 		defer b.Close()
 		bidders = append(bidders, b)
 		if err := b.Submit(1, bids[i]); err != nil {
@@ -141,24 +146,19 @@ func publicAPIRound() {
 		}
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	var wg sync.WaitGroup
-	for _, p := range providers {
-		wg.Add(1)
-		go func(p *distauction.Provider) {
-			defer wg.Done()
-			if _, err := p.RunRound(ctx, 1, nil); err != nil {
-				log.Printf("provider: %v", err)
-			}
-		}(p)
+	// The sessions run the round on their own; the bidder just reads its
+	// outcome stream.
+	result := <-bidders[0].Outcomes()
+	if result.Err != nil {
+		log.Fatalf("outcome: %v", result.Err)
 	}
-	outcome, err := bidders[0].AwaitOutcome(ctx, 1)
-	wg.Wait()
-	if err != nil {
-		log.Fatalf("outcome: %v", err)
+	outcome := result.Outcome
+	for _, s := range sessions {
+		for range s.Outcomes() {
+			// drain until the round limit closes the stream
+		}
 	}
-	for u, id := range cfg.Users {
+	for u, id := range top.Users {
 		total := outcome.Alloc.UserTotal(u)
 		if total > 0 {
 			fmt.Printf("  user %d: served (%v units), VCG payment %v\n", id, total, outcome.Pay.ByUser[u])

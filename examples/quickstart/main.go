@@ -6,14 +6,17 @@
 // the allocation redundantly, cross-validate, and the users accept the
 // outcome only when every provider reports the same pair.
 //
+// Each provider opens a long-running Session — the session engine collects
+// bids, runs the round, streams the result, and moves on to the next round
+// on its own. Here the sessions are limited to three rounds so the program
+// terminates; a real deployment would run without a limit.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
-	"context"
 	"fmt"
 	"log"
-	"sync"
 	"time"
 
 	"distauction"
@@ -24,48 +27,11 @@ func main() {
 	hub := distauction.NewHub(distauction.CommunityNetModel(), 42)
 	defer hub.Close()
 
-	cfg := distauction.Config{
+	top := distauction.Topology{
 		Providers: []distauction.NodeID{1, 2, 3},
 		Users:     []distauction.NodeID{100, 101},
-		K:         1, // tolerate any single deviating provider (m > 2k)
-		Mechanism: distauction.NewDoubleAuction(),
-		BidWindow: 2 * time.Second,
 	}
-
-	// Start the three provider runtimes.
-	var providers []*distauction.Provider
-	for _, id := range cfg.Providers {
-		conn, err := hub.Attach(id)
-		if err != nil {
-			log.Fatal(err)
-		}
-		p, err := distauction.NewProvider(conn, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer p.Close()
-		providers = append(providers, p)
-	}
-
-	// Users submit their true valuations — the mechanism is truthful, so
-	// that is each user's best strategy.
-	userBids := []distauction.UserBid{
-		{Value: distauction.Fx(1.20), Demand: distauction.Fx(0.8)}, // values 1.20/unit, wants 0.8 units
-		{Value: distauction.Fx(0.90), Demand: distauction.Fx(0.5)},
-	}
-	var bidders []*distauction.Bidder
-	for i, id := range cfg.Users {
-		conn, err := hub.Attach(id)
-		if err != nil {
-			log.Fatal(err)
-		}
-		b := distauction.NewBidder(conn, cfg.Providers)
-		defer b.Close()
-		bidders = append(bidders, b)
-		if err := b.Submit(1, userBids[i]); err != nil {
-			log.Fatal(err)
-		}
-	}
+	const rounds = 3
 
 	// Each provider sells bandwidth at its own cost.
 	providerBids := []distauction.ProviderBid{
@@ -74,36 +40,75 @@ func main() {
 		{Cost: distauction.Fx(0.70), Capacity: distauction.Fx(1.0)},
 	}
 
-	// Run round 1 at every provider concurrently.
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	var wg sync.WaitGroup
-	for i, p := range providers {
-		wg.Add(1)
-		go func(i int, p *distauction.Provider) {
-			defer wg.Done()
-			if _, err := p.RunRound(ctx, 1, &providerBids[i]); err != nil {
-				log.Printf("provider %d: %v", i+1, err)
+	// Open the three provider sessions. k=1: tolerate any single deviating
+	// provider (m > 2k). The sessions run rounds continuously from here on.
+	var sessions []*distauction.Session
+	for i, id := range top.Providers {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := distauction.Open(conn, top,
+			distauction.WithK(1),
+			distauction.WithMechanismName("double"),
+			distauction.WithBidWindow(2*time.Second),
+			distauction.WithProviderBid(providerBids[i]),
+			distauction.WithRoundLimit(rounds),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		sessions = append(sessions, s)
+		// A provider daemon consumes its outcome stream (and would enforce
+		// each accepted outcome; see examples/bandwidth).
+		go func(s *distauction.Session) {
+			for range s.Outcomes() {
 			}
-		}(i, p)
+		}(s)
 	}
 
-	// Users wait for the unanimous outcome.
-	outcome, err := bidders[0].AwaitOutcome(ctx, 1)
-	wg.Wait()
-	if err != nil {
-		log.Fatalf("outcome: %v", err)
+	// Users submit their true valuations — the mechanism is truthful, so
+	// that is each user's best strategy. Bids for future rounds are fine:
+	// providers buffer them until the round opens.
+	userBids := []distauction.UserBid{
+		{Value: distauction.Fx(1.20), Demand: distauction.Fx(0.8)}, // values 1.20/unit, wants 0.8 units
+		{Value: distauction.Fx(0.90), Demand: distauction.Fx(0.5)},
+	}
+	var bidders []*distauction.BidderSession
+	for i, id := range top.Users {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := distauction.OpenBidder(conn, top.Providers, distauction.WithRoundLimit(rounds))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer b.Close()
+		bidders = append(bidders, b)
+		for r := uint64(1); r <= rounds; r++ {
+			if err := b.Submit(r, userBids[i]); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 
-	fmt.Println("auction complete — all providers agree")
-	for u := range cfg.Users {
-		total := outcome.Alloc.UserTotal(u)
-		fmt.Printf("  user %d: allocated %v units, pays %v\n",
-			cfg.Users[u], total, outcome.Pay.ByUser[u])
+	// Outcomes stream to each bidder in round order.
+	for out := range bidders[0].Outcomes() {
+		if out.Err != nil {
+			log.Fatalf("round %d: %v", out.Round, out.Err)
+		}
+		fmt.Printf("—— round %d: all providers agree ——\n", out.Round)
+		for u := range top.Users {
+			total := out.Outcome.Alloc.UserTotal(u)
+			fmt.Printf("  user %d: allocated %v units, pays %v\n",
+				top.Users[u], total, out.Outcome.Pay.ByUser[u])
+		}
+		for p := range top.Providers {
+			fmt.Printf("  provider %d: supplies %v units, receives %v\n",
+				top.Providers[p], out.Outcome.Alloc.ProviderLoad(p), out.Outcome.Pay.ToProvider[p])
+		}
+		fmt.Printf("  budget balanced: %v\n", out.Outcome.Pay.BudgetBalanced())
 	}
-	for p := range cfg.Providers {
-		fmt.Printf("  provider %d: supplies %v units, receives %v\n",
-			cfg.Providers[p], outcome.Alloc.ProviderLoad(p), outcome.Pay.ToProvider[p])
-	}
-	fmt.Printf("budget balanced: %v\n", outcome.Pay.BudgetBalanced())
 }

@@ -12,11 +12,9 @@
 package main
 
 import (
-	"context"
 	"fmt"
 	"log"
 	"sort"
-	"sync"
 	"time"
 
 	"distauction"
@@ -33,29 +31,34 @@ func main() {
 	channels := []distauction.Fixed{
 		distauction.Fx(6), distauction.Fx(4), distauction.Fx(4), distauction.Fx(2),
 	}
-	cfg := distauction.Config{
-		Providers: licensees,
-		Users:     operators,
-		K:         1,
-		Mechanism: distauction.NewStandardAuction(distauction.StandardParams{
-			Capacities: channels,
-			InvEpsilon: 10,
-		}),
-		BidWindow: 2 * time.Second,
-	}
+	top := distauction.Topology{Providers: licensees, Users: operators}
 
-	var providers []*distauction.Provider
+	// One auction epoch = one session round; the licensees' sessions would
+	// keep clearing the market epoch after epoch without a round limit.
+	var sessions []*distauction.Session
 	for _, id := range licensees {
 		conn, err := hub.Attach(id)
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, err := distauction.NewProvider(conn, cfg)
+		s, err := distauction.Open(conn, top,
+			distauction.WithK(1),
+			distauction.WithNamedMechanism("standard", distauction.MechanismSpec{
+				Capacities: channels,
+				InvEpsilon: 10,
+			}),
+			distauction.WithBidWindow(2*time.Second),
+			distauction.WithRoundLimit(1),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer p.Close()
-		providers = append(providers, p)
+		defer s.Close()
+		sessions = append(sessions, s)
+		go func(s *distauction.Session) {
+			for range s.Outcomes() {
+			}
+		}(s)
 	}
 
 	// Operators bid (per-channel value, channel count). The market is
@@ -69,37 +72,34 @@ func main() {
 		{Value: distauction.Fx(2.5), Demand: distauction.Fx(3)},
 		{Value: distauction.Fx(2.0), Demand: distauction.Fx(2)}, // hobbyist ISP
 	}
-	var bidders []*distauction.Bidder
+	var bidders []*distauction.BidderSession
 	for i, id := range operators {
 		conn, err := hub.Attach(id)
 		if err != nil {
 			log.Fatal(err)
 		}
-		b := distauction.NewBidder(conn, licensees)
+		b, err := distauction.OpenBidder(conn, licensees, distauction.WithRoundLimit(1))
+		if err != nil {
+			log.Fatal(err)
+		}
 		defer b.Close()
 		bidders = append(bidders, b)
 		if err := b.Submit(1, bids[i]); err != nil {
 			log.Fatal(err)
 		}
 	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-	defer cancel()
-	var wg sync.WaitGroup
-	for _, p := range providers {
-		wg.Add(1)
-		go func(p *distauction.Provider) {
-			defer wg.Done()
-			if _, err := p.RunRound(ctx, 1, nil); err != nil {
-				log.Printf("licensee: %v", err)
+	for _, b := range bidders[1:] {
+		go func(b *distauction.BidderSession) {
+			for range b.Outcomes() {
 			}
-		}(p)
+		}(b)
 	}
-	outcome, err := bidders[0].AwaitOutcome(ctx, 1)
-	wg.Wait()
-	if err != nil {
-		log.Fatalf("outcome: %v", err)
+
+	result := <-bidders[0].Outcomes()
+	if result.Err != nil {
+		log.Fatalf("outcome: %v", result.Err)
 	}
+	outcome := result.Outcome
 
 	fmt.Println("spectrum assignment (all licensees agree):")
 	type row struct {

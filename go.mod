@@ -1,0 +1,3 @@
+module distauction
+
+go 1.24

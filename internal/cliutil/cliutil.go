@@ -1,6 +1,6 @@
-// Package cliutil holds the flag-parsing helpers shared by the command-line
-// tools (cmd/gatewayd, cmd/bidclient): node sets, address maps and
-// fixed-point lists.
+// Package cliutil holds the helpers shared by the command-line tools
+// (cmd/gatewayd, cmd/bidclient): flag parsing for node sets, address maps
+// and fixed-point lists, plus the common TCP network bootstrap.
 package cliutil
 
 import (
@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"distauction/internal/fixed"
+	"distauction/internal/transport"
 	"distauction/internal/wire"
 )
 
@@ -79,4 +80,30 @@ func ParseFixedList(s string) ([]fixed.Fixed, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// DialTCP builds a TCP-backed Network from the peer address book plus this
+// node's own listen address, attaches the node, and returns the network
+// (the caller closes it) with the live connection. members is the full
+// authenticated participant set; it is used only when secret is non-empty.
+func DialTCP(self wire.NodeID, listen string, peerAddrs map[wire.NodeID]string,
+	members []wire.NodeID, secret string) (*transport.TCPNetwork, transport.Conn, error) {
+
+	addrs := make(map[wire.NodeID]string, len(peerAddrs)+1)
+	for pid, addr := range peerAddrs {
+		addrs[pid] = addr
+	}
+	addrs[self] = listen
+	cfg := transport.TCPNetworkConfig{Addrs: addrs}
+	if secret != "" {
+		cfg.Secret = []byte(secret)
+		cfg.Members = members
+	}
+	network := transport.NewTCPNetwork(cfg)
+	conn, err := network.Attach(self)
+	if err != nil {
+		network.Close()
+		return nil, nil, err
+	}
+	return network, conn, nil
 }

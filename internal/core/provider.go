@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"distauction/internal/allocator"
@@ -58,6 +59,9 @@ func (c Config) Validate() error {
 	if c.Mechanism == nil {
 		return fmt.Errorf("%w: no mechanism", ErrConfig)
 	}
+	if c.BidWindow < 0 {
+		return fmt.Errorf("%w: negative bid window", ErrConfig)
+	}
 	seen := map[wire.NodeID]bool{}
 	for _, id := range append(append([]wire.NodeID{}, c.Providers...), c.Users...) {
 		if seen[id] {
@@ -78,16 +82,22 @@ func (c Config) slotCount() int {
 	return n
 }
 
-// Provider is one provider node's runtime: it collects bids, runs the
-// distributed simulation and reports outcomes to bidders.
-type Provider struct {
+// engine executes auction rounds for one provider node. It is the round
+// engine shared by the session scheduler (the primary API) and the manual
+// Provider.RunRound compatibility shim: both drive exactly the same phases
+// over the same proto.Peer.
+type engine struct {
 	cfg  Config
 	peer *proto.Peer
+
+	mu        sync.Mutex
+	delivered map[uint64]bool // live rounds whose result already went to bidders
+	ended     uint64          // all rounds <= ended are reclaimed (and were delivered)
 }
 
-// NewProvider wraps conn (which must belong to one of cfg.Providers) into a
-// provider runtime.
-func NewProvider(conn transport.Conn, cfg Config) (*Provider, error) {
+// newEngine validates cfg and wraps conn (which must belong to one of
+// cfg.Providers).
+func newEngine(conn transport.Conn, cfg Config) (*engine, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -102,49 +112,111 @@ func NewProvider(conn transport.Conn, cfg Config) (*Provider, error) {
 	if !found {
 		return nil, fmt.Errorf("%w: node %d is not a configured provider", ErrConfig, conn.Self())
 	}
-	return &Provider{cfg: cfg, peer: proto.NewPeer(conn, cfg.Providers)}, nil
+	return &engine{
+		cfg:       cfg,
+		peer:      proto.NewPeer(conn, cfg.Providers),
+		delivered: make(map[uint64]bool),
+	}, nil
 }
 
-// Peer exposes the protocol peer (deviation tests script raw messages
-// through it).
-func (p *Provider) Peer() *proto.Peer { return p.peer }
-
-// Close releases the provider's network resources.
-func (p *Provider) Close() error { return p.peer.Close() }
-
-// RunRound executes one complete auction round (Figure 1):
+// broadcastOwnBid performs phase 0 of a round: a provider that bids in a
+// double-sided mechanism broadcasts its own bid like any bidder. nil means
+// the neutral bid; single-sided mechanisms skip the phase entirely.
 //
-//	collect bids → bid agreement → allocator (validate + task graph) →
-//	deliver outcome to bidders.
-//
-// ownBid is this provider's bid for double-sided mechanisms (ignored
-// otherwise; nil means neutral). The returned error matches
-// proto.ErrAborted when the outcome is ⊥.
-func (p *Provider) RunRound(ctx context.Context, round uint64, ownBid *auction.ProviderBid) (auction.Outcome, error) {
-	cfg := p.cfg
+// Peers of a deployment open their sessions concurrently, and no transport
+// can route to a node that has not attached yet — so a failed send is
+// retried within the bid window (identical re-sends are absorbed by the
+// receivers) before the round is declared dead.
+func (e *engine) broadcastOwnBid(ctx context.Context, round uint64, ownBid *auction.ProviderBid) error {
+	if !e.cfg.Mechanism.DoubleSided() {
+		return nil
+	}
+	bid := auction.NeutralProviderBid()
+	if ownBid != nil {
+		bid = *ownBid
+	}
+	tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
+	deadline := time.Now().Add(e.cfg.BidWindow)
+	for {
+		err := e.peer.BroadcastProviders(tag, bid.Encode())
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || time.Now().After(deadline) {
+			return e.peer.FailRound(round, fmt.Sprintf("broadcast own bid: %v", err))
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
 
-	// Phase 0: providers that bid broadcast their own bids like any bidder.
+// openRound runs phases 0–1 of a round: own-bid broadcast, then bid
+// collection over the bid window.
+func (e *engine) openRound(ctx context.Context, round uint64, ownBid *auction.ProviderBid) ([][]byte, error) {
+	if err := e.broadcastOwnBid(ctx, round, ownBid); err != nil {
+		return nil, err
+	}
+	return e.collectBids(ctx, round)
+}
+
+// collectBids gathers the raw submission for every slot (phase 1),
+// substituting nil (→ neutral) when the bid window expires first.
+func (e *engine) collectBids(ctx context.Context, round uint64) ([][]byte, error) {
+	cfg := e.cfg
+	window, cancel := context.WithTimeout(ctx, cfg.BidWindow)
+	defer cancel()
+
+	slots := make([][]byte, cfg.slotCount())
+	tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
+	recvSlot := func(slot int, from wire.NodeID) error {
+		raw, err := e.peer.Receive(window, tag, from)
+		switch {
+		case err == nil:
+			if len(raw) <= MaxRawBidSize {
+				slots[slot] = raw
+			}
+		case errors.Is(err, context.DeadlineExceeded):
+			// No submission: neutral.
+		case errors.Is(err, proto.ErrAborted):
+			return err
+		default:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			// Equivocating bidders may have poisoned the round.
+			if abortErr := e.peer.AbortErr(round); abortErr != nil {
+				return abortErr
+			}
+			return err
+		}
+		return nil
+	}
+	for i, bidder := range cfg.Users {
+		if err := recvSlot(i, bidder); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Mechanism.DoubleSided() {
-		bid := auction.NeutralProviderBid()
-		if ownBid != nil {
-			bid = *ownBid
-		}
-		tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
-		if err := p.peer.BroadcastProviders(tag, bid.Encode()); err != nil {
-			return p.fail(round, fmt.Sprintf("broadcast own bid: %v", err))
+		for j, prov := range cfg.Providers {
+			if err := recvSlot(len(cfg.Users)+j, prov); err != nil {
+				return nil, err
+			}
 		}
 	}
+	return slots, nil
+}
 
-	// Phase 1: collect one raw submission per slot within the bid window.
-	inputs, err := p.collectBids(ctx, round)
-	if err != nil {
-		return auction.Outcome{}, err
-	}
+// finishRound runs phases 2–5 on the collected inputs: bid agreement, the
+// allocator (validate + task graph), and outcome delivery to bidders.
+func (e *engine) finishRound(ctx context.Context, round uint64, inputs [][]byte) (auction.Outcome, error) {
+	cfg := e.cfg
 
 	// Phase 2: bid agreement (Property 1).
-	agreed, err := bidagree.Agree(ctx, p.peer, round, inputs)
+	agreed, err := bidagree.Agree(ctx, e.peer, round, inputs)
 	if err != nil {
-		return p.deliverAbort(ctx, round, err)
+		return e.deliverAbort(round, err)
 	}
 
 	// Phase 3: decode the agreed vector, substituting neutral bids for
@@ -162,99 +234,119 @@ func (p *Provider) RunRound(ctx context.Context, round uint64, ownBid *auction.P
 
 	// Phase 4: the allocator (Property 2) — input validation, then the
 	// task-graph simulation of A.
-	graph, err := cfg.Mechanism.BuildGraph(GraphConfig{Providers: p.peer.Providers(), K: cfg.K}, bids)
+	graph, err := cfg.Mechanism.BuildGraph(GraphConfig{Providers: e.peer.Providers(), K: cfg.K}, bids)
 	if err != nil {
-		return p.deliverAbort(ctx, round, p.peer.FailRound(round, fmt.Sprintf("build graph: %v", err)))
+		return e.deliverAbort(round, e.peer.FailRound(round, fmt.Sprintf("build graph: %v", err)))
 	}
-	rawOutcome, err := allocator.Run(ctx, p.peer, round, bids.Encode(), graph)
+	rawOutcome, err := allocator.Run(ctx, e.peer, round, bids.Encode(), graph)
 	if err != nil {
-		return p.deliverAbort(ctx, round, err)
+		return e.deliverAbort(round, err)
 	}
 	outcome, err := auction.DecodeOutcome(rawOutcome)
 	if err != nil {
-		return p.deliverAbort(ctx, round, p.peer.FailRound(round, fmt.Sprintf("decode outcome: %v", err)))
+		return e.deliverAbort(round, e.peer.FailRound(round, fmt.Sprintf("decode outcome: %v", err)))
 	}
 
 	// Phase 5: report to bidders.
-	p.deliverResult(round, true, rawOutcome)
+	e.deliverResult(round, true, rawOutcome)
 	return outcome, nil
 }
 
-// EndRound releases the round's buffered protocol state.
-func (p *Provider) EndRound(round uint64) { p.peer.EndRound(round) }
-
-func (p *Provider) fail(round uint64, reason string) (auction.Outcome, error) {
-	return auction.Outcome{}, p.peer.FailRound(round, reason)
-}
-
-// collectBids gathers the raw submission for every slot, substituting nil
-// (→ neutral) when the window expires first.
-func (p *Provider) collectBids(ctx context.Context, round uint64) ([][]byte, error) {
-	cfg := p.cfg
-	window, cancel := context.WithTimeout(ctx, cfg.BidWindow)
-	defer cancel()
-
-	slots := make([][]byte, cfg.slotCount())
-	tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
-	for i, bidder := range cfg.Users {
-		raw, err := p.peer.Receive(window, tag, bidder)
-		switch {
-		case err == nil:
-			if len(raw) <= MaxRawBidSize {
-				slots[i] = raw
-			}
-		case errors.Is(err, context.DeadlineExceeded):
-			// No submission: neutral.
-		case errors.Is(err, proto.ErrAborted):
-			return nil, err
-		default:
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			// Equivocating bidders may have poisoned the round.
-			if abortErr := p.peer.AbortErr(round); abortErr != nil {
-				return nil, abortErr
-			}
-			return nil, err
-		}
+// runRound executes one complete auction round (Figure 1):
+//
+//	collect bids → bid agreement → allocator (validate + task graph) →
+//	deliver outcome to bidders.
+func (e *engine) runRound(ctx context.Context, round uint64, ownBid *auction.ProviderBid) (auction.Outcome, error) {
+	inputs, err := e.openRound(ctx, round, ownBid)
+	if err != nil {
+		return auction.Outcome{}, err
 	}
-	if cfg.Mechanism.DoubleSided() {
-		for j, prov := range cfg.Providers {
-			raw, err := p.peer.Receive(window, tag, prov)
-			switch {
-			case err == nil:
-				if len(raw) <= MaxRawBidSize {
-					slots[len(cfg.Users)+j] = raw
-				}
-			case errors.Is(err, context.DeadlineExceeded):
-			case errors.Is(err, proto.ErrAborted):
-				return nil, err
-			default:
-				if abortErr := p.peer.AbortErr(round); abortErr != nil {
-					return nil, abortErr
-				}
-				return nil, err
-			}
-		}
-	}
-	return slots, nil
+	return e.finishRound(ctx, round, inputs)
 }
 
 // deliverAbort reports ⊥ to all bidders and returns the abort error.
-func (p *Provider) deliverAbort(_ context.Context, round uint64, err error) (auction.Outcome, error) {
-	p.deliverResult(round, false, nil)
+func (e *engine) deliverAbort(round uint64, err error) (auction.Outcome, error) {
+	e.deliverResult(round, false, nil)
 	return auction.Outcome{}, err
 }
 
-// deliverResult sends the round result (ok + outcome, or ⊥) to every user.
-func (p *Provider) deliverResult(round uint64, ok bool, rawOutcome []byte) {
+// deliverResult sends the round result (ok + outcome, or ⊥) to every user,
+// at most once per round: a second delivery attempt — e.g. Close declaring
+// ⊥ for a round whose worker just delivered the accepted outcome — is a
+// no-op, so bidders never see two conflicting payloads under the result tag
+// (which their peers would rightly flag as equivocation).
+func (e *engine) deliverResult(round uint64, ok bool, rawOutcome []byte) {
+	e.mu.Lock()
+	// A round is only ended after its result was emitted, so rounds at or
+	// below the end watermark count as delivered even though their map
+	// entry has been reclaimed — otherwise Close's stale in-flight snapshot
+	// could re-deliver ⊥ for a round that just completed and was ended.
+	if round <= e.ended || e.delivered[round] {
+		e.mu.Unlock()
+		return
+	}
+	e.delivered[round] = true
+	e.mu.Unlock()
 	enc := wire.NewEncoder(2 + len(rawOutcome))
 	enc.Bool(ok)
 	enc.Bytes(rawOutcome)
 	payload := enc.Buffer()
 	tag := wire.Tag{Round: round, Block: wire.BlockResult, Step: 1}
-	for _, u := range p.cfg.Users {
+	for _, u := range e.cfg.Users {
 		// Best effort: a dead bidder must not wedge the provider.
-		_ = p.peer.Send(u, tag, payload)
+		_ = e.peer.Send(u, tag, payload)
 	}
 }
+
+// endRound reclaims the engine's and the peer's per-round state for all
+// rounds <= round.
+func (e *engine) endRound(round uint64) {
+	e.mu.Lock()
+	if round > e.ended {
+		e.ended = round
+	}
+	for r := range e.delivered {
+		if r <= round {
+			delete(e.delivered, r)
+		}
+	}
+	e.mu.Unlock()
+	e.peer.EndRound(round)
+}
+
+// Provider is the manual-round compatibility shim over the round engine: it
+// exposes one auction round at a time, leaving round numbering, pipelining
+// and state reclamation to the caller. New code should prefer OpenSession,
+// which drives the same engine continuously; Provider remains because the
+// deviation and audit tests script raw messages around individual rounds.
+type Provider struct {
+	eng *engine
+}
+
+// NewProvider wraps conn (which must belong to one of cfg.Providers) into a
+// manual-round provider runtime.
+func NewProvider(conn transport.Conn, cfg Config) (*Provider, error) {
+	eng, err := newEngine(conn, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Provider{eng: eng}, nil
+}
+
+// Peer exposes the protocol peer (deviation tests script raw messages
+// through it).
+func (p *Provider) Peer() *proto.Peer { return p.eng.peer }
+
+// Close releases the provider's network resources.
+func (p *Provider) Close() error { return p.eng.peer.Close() }
+
+// RunRound executes one complete auction round on the shared round engine.
+// ownBid is this provider's bid for double-sided mechanisms (ignored
+// otherwise; nil means neutral). The returned error matches
+// proto.ErrAborted when the outcome is ⊥.
+func (p *Provider) RunRound(ctx context.Context, round uint64, ownBid *auction.ProviderBid) (auction.Outcome, error) {
+	return p.eng.runRound(ctx, round, ownBid)
+}
+
+// EndRound releases the round's buffered protocol state.
+func (p *Provider) EndRound(round uint64) { p.eng.endRound(round) }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"distauction/internal/fixed"
+	"distauction/internal/mechanism/standardauction"
+)
+
+// MechanismSpec carries the deployment facts a mechanism factory may need.
+// Every field is optional for mechanisms that do not use it; factories
+// validate what they require.
+type MechanismSpec struct {
+	// Capacities are the per-provider capacities (standard auction; they are
+	// deployment facts, not bids).
+	Capacities []fixed.Fixed
+	// InvEpsilon is the standard auction's 1/ε approximation effort.
+	InvEpsilon int
+	// IterFactor scales the standard auction's iteration count.
+	IterFactor int
+	// ModelDelay is the standard auction's virtual per-solve compute time.
+	ModelDelay time.Duration
+	// Replicated disables the standard auction's parallel decomposition.
+	Replicated bool
+}
+
+// MechanismFactory builds a Mechanism from a spec.
+type MechanismFactory func(spec MechanismSpec) (Mechanism, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]MechanismFactory{}
+)
+
+// RegisterMechanism adds a named mechanism factory so CLIs and config files
+// can select mechanisms by string. Registering a duplicate name panics (it
+// is a programming error, caught at init time).
+func RegisterMechanism(name string, factory MechanismFactory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || factory == nil {
+		panic("core: RegisterMechanism with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: mechanism %q registered twice", name))
+	}
+	registry[name] = factory
+}
+
+// LookupMechanism returns the factory registered under name.
+func LookupMechanism(name string) (MechanismFactory, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// NewMechanism builds the named mechanism from spec.
+func NewMechanism(name string, spec MechanismSpec) (Mechanism, error) {
+	f, ok := LookupMechanism(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown mechanism %q (registered: %v)", ErrConfig, name, MechanismNames())
+	}
+	return f(spec)
+}
+
+// MechanismNames lists the registered mechanism names, sorted.
+func MechanismNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterMechanism("double", func(MechanismSpec) (Mechanism, error) {
+		return DoubleAuction{}, nil
+	})
+	RegisterMechanism("standard", func(spec MechanismSpec) (Mechanism, error) {
+		if len(spec.Capacities) == 0 {
+			return nil, fmt.Errorf("%w: standard auction needs per-provider capacities", ErrConfig)
+		}
+		return StandardAuction{
+			Params: standardauction.Params{
+				Capacities: spec.Capacities,
+				InvEpsilon: spec.InvEpsilon,
+				IterFactor: spec.IterFactor,
+				ModelDelay: spec.ModelDelay,
+			},
+			Replicated: spec.Replicated,
+		}, nil
+	})
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"distauction/internal/auction"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+// BidderSession is the user-side counterpart of Session: it submits bids
+// for any round and streams the unanimous per-round outcomes over a channel
+// instead of one blocking call per round. A ⊥ round arrives with Err
+// matching ErrOutcomeBot; the stream then continues with the next round.
+//
+// Of the session options only WithStartRound, WithRoundLimit,
+// WithOutcomeBuffer and WithRoundTimeout apply to bidders (the rest
+// describe the provider side and are ignored); option validation errors
+// still surface from Open. The round timeout (default 2 minutes, 0
+// disables) bounds how long the session waits for each round's unanimous
+// result, so one lost result message costs that round (reported as ⊥)
+// instead of wedging the stream — outcomes are delivered strictly in round
+// order, so an unbounded wait on round r would also withhold every round
+// after it.
+type BidderSession struct {
+	bidder   *Bidder
+	settings sessionSettings
+	outcomes chan RoundOutcome
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// OpenBidderSession starts a bidder session over conn addressing the given
+// providers. The start round must match the providers' session start.
+func OpenBidderSession(conn transport.Conn, providers []wire.NodeID, opts ...SessionOption) (*BidderSession, error) {
+	settings := defaultSettings()
+	for _, opt := range opts {
+		opt(&settings)
+	}
+	if len(settings.errs) > 0 {
+		return nil, errors.Join(settings.errs...)
+	}
+	if len(providers) == 0 {
+		return nil, errors.Join(ErrConfig, errors.New("bidder session needs providers"))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &BidderSession{
+		bidder:   NewBidder(conn, providers),
+		settings: settings,
+		outcomes: make(chan RoundOutcome, settings.outcomeBuffer),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	s.wg.Add(1)
+	go s.collect()
+	return s, nil
+}
+
+// Self returns the bidder's node ID.
+func (s *BidderSession) Self() wire.NodeID { return s.bidder.Self() }
+
+// Submit sends the same bid to every provider for the given round. Bids for
+// future rounds are accepted immediately — providers buffer them until the
+// round's bid window opens — so a bidder can run ahead of the pipeline.
+func (s *BidderSession) Submit(round uint64, bid auction.UserBid) error {
+	return s.bidder.Submit(round, bid)
+}
+
+// SubmitRaw sends arbitrary per-provider payloads for a round (the
+// deviation surface of §3.2); honest bidders use Submit.
+func (s *BidderSession) SubmitRaw(round uint64, payloads map[wire.NodeID][]byte) error {
+	return s.bidder.SubmitRaw(round, payloads)
+}
+
+// Outcomes streams one RoundOutcome per round in round order, starting at
+// the configured start round. The channel closes when the round limit is
+// reached or the session is closed.
+func (s *BidderSession) Outcomes() <-chan RoundOutcome { return s.outcomes }
+
+// Close stops the session and releases its network resources.
+func (s *BidderSession) Close() error {
+	s.closeOnce.Do(func() {
+		s.cancel()
+		s.wg.Wait()
+	})
+	return s.bidder.Close()
+}
+
+// collect awaits each round's unanimous outcome in order, emits it, and
+// reclaims the round's buffered state. Each wait is bounded by the round
+// timeout (head-of-line blocking protection: a round with a lost result is
+// reported as ⊥ and the stream moves on).
+func (s *BidderSession) collect() {
+	defer s.wg.Done()
+	defer close(s.outcomes)
+	start, limit := s.settings.startRound, s.settings.roundLimit
+	for r := start; limit == 0 || r < start+limit; r++ {
+		rctx, cancel := s.ctx, context.CancelFunc(func() {})
+		if s.settings.roundTimeout > 0 {
+			rctx, cancel = context.WithTimeout(s.ctx, s.settings.roundTimeout)
+		}
+		out, err := s.bidder.AwaitOutcome(rctx, r)
+		cancel()
+		if s.ctx.Err() != nil {
+			return
+		}
+		select {
+		case s.outcomes <- RoundOutcome{Round: r, Outcome: out, Err: err}:
+		case <-s.ctx.Done():
+			return
+		}
+		s.bidder.EndRound(r)
+	}
+}

@@ -90,17 +90,17 @@ func Fig4(opts Options) ([]Fig4Point, error) {
 		for _, s := range series {
 			var stats metrics.DurationStats
 			for r := 0; r < opts.Rounds; r++ {
-				o := harness.Options{
-					M: s.m, N: n, K: s.k,
-					Latency: opts.Latency,
-					Seed:    opts.BaseSeed + uint64(r)*7919,
+				o := []harness.Option{
+					harness.WithProviders(s.m), harness.WithUsers(n), harness.WithK(s.k),
+					harness.WithLatency(opts.Latency),
+					harness.WithSeed(opts.BaseSeed + uint64(r)*7919),
 				}
 				var res harness.Result
 				var err error
 				if s.cent {
-					res, err = harness.RunCentralizedDouble(o)
+					res, err = harness.RunCentralizedDouble(o...)
 				} else {
-					res, err = harness.RunDistributedDouble(o)
+					res, err = harness.RunDistributedDouble(o...)
 				}
 				if err != nil {
 					return nil, fmt.Errorf("fig4 n=%d m=%d k=%d: %w", n, s.m, s.k, err)
@@ -160,21 +160,21 @@ func Fig5(opts Options) ([]Fig5Point, error) {
 		for _, s := range series {
 			var stats metrics.DurationStats
 			for r := 0; r < opts.Rounds; r++ {
-				o := harness.Options{
-					M: 8, N: n, K: s.k,
-					Latency:    opts.Latency,
-					Seed:       opts.BaseSeed + uint64(r)*7919,
-					InvEpsilon: 5,
-					IterFactor: 1,
-					ModelDelay: Fig5ModelDelay(n),
-					Timeout:    10 * time.Minute,
+				o := []harness.Option{
+					harness.WithProviders(8), harness.WithUsers(n), harness.WithK(s.k),
+					harness.WithLatency(opts.Latency),
+					harness.WithSeed(opts.BaseSeed + uint64(r)*7919),
+					harness.WithInvEpsilon(5),
+					harness.WithIterFactor(1),
+					harness.WithModelDelay(Fig5ModelDelay(n)),
+					harness.WithTimeout(10 * time.Minute),
 				}
 				var res harness.Result
 				var err error
 				if s.cent {
-					res, err = harness.RunCentralizedStandard(o)
+					res, err = harness.RunCentralizedStandard(o...)
 				} else {
-					res, err = harness.RunDistributedStandard(o)
+					res, err = harness.RunDistributedStandard(o...)
 				}
 				if err != nil {
 					return nil, fmt.Errorf("fig5 n=%d k=%d: %w", n, s.k, err)

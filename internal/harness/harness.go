@@ -4,62 +4,117 @@
 // are generated at this client node, till the time it receives the results
 // from all the experiment instances".
 //
-// One harness call = one complete deployment (transport, providers,
-// bidders) + one timed round. The latency model stands in for the Guifi.net
-// links; see DESIGN.md §2 for the substitution argument.
+// One harness call = one complete deployment (network, providers, bidders)
+// plus one or more timed rounds. Deployments are configured with functional
+// options and are transport-agnostic: the default network is the in-memory
+// Hub with a latency model standing in for the Guifi.net links (see
+// DESIGN.md for the substitution argument), and WithNetwork swaps in any
+// other transport.Network. The distributed paths run on the session engine;
+// RunSessionDouble measures multi-round pipelined throughput over one
+// deployment.
 package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"distauction/internal/auction"
 	"distauction/internal/core"
-	"distauction/internal/mechanism/standardauction"
 	"distauction/internal/transport"
 	"distauction/internal/wire"
 	"distauction/internal/workload"
 )
 
-// Options configures one experiment deployment.
-type Options struct {
-	// M is the number of providers executing the protocol.
-	M int
-	// N is the number of users.
-	N int
-	// K is the coalition bound (distributed runs; m > 2k).
-	K int
-	// Latency is the link model (zero = instant, for unit tests).
-	Latency transport.LatencyModel
-	// Seed drives the workload generator and the latency jitter.
-	Seed uint64
-	// BidWindow bounds bid collection; it must comfortably exceed the
-	// latency model's delay. Zero means 10 s.
-	BidWindow time.Duration
-	// InvEpsilon / IterFactor tune the standard auction's compute cost.
-	InvEpsilon int
-	IterFactor int
-	// ModelDelay is the virtual per-solve compute time of the standard
-	// auction (see standardauction.Params.ModelDelay): it models the
-	// paper's one-CPU-per-provider testbed on hosts with fewer cores.
-	ModelDelay time.Duration
-	// Replicated disables the standard auction's parallel decomposition
-	// (ablation baseline: full resilience, no speedup).
-	Replicated bool
-	// Timeout bounds the whole round. Zero means 5 min.
-	Timeout time.Duration
+// config is the target of the functional options.
+type config struct {
+	m, n, k    int
+	latency    transport.LatencyModel
+	seed       uint64
+	bidWindow  time.Duration
+	invEps     int
+	iterFactor int
+	modelDelay time.Duration
+	replicated bool
+	timeout    time.Duration
+	pipeline   int
+	network    func(seed int64) transport.Network
 }
 
-func (o Options) withDefaults() Options {
-	if o.BidWindow == 0 {
-		o.BidWindow = 10 * time.Second
+func newConfig(opts []Option) config {
+	cfg := config{
+		m: 3, n: 10, k: 1,
+		seed:      1,
+		bidWindow: 10 * time.Second,
+		timeout:   5 * time.Minute,
+		pipeline:  2,
 	}
-	if o.Timeout == 0 {
-		o.Timeout = 5 * time.Minute
+	for _, opt := range opts {
+		opt(&cfg)
 	}
-	return o
+	return cfg
+}
+
+// Option configures one experiment deployment.
+type Option func(*config)
+
+// WithProviders sets the number of providers executing the protocol (the m
+// of the paper).
+func WithProviders(m int) Option { return func(c *config) { c.m = m } }
+
+// WithUsers sets the number of users (the n of the paper).
+func WithUsers(n int) Option { return func(c *config) { c.n = n } }
+
+// WithK sets the coalition bound (distributed runs; m > 2k).
+func WithK(k int) Option { return func(c *config) { c.k = k } }
+
+// WithLatency sets the link model (zero = instant, for unit tests).
+func WithLatency(model transport.LatencyModel) Option {
+	return func(c *config) { c.latency = model }
+}
+
+// WithSeed drives the workload generator and the latency jitter.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithBidWindow bounds bid collection; it must comfortably exceed the
+// latency model's delay. The default is 10 s.
+func WithBidWindow(d time.Duration) Option { return func(c *config) { c.bidWindow = d } }
+
+// WithInvEpsilon tunes the standard auction's 1/ε approximation effort.
+func WithInvEpsilon(e int) Option { return func(c *config) { c.invEps = e } }
+
+// WithIterFactor scales the standard auction's iteration count.
+func WithIterFactor(f int) Option { return func(c *config) { c.iterFactor = f } }
+
+// WithModelDelay sets the virtual per-solve compute time of the standard
+// auction: it models the paper's one-CPU-per-provider testbed on hosts with
+// fewer cores.
+func WithModelDelay(d time.Duration) Option { return func(c *config) { c.modelDelay = d } }
+
+// WithReplicated disables the standard auction's parallel decomposition
+// (ablation baseline: full resilience, no speedup).
+func WithReplicated() Option { return func(c *config) { c.replicated = true } }
+
+// WithTimeout bounds the whole experiment. The default is 5 min.
+func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// WithPipelineDepth sets the session pipeline depth for multi-round runs.
+func WithPipelineDepth(depth int) Option { return func(c *config) { c.pipeline = depth } }
+
+// WithNetwork swaps the transport: the factory is called once per run with
+// the run's seed (the Hub uses it for jitter; other transports may ignore
+// it). The default builds a Hub with the configured latency model.
+func WithNetwork(factory func(seed int64) transport.Network) Option {
+	return func(c *config) { c.network = factory }
+}
+
+func (c config) newNetwork() transport.Network {
+	if c.network != nil {
+		return c.network(int64(c.seed))
+	}
+	return transport.NewHub(c.latency, int64(c.seed))
 }
 
 // Result is one timed round.
@@ -71,6 +126,33 @@ type Result struct {
 	// Msgs and Bytes are the network totals for the round.
 	Msgs  int64
 	Bytes int64
+}
+
+// SessionResult is one timed multi-round session run.
+type SessionResult struct {
+	// Rounds is the number of rounds executed; Accepted counts the non-⊥
+	// outcomes among them.
+	Rounds   int
+	Accepted int
+	// Duration runs from the first bid submission until every bidder has
+	// every round's result.
+	Duration time.Duration
+	// Msgs and Bytes are the network totals across all rounds.
+	Msgs  int64
+	Bytes int64
+	// ResidualMsgs and ResidualRounds report the protocol state still
+	// buffered at the providers after the last round — both must stay flat
+	// as Rounds grows (per-round state is reclaimed, not accumulated).
+	ResidualMsgs   int
+	ResidualRounds int
+}
+
+// RoundsPerSec is the throughput metric of the session engine.
+func (r SessionResult) RoundsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Rounds) / r.Duration.Seconds()
 }
 
 // ids yields 1..m for providers and 1001..1000+n for users.
@@ -88,173 +170,320 @@ func ids(m, n int) (providers, users []wire.NodeID) {
 
 // RunDistributedDouble times one distributed double-auction round
 // (Figure 4, distributed series).
-func RunDistributedDouble(opts Options) (Result, error) {
-	opts = opts.withDefaults()
-	inst := workload.NewDoubleAuction(opts.Seed, opts.N, opts.M)
-	return runDistributed(opts, core.DoubleAuction{}, inst.Users, inst.Providers)
+func RunDistributedDouble(opts ...Option) (Result, error) {
+	cfg := newConfig(opts)
+	inst := workload.NewDoubleAuction(cfg.seed, cfg.n, cfg.m)
+	return runDistributed(cfg, core.DoubleAuction{}, inst.Users, inst.Providers)
 }
 
 // RunDistributedStandard times one distributed standard-auction round
 // (Figure 5, distributed series). The parallelism is p = ⌊m/(k+1)⌋.
-func RunDistributedStandard(opts Options) (Result, error) {
-	opts = opts.withDefaults()
-	inst := workload.NewStandardAuction(opts.Seed, opts.N, opts.M)
-	mech := core.StandardAuction{
-		Params: standardauction.Params{
-			Capacities: inst.Capacities,
-			InvEpsilon: opts.InvEpsilon,
-			IterFactor: opts.IterFactor,
-			ModelDelay: opts.ModelDelay,
-		},
-		Replicated: opts.Replicated,
+func RunDistributedStandard(opts ...Option) (Result, error) {
+	cfg := newConfig(opts)
+	inst := workload.NewStandardAuction(cfg.seed, cfg.n, cfg.m)
+	mech, err := core.NewMechanism("standard", core.MechanismSpec{
+		Capacities: inst.Capacities,
+		InvEpsilon: cfg.invEps,
+		IterFactor: cfg.iterFactor,
+		ModelDelay: cfg.modelDelay,
+		Replicated: cfg.replicated,
+	})
+	if err != nil {
+		return Result{}, err
 	}
-	return runDistributed(opts, mech, inst.Users, nil)
+	return runDistributed(cfg, mech, inst.Users, nil)
 }
 
-func runDistributed(opts Options, mech core.Mechanism, userBids []auction.UserBid, provBids []auction.ProviderBid) (Result, error) {
-	hub := transport.NewHub(opts.Latency, int64(opts.Seed))
-	defer hub.Close()
-	providerIDs, userIDs := ids(opts.M, opts.N)
-	cfg := core.Config{
-		Providers: providerIDs,
-		Users:     userIDs,
-		K:         opts.K,
-		Mechanism: mech,
-		BidWindow: opts.BidWindow,
-	}
+// runDistributed deploys provider and bidder sessions on a fresh network
+// and times one round through the session engine.
+func runDistributed(cfg config, mech core.Mechanism, userBids []auction.UserBid, provBids []auction.ProviderBid) (Result, error) {
+	net := cfg.newNetwork()
+	defer net.Close()
+	providerIDs, userIDs := ids(cfg.m, cfg.n)
 
-	providers := make([]*core.Provider, opts.M)
+	sessions := make([]*core.Session, cfg.m)
 	for i, id := range providerIDs {
-		conn, err := hub.Attach(id)
+		conn, err := net.Attach(id)
 		if err != nil {
 			return Result{}, err
 		}
-		p, err := core.NewProvider(conn, cfg)
+		sopts := []core.SessionOption{
+			core.WithK(cfg.k),
+			core.WithMechanism(mech),
+			core.WithBidWindow(cfg.bidWindow),
+			core.WithRoundTimeout(cfg.timeout),
+			core.WithRoundLimit(1),
+		}
+		if provBids != nil {
+			sopts = append(sopts, core.WithProviderBid(provBids[i]))
+		}
+		s, err := core.OpenSession(conn, providerIDs, userIDs, sopts...)
 		if err != nil {
 			return Result{}, err
 		}
-		defer p.Close()
-		providers[i] = p
+		defer s.Close()
+		sessions[i] = s
 	}
-	bidders := make([]*core.Bidder, opts.N)
+	bidders := make([]*core.BidderSession, cfg.n)
 	for i, id := range userIDs {
-		conn, err := hub.Attach(id)
+		conn, err := net.Attach(id)
 		if err != nil {
 			return Result{}, err
 		}
-		bidders[i] = core.NewBidder(conn, providerIDs)
-		defer bidders[i].Close()
+		b, err := core.OpenBidderSession(conn, providerIDs,
+			core.WithRoundLimit(1),
+			core.WithRoundTimeout(cfg.timeout), // match the run budget, not the 2-min session default
+		)
+		if err != nil {
+			return Result{}, err
+		}
+		defer b.Close()
+		bidders[i] = b
 	}
-
-	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
-	defer cancel()
-	const round = 1
 
 	// The clock starts when the client begins submitting the generated
 	// inputs (paper §6.1).
 	start := time.Now()
-
-	provErrs := make([]error, opts.M)
-	var provWG sync.WaitGroup
-	for i, p := range providers {
-		var own *auction.ProviderBid
-		if provBids != nil {
-			own = &provBids[i]
-		}
-		provWG.Add(1)
-		go func(i int, p *core.Provider, own *auction.ProviderBid) {
-			defer provWG.Done()
-			_, provErrs[i] = p.RunRound(ctx, round, own)
-		}(i, p, own)
-	}
-
 	for i, b := range bidders {
-		if err := b.Submit(round, userBids[i]); err != nil {
+		if err := b.Submit(1, userBids[i]); err != nil {
 			return Result{}, fmt.Errorf("harness: submit %d: %w", i, err)
 		}
 	}
 
 	// The clock stops when the client has results from every instance.
-	var outcome auction.Outcome
-	outcomes := make([]auction.Outcome, opts.N)
-	bidErrs := make([]error, opts.N)
-	var bidWG sync.WaitGroup
+	deadline := time.After(cfg.timeout)
+	outcomes := make([]core.RoundOutcome, cfg.n)
 	for i, b := range bidders {
-		bidWG.Add(1)
-		go func(i int, b *core.Bidder) {
-			defer bidWG.Done()
-			outcomes[i], bidErrs[i] = b.AwaitOutcome(ctx, round)
+		select {
+		case out, ok := <-b.Outcomes():
+			if !ok {
+				return Result{}, fmt.Errorf("harness: bidder %d: outcome stream closed", i)
+			}
+			outcomes[i] = out
+		case <-deadline:
+			return Result{}, fmt.Errorf("harness: bidder %d: timeout", i)
+		}
+	}
+	elapsed := time.Since(start)
+
+	for i, out := range outcomes {
+		if out.Err != nil {
+			return Result{}, fmt.Errorf("harness: bidder %d: %w", i, out.Err)
+		}
+	}
+	for i, s := range sessions {
+		select {
+		case out, ok := <-s.Outcomes():
+			if ok && out.Err != nil {
+				return Result{}, fmt.Errorf("harness: provider %d: %w", i, out.Err)
+			}
+		case <-deadline:
+			return Result{}, fmt.Errorf("harness: provider %d: timeout", i)
+		}
+	}
+	stats := net.Stats()
+	return Result{Duration: elapsed, Outcome: outcomes[0].Outcome, Msgs: stats.MsgsSent, Bytes: stats.BytesSent}, nil
+}
+
+// RunSessionDouble measures pipelined multi-round throughput: one
+// deployment, `rounds` consecutive double-auction rounds through the
+// session engine, bidders running `depth` rounds ahead of the outcomes they
+// have seen. It is the baseline for the ROADMAP's scaling work.
+func RunSessionDouble(rounds int, opts ...Option) (SessionResult, error) {
+	cfg := newConfig(opts)
+	if rounds < 1 {
+		return SessionResult{}, errors.New("harness: need at least one round")
+	}
+	net := cfg.newNetwork()
+	defer net.Close()
+	providerIDs, userIDs := ids(cfg.m, cfg.n)
+	inst := workload.NewDoubleAuction(cfg.seed, cfg.n, cfg.m)
+
+	sessions := make([]*core.Session, cfg.m)
+	for i, id := range providerIDs {
+		conn, err := net.Attach(id)
+		if err != nil {
+			return SessionResult{}, err
+		}
+		s, err := core.OpenSession(conn, providerIDs, userIDs,
+			core.WithK(cfg.k),
+			core.WithMechanismName("double"),
+			core.WithBidWindow(cfg.bidWindow),
+			core.WithRoundTimeout(cfg.timeout),
+			core.WithRoundLimit(uint64(rounds)),
+			core.WithMaxConcurrentRounds(cfg.pipeline),
+			core.WithProviderBid(inst.Providers[i]),
+			core.WithOutcomeBuffer(rounds),
+		)
+		if err != nil {
+			return SessionResult{}, err
+		}
+		defer s.Close()
+		sessions[i] = s
+	}
+	bidders := make([]*core.BidderSession, cfg.n)
+	for i, id := range userIDs {
+		conn, err := net.Attach(id)
+		if err != nil {
+			return SessionResult{}, err
+		}
+		b, err := core.OpenBidderSession(conn, providerIDs,
+			core.WithRoundLimit(uint64(rounds)),
+			core.WithOutcomeBuffer(cfg.pipeline+1),
+			core.WithRoundTimeout(cfg.timeout), // match the run budget, not the 2-min session default
+		)
+		if err != nil {
+			return SessionResult{}, err
+		}
+		defer b.Close()
+		bidders[i] = b
+	}
+
+	// Per-round workloads: fresh bids each round, deterministic in the seed.
+	roundBids := make([][]auction.UserBid, rounds)
+	for r := range roundBids {
+		roundBids[r] = workload.NewDoubleAuction(cfg.seed+uint64(r)*7919, cfg.n, cfg.m).Users
+	}
+
+	lookahead := cfg.pipeline + 1
+	start := time.Now()
+	var wg sync.WaitGroup
+	bidErrs := make([]error, cfg.n)
+	for i, b := range bidders {
+		wg.Add(1)
+		go func(i int, b *core.BidderSession) {
+			defer wg.Done()
+			// Prime the pipeline, then keep `lookahead` rounds of bids in
+			// flight beyond the outcomes received so far.
+			for r := 1; r <= min(lookahead, rounds); r++ {
+				if err := b.Submit(uint64(r), roundBids[r-1][i]); err != nil {
+					bidErrs[i] = err
+					return
+				}
+			}
+			seen := 0
+			for out := range b.Outcomes() {
+				seen++
+				if next := seen + lookahead; next <= rounds {
+					if err := b.Submit(uint64(next), roundBids[next-1][i]); err != nil {
+						bidErrs[i] = err
+						return
+					}
+				}
+				_ = out
+			}
+			if seen != rounds {
+				bidErrs[i] = fmt.Errorf("saw %d of %d rounds", seen, rounds)
+			}
 		}(i, b)
 	}
-	bidWG.Wait()
-	elapsed := time.Since(start)
-	provWG.Wait()
 
-	for i, err := range provErrs {
-		if err != nil {
-			return Result{}, fmt.Errorf("harness: provider %d: %w", i, err)
-		}
+	accepted := 0
+	provErrs := make([]error, cfg.m)
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *core.Session) {
+			defer wg.Done()
+			seen := 0
+			ok := 0
+			for out := range s.Outcomes() {
+				seen++
+				if out.Err == nil {
+					ok++
+				}
+			}
+			if seen != rounds {
+				provErrs[i] = fmt.Errorf("provider saw %d of %d rounds", seen, rounds)
+			}
+			if i == 0 {
+				accepted = ok
+			}
+		}(i, s)
 	}
+	wg.Wait()
+	elapsed := time.Since(start)
 	for i, err := range bidErrs {
 		if err != nil {
-			return Result{}, fmt.Errorf("harness: bidder %d: %w", i, err)
+			return SessionResult{}, fmt.Errorf("harness: bidder %d: %w", i, err)
 		}
 	}
-	outcome = outcomes[0]
-	stats := hub.Stats()
-	return Result{Duration: elapsed, Outcome: outcome, Msgs: stats.MsgsSent, Bytes: stats.BytesSent}, nil
+	for i, err := range provErrs {
+		if err != nil {
+			return SessionResult{}, fmt.Errorf("harness: provider %d: %w", i, err)
+		}
+	}
+
+	var residualMsgs, residualRounds int
+	for _, s := range sessions {
+		m, r := s.Peer().StateSize()
+		residualMsgs += m
+		residualRounds += r
+	}
+	stats := net.Stats()
+	return SessionResult{
+		Rounds:         rounds,
+		Accepted:       accepted,
+		Duration:       elapsed,
+		Msgs:           stats.MsgsSent,
+		Bytes:          stats.BytesSent,
+		ResidualMsgs:   residualMsgs,
+		ResidualRounds: residualRounds,
+	}, nil
 }
 
 // RunCentralizedDouble times one trusted-auctioneer double-auction round
 // (Figure 4, centralized series). The m providers still participate as
 // market bidders; one extra node computes.
-func RunCentralizedDouble(opts Options) (Result, error) {
-	opts = opts.withDefaults()
-	inst := workload.NewDoubleAuction(opts.Seed, opts.N, opts.M)
-	return runCentralized(opts, core.DoubleAuction{}, inst.Users, inst.Providers)
+func RunCentralizedDouble(opts ...Option) (Result, error) {
+	cfg := newConfig(opts)
+	inst := workload.NewDoubleAuction(cfg.seed, cfg.n, cfg.m)
+	return runCentralized(cfg, core.DoubleAuction{}, inst.Users, inst.Providers)
 }
 
 // RunCentralizedStandard times one trusted-auctioneer standard-auction
 // round (Figure 5, p=1 series).
-func RunCentralizedStandard(opts Options) (Result, error) {
-	opts = opts.withDefaults()
-	inst := workload.NewStandardAuction(opts.Seed, opts.N, opts.M)
-	mech := core.StandardAuction{Params: standardauction.Params{
+func RunCentralizedStandard(opts ...Option) (Result, error) {
+	cfg := newConfig(opts)
+	inst := workload.NewStandardAuction(cfg.seed, cfg.n, cfg.m)
+	mech, err := core.NewMechanism("standard", core.MechanismSpec{
 		Capacities: inst.Capacities,
-		InvEpsilon: opts.InvEpsilon,
-		IterFactor: opts.IterFactor,
-		ModelDelay: opts.ModelDelay,
-	}}
-	return runCentralized(opts, mech, inst.Users, nil)
+		InvEpsilon: cfg.invEps,
+		IterFactor: cfg.iterFactor,
+		ModelDelay: cfg.modelDelay,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return runCentralized(cfg, mech, inst.Users, nil)
 }
 
-func runCentralized(opts Options, mech core.Mechanism, userBids []auction.UserBid, provBids []auction.ProviderBid) (Result, error) {
-	hub := transport.NewHub(opts.Latency, int64(opts.Seed))
-	defer hub.Close()
-	providerIDs, userIDs := ids(opts.M, opts.N)
+func runCentralized(cfg config, mech core.Mechanism, userBids []auction.UserBid, provBids []auction.ProviderBid) (Result, error) {
+	net := cfg.newNetwork()
+	defer net.Close()
+	providerIDs, userIDs := ids(cfg.m, cfg.n)
 	const auctioneerID wire.NodeID = 999
 
-	cfg := core.Config{
+	ccfg := core.Config{
 		Providers: providerIDs,
 		Users:     userIDs,
 		K:         0,
 		Mechanism: mech,
-		BidWindow: opts.BidWindow,
+		BidWindow: cfg.bidWindow,
 	}
-	aucConn, err := hub.Attach(auctioneerID)
+	aucConn, err := net.Attach(auctioneerID)
 	if err != nil {
 		return Result{}, err
 	}
-	auctioneer, err := core.NewCentralized(aucConn, cfg)
+	auctioneer, err := core.NewCentralized(aucConn, ccfg)
 	if err != nil {
 		return Result{}, err
 	}
 	defer auctioneer.Close()
 
-	provConns := make([]transport.Conn, 0, opts.M)
+	provConns := make([]transport.Conn, 0, cfg.m)
 	if provBids != nil {
 		for _, id := range providerIDs {
-			conn, err := hub.Attach(id)
+			conn, err := net.Attach(id)
 			if err != nil {
 				return Result{}, err
 			}
@@ -262,9 +491,9 @@ func runCentralized(opts Options, mech core.Mechanism, userBids []auction.UserBi
 			provConns = append(provConns, conn)
 		}
 	}
-	bidders := make([]*core.Bidder, opts.N)
+	bidders := make([]*core.Bidder, cfg.n)
 	for i, id := range userIDs {
-		conn, err := hub.Attach(id)
+		conn, err := net.Attach(id)
 		if err != nil {
 			return Result{}, err
 		}
@@ -272,7 +501,7 @@ func runCentralized(opts Options, mech core.Mechanism, userBids []auction.UserBi
 		defer bidders[i].Close()
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.timeout)
 	defer cancel()
 	const round = 1
 	start := time.Now()
@@ -294,8 +523,8 @@ func runCentralized(opts Options, mech core.Mechanism, userBids []auction.UserBi
 		}
 	}
 
-	outcomes := make([]auction.Outcome, opts.N)
-	bidErrs := make([]error, opts.N)
+	outcomes := make([]auction.Outcome, cfg.n)
+	bidErrs := make([]error, cfg.n)
 	var wg sync.WaitGroup
 	for i, b := range bidders {
 		wg.Add(1)
@@ -314,6 +543,6 @@ func runCentralized(opts Options, mech core.Mechanism, userBids []auction.UserBi
 			return Result{}, fmt.Errorf("harness: bidder %d: %w", i, err)
 		}
 	}
-	stats := hub.Stats()
+	stats := net.Stats()
 	return Result{Duration: elapsed, Outcome: outcomes[0], Msgs: stats.MsgsSent, Bytes: stats.BytesSent}, nil
 }

@@ -8,9 +8,9 @@ import (
 )
 
 func TestDistributedDoubleRound(t *testing.T) {
-	res, err := RunDistributedDouble(Options{
-		M: 3, N: 5, K: 1, Seed: 1, BidWindow: time.Second,
-	})
+	res, err := RunDistributedDouble(
+		WithProviders(3), WithUsers(5), WithK(1), WithSeed(1), WithBidWindow(time.Second),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,9 +26,9 @@ func TestDistributedDoubleRound(t *testing.T) {
 }
 
 func TestDistributedStandardRound(t *testing.T) {
-	res, err := RunDistributedStandard(Options{
-		M: 4, N: 6, K: 1, Seed: 2, BidWindow: time.Second, InvEpsilon: 3,
-	})
+	res, err := RunDistributedStandard(
+		WithProviders(4), WithUsers(6), WithK(1), WithSeed(2), WithBidWindow(time.Second), WithInvEpsilon(3),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,9 +38,9 @@ func TestDistributedStandardRound(t *testing.T) {
 }
 
 func TestCentralizedDoubleRound(t *testing.T) {
-	res, err := RunCentralizedDouble(Options{
-		M: 3, N: 5, Seed: 1, BidWindow: time.Second,
-	})
+	res, err := RunCentralizedDouble(
+		WithProviders(3), WithUsers(5), WithSeed(1), WithBidWindow(time.Second),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,9 +50,9 @@ func TestCentralizedDoubleRound(t *testing.T) {
 }
 
 func TestCentralizedStandardRound(t *testing.T) {
-	res, err := RunCentralizedStandard(Options{
-		M: 4, N: 6, Seed: 2, BidWindow: time.Second, InvEpsilon: 3,
-	})
+	res, err := RunCentralizedStandard(
+		WithProviders(4), WithUsers(6), WithSeed(2), WithBidWindow(time.Second), WithInvEpsilon(3),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,17 +65,55 @@ func TestCentralizedStandardRound(t *testing.T) {
 // (deterministic mechanism) are identical between a distributed run and a
 // centralized run — the "correct simulation" property end to end.
 func TestDistributedMatchesCentralizedDouble(t *testing.T) {
-	opts := Options{M: 3, N: 8, K: 1, Seed: 42, BidWindow: time.Second}
-	dist, err := RunDistributedDouble(opts)
+	opts := []Option{WithProviders(3), WithUsers(8), WithK(1), WithSeed(42), WithBidWindow(time.Second)}
+	dist, err := RunDistributedDouble(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cent, err := RunCentralizedDouble(opts)
+	cent, err := RunCentralizedDouble(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dist.Outcome.Digest() != cent.Outcome.Digest() {
 		t.Error("distributed and centralized double-auction outcomes differ")
+	}
+}
+
+// A multi-round session run must complete every round, accept them all
+// (honest deployment), and leave no residual protocol state behind.
+func TestSessionDoubleThroughput(t *testing.T) {
+	res, err := RunSessionDouble(25,
+		WithProviders(3), WithUsers(4), WithK(1), WithSeed(7),
+		WithBidWindow(2*time.Second), WithPipelineDepth(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 25 || res.Accepted != 25 {
+		t.Errorf("rounds=%d accepted=%d, want 25/25", res.Rounds, res.Accepted)
+	}
+	if res.RoundsPerSec() <= 0 {
+		t.Error("no throughput measured")
+	}
+	if res.ResidualMsgs != 0 || res.ResidualRounds != 0 {
+		t.Errorf("residual state after run: %d msgs, %d rounds", res.ResidualMsgs, res.ResidualRounds)
+	}
+}
+
+// The harness is transport-agnostic: the same deployment code runs over
+// real TCP sockets via WithNetwork.
+func TestDistributedDoubleOverTCP(t *testing.T) {
+	res, err := RunDistributedDouble(
+		WithProviders(3), WithUsers(3), WithK(1), WithSeed(3), WithBidWindow(2*time.Second),
+		WithNetwork(func(int64) transport.Network {
+			return transport.NewTCPNetwork(transport.TCPNetworkConfig{})
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Alloc.NumUsers != 3 {
+		t.Error("outcome shape wrong")
 	}
 }
 
@@ -86,14 +124,13 @@ func TestLatencyShowsUpInMeasurement(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
-	fast, err := RunDistributedDouble(Options{M: 3, N: 4, K: 1, Seed: 3, BidWindow: 2 * time.Second})
+	base := []Option{WithProviders(3), WithUsers(4), WithK(1), WithSeed(3), WithBidWindow(2 * time.Second)}
+	fast, err := RunDistributedDouble(base...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	slow, err := RunDistributedDouble(Options{
-		M: 3, N: 4, K: 1, Seed: 3, BidWindow: 2 * time.Second,
-		Latency: transport.LatencyModel{Base: 10 * time.Millisecond},
-	})
+	slow, err := RunDistributedDouble(append(base,
+		WithLatency(transport.LatencyModel{Base: 10 * time.Millisecond}))...)
 	if err != nil {
 		t.Fatal(err)
 	}

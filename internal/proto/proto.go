@@ -267,6 +267,16 @@ func (p *Peer) AbortErr(round uint64) error {
 	return nil
 }
 
+// StateSize reports the buffered protocol state: the number of buffered
+// messages plus pending waiter keys, and the number of live round entries.
+// Sessions reclaim state as rounds complete, so both stay bounded by the
+// pipeline depth regardless of how many rounds have run.
+func (p *Peer) StateSize() (msgs, rounds int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buffered) + len(p.waiters), len(p.rounds)
+}
+
 // EndRound discards all buffered state for rounds <= round. Later messages
 // for those rounds are dropped. Rounds must be used in increasing order.
 func (p *Peer) EndRound(round uint64) {

@@ -74,7 +74,7 @@ func (h *Hub) Stats() StatsSnapshot { return h.stats.Snapshot() }
 
 // Attach registers a node and returns its connection. Attaching an already
 // attached ID is a configuration error.
-func (h *Hub) Attach(id wire.NodeID) (*MemConn, error) {
+func (h *Hub) Attach(id wire.NodeID) (Conn, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {

@@ -168,7 +168,7 @@ func TestManyToOneConcurrent(t *testing.T) {
 			t.Fatal(err)
 		}
 		wg.Add(1)
-		go func(c *MemConn) {
+		go func(c Conn) {
 			defer wg.Done()
 			for i := 0; i < perSender; i++ {
 				if err := c.Send(env(c.Self(), 100, fmt.Sprintf("m%d", i))); err != nil {
@@ -229,10 +229,10 @@ func TestConnStats(t *testing.T) {
 	if _, err := b.Recv(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if s := a.Stats(); s.MsgsSent != 1 || s.BytesSent != 5 {
+	if s := a.(*MemConn).Stats(); s.MsgsSent != 1 || s.BytesSent != 5 {
 		t.Errorf("sender stats = %+v", s)
 	}
-	if s := b.Stats(); s.MsgsReceived != 1 || s.BytesReceived != 5 {
+	if s := b.(*MemConn).Stats(); s.MsgsReceived != 1 || s.BytesReceived != 5 {
 		t.Errorf("receiver stats = %+v", s)
 	}
 }

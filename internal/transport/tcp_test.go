@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -227,5 +228,49 @@ func TestTCPUnauthenticatedMode(t *testing.T) {
 	}
 	if string(got.Payload) != "plain" {
 		t.Errorf("got %q", got.Payload)
+	}
+}
+
+// TestTCPNetworkConcurrentZeroConfigAttach attaches two zero-config nodes
+// concurrently: each one's initial peer snapshot predates the other's bound
+// address, so Attach must replay the shared address book into the newcomer
+// in both directions or one side can never dial the other.
+func TestTCPNetworkConcurrentZeroConfigAttach(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		net := NewTCPNetwork(TCPNetworkConfig{})
+		conns := make([]Conn, 2)
+		errs := make([]error, 2)
+		var wg sync.WaitGroup
+		for i, id := range []wire.NodeID{1, 2} {
+			wg.Add(1)
+			go func(i int, id wire.NodeID) {
+				defer wg.Done()
+				conns[i], errs[i] = net.Attach(id)
+			}(i, id)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("attach %d: %v", i, err)
+			}
+		}
+		for i, from := range conns {
+			to := conns[1-i]
+			env := wire.Envelope{From: from.Self(), To: to.Self(),
+				Tag: wire.Tag{Round: 1, Block: 1, Step: uint8(i + 1)}, Payload: []byte("ping")}
+			if err := from.Send(env); err != nil {
+				t.Fatalf("iter %d: send %d->%d: %v", iter, from.Self(), to.Self(), err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			got, err := to.Recv(ctx)
+			cancel()
+			if err != nil {
+				t.Fatalf("iter %d: recv at %d: %v", iter, to.Self(), err)
+			}
+			if got.From != from.Self() || string(got.Payload) != "ping" {
+				t.Fatalf("iter %d: got %+v", iter, got)
+			}
+		}
+		net.Close()
 	}
 }
