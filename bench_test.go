@@ -164,6 +164,102 @@ func BenchmarkBidAgreement(b *testing.B) {
 	}
 }
 
+// BenchmarkBidAgreementFallback measures the digest-mismatch fallback: one
+// provider disputes one slot every round, so each round pays the extra
+// full-vector exchange on top of the digest agreement. Compare with
+// BenchmarkBidAgreement (unanimous, fast path) to see what a disputed round
+// costs.
+func BenchmarkBidAgreementFallback(b *testing.B) {
+	for _, m := range []int{3, 8} {
+		for _, n := range []int{100, 1000} {
+			m, n := m, n
+			b.Run(fmt.Sprintf("m=%d/n=%d", m, n), func(b *testing.B) {
+				peers := benchPeers(b, m)
+				inst := workload.NewDoubleAuction(1, n, m)
+				perPeer := make([][][]byte, m)
+				for j := range perPeer {
+					inputs := make([][]byte, n)
+					for i, u := range inst.Users {
+						inputs[i] = u.Encode()
+					}
+					if j == m-1 {
+						inputs[0] = []byte("disputed") // forces the fallback
+					}
+					perPeer[j] = inputs
+				}
+				ctx := context.Background()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					round := uint64(i + 1)
+					var wg sync.WaitGroup
+					errs := make([]error, m)
+					for j, p := range peers {
+						wg.Add(1)
+						go func(j int, p *proto.Peer) {
+							defer wg.Done()
+							_, errs[j] = consensus.Propose(ctx, p, round, 0, perPeer[j])
+						}(j, p)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					for _, p := range peers {
+						p.EndRound(round)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPeerRoutingContention exercises the striped router the way a
+// pipelined session does: `depth` concurrent rounds continuously broadcast
+// and gather over the same peers. Before the per-round stripes, every
+// message serialised on one peer-wide mutex and one delivery goroutine.
+func BenchmarkPeerRoutingContention(b *testing.B) {
+	const m = 3
+	for _, depth := range []int{1, 4, 8} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			peers := benchPeers(b, m)
+			payload := make([]byte, 64)
+			ctx := context.Background()
+			b.ResetTimer()
+			base := uint64(1)
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for d := 0; d < depth; d++ {
+					round := base + uint64(d)
+					for _, p := range peers {
+						wg.Add(1)
+						go func(p *proto.Peer, round uint64) {
+							defer wg.Done()
+							tag := wire.Tag{Round: round, Block: wire.BlockTask, Instance: 0, Step: 1}
+							if err := p.BroadcastProviders(tag, payload); err != nil {
+								b.Error(err)
+								return
+							}
+							if _, err := p.GatherProviders(ctx, tag); err != nil {
+								b.Error(err)
+							}
+						}(p, round)
+					}
+				}
+				wg.Wait()
+				for d := 0; d < depth; d++ {
+					for _, p := range peers {
+						p.EndRound(base + uint64(d))
+					}
+				}
+				base += uint64(depth)
+			}
+		})
+	}
+}
+
 // BenchmarkCommonCoin measures one commit-echo-reveal coin toss per round.
 func BenchmarkCommonCoin(b *testing.B) {
 	for _, m := range []int{3, 8} {

@@ -97,7 +97,10 @@ func (r *Registry) Sign(env *wire.Envelope) error {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, env.To)
 	}
 	mac := hmac.New(sha256.New, key)
-	mac.Write(env.SignedBytes())
+	enc := wire.GetEncoder(24 + len(env.Payload))
+	env.SignedBytesTo(enc)
+	mac.Write(enc.Buffer())
+	wire.PutEncoder(enc)
 	env.MAC = mac.Sum(nil)
 	return nil
 }
@@ -113,7 +116,10 @@ func (r *Registry) Verify(env *wire.Envelope) error {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, env.From)
 	}
 	mac := hmac.New(sha256.New, key)
-	mac.Write(env.SignedBytes())
+	enc := wire.GetEncoder(24 + len(env.Payload))
+	env.SignedBytesTo(enc)
+	mac.Write(enc.Buffer())
+	wire.PutEncoder(enc)
 	if !hmac.Equal(mac.Sum(nil), env.MAC) {
 		return fmt.Errorf("%w: from %d tag %v", ErrBadMAC, env.From, env.Tag)
 	}

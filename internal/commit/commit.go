@@ -64,12 +64,14 @@ func Verify(domain string, id wire.NodeID, c Commitment, op Opening) error {
 }
 
 func digest(domain string, id wire.NodeID, op Opening) Commitment {
-	enc := wire.NewEncoder(len(domain) + len(op.Salt) + len(op.Value) + 16)
+	enc := wire.GetEncoder(len(domain) + len(op.Salt) + len(op.Value) + 16)
 	enc.String(domain)
 	enc.Uint32(uint32(id))
 	enc.Bytes(op.Salt)
 	enc.Bytes(op.Value)
-	return sha256.Sum256(enc.Buffer())
+	sum := sha256.Sum256(enc.Buffer())
+	wire.PutEncoder(enc)
+	return sum
 }
 
 // EncodeOpening serialises an opening.
@@ -80,12 +82,26 @@ func EncodeOpening(op Opening) []byte {
 	return enc.Buffer()
 }
 
-// DecodeOpening parses an opening.
+// DecodeOpening parses an opening. Salt and Value are copied out of b.
 func DecodeOpening(b []byte) (Opening, error) {
 	d := wire.NewDecoder(b)
 	var op Opening
 	op.Salt = d.Bytes()
 	op.Value = d.Bytes()
+	if err := d.Finish(); err != nil {
+		return Opening{}, fmt.Errorf("decode opening: %w", err)
+	}
+	return op, nil
+}
+
+// DecodeOpeningView parses an opening whose Salt and Value alias b (zero
+// copy). For transient use — Verify plus an immediate value decode — while b
+// is alive; callers that retain the opening must use DecodeOpening.
+func DecodeOpeningView(b []byte) (Opening, error) {
+	d := wire.NewDecoder(b)
+	var op Opening
+	op.Salt = d.BytesView()
+	op.Value = d.BytesView()
 	if err := d.Finish(); err != nil {
 		return Opening{}, fmt.Errorf("decode opening: %w", err)
 	}

@@ -22,6 +22,21 @@
 // The leader election is the ADH13 scheme: every provider commits to a
 // random 64-bit share alongside its proposal; the sum of shares seeds a
 // deterministic PRNG that picks an independent leader per slot.
+//
+// # Digest fast path
+//
+// Providers do not commit to the proposal vector itself but to its SHA-256
+// digest (plus the leader-election share). The commit → echo → reveal
+// exchange therefore moves O(m²) fixed-size messages regardless of the
+// vector size. After the reveal every provider holds every peer's digest:
+// when all digests match its own — the common case, since honest providers
+// enter bid agreement with identical bid vectors — the vectors are
+// byte-identical by collision resistance, every slot is unanimous, and the
+// local input IS the decided output; no vector ever crosses the network.
+// Only when digests disagree do providers fall back to a full vector
+// exchange (one extra step), verified slot-for-slot against the committed
+// digests before the per-slot leaders decide. See DESIGN.md for the
+// equivalence argument.
 package consensus
 
 import (
@@ -43,6 +58,10 @@ const (
 	stepCommit uint8 = 1
 	stepEcho   uint8 = 2
 	stepReveal uint8 = 3
+	// stepVector is the digest-mismatch fallback: the full proposal vectors
+	// are exchanged and checked against the committed digests. The step is
+	// absent from honest unanimous rounds.
+	stepVector uint8 = 4
 )
 
 // MaxSlots bounds the proposal vector length (defence against hostile
@@ -53,11 +72,56 @@ func domain(round uint64, instance uint32) string {
 	return fmt.Sprintf("consensus/%d/%d", round, instance)
 }
 
-// proposal is the committed value: the leader-election share plus the full
-// per-slot vector.
+// proposal is a provider's full input: the leader-election share plus the
+// per-slot vector. Its encoding crosses the network only on the fallback
+// path; the commitment covers digestProposal instead.
 type proposal struct {
 	share  uint64
 	values [][]byte
+}
+
+// digestProposal is the committed value of the fast path: the share plus the
+// SHA-256 digest of the encoded proposal vector. Fixed 40-byte encoding.
+type digestProposal struct {
+	share  uint64
+	digest [sha256.Size]byte
+}
+
+const digestProposalSize = 8 + sha256.Size
+
+func encodeDigestProposal(p digestProposal) []byte {
+	out := make([]byte, digestProposalSize)
+	binary.BigEndian.PutUint64(out, p.share)
+	copy(out[8:], p.digest[:])
+	return out
+}
+
+func decodeDigestProposal(b []byte) (digestProposal, error) {
+	if len(b) != digestProposalSize {
+		return digestProposal{}, fmt.Errorf("digest proposal: %d bytes, want %d", len(b), digestProposalSize)
+	}
+	var p digestProposal
+	p.share = binary.BigEndian.Uint64(b)
+	copy(p.digest[:], b[8:])
+	return p, nil
+}
+
+// vectorDigest hashes a proposal vector: slot count, then each slot
+// length-prefixed — the same canonical shape encodeProposal uses, so equal
+// digests imply byte-identical vectors (slot counts included).
+func vectorDigest(values [][]byte) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(values)))
+	h.Write(buf[:n])
+	for _, v := range values {
+		n = binary.PutUvarint(buf[:], uint64(len(v)))
+		h.Write(buf[:n])
+		h.Write(v)
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
 }
 
 func encodeProposal(p proposal) []byte {
@@ -85,9 +149,19 @@ func decodeProposal(b []byte) (proposal, error) {
 	if d.Err() == nil && n > uint64(d.Remaining()) {
 		return proposal{}, wire.ErrTruncated
 	}
+	// One arena for all slots: the views point into b, which the proto layer
+	// may reclaim at EndRound, so the values are copied out — but as a single
+	// flat allocation instead of one alloc+copy per slot.
 	p.values = make([][]byte, n)
+	arena := make([]byte, 0, d.Remaining())
 	for i := range p.values {
-		p.values[i] = d.Bytes()
+		v := d.BytesView()
+		if d.Err() != nil {
+			break
+		}
+		off := len(arena)
+		arena = append(arena, v...)
+		p.values[i] = arena[off:len(arena):len(arena)]
 	}
 	if err := d.Finish(); err != nil {
 		return proposal{}, fmt.Errorf("decode proposal: %w", err)
@@ -101,8 +175,10 @@ func decodeProposal(b []byte) (proposal, error) {
 // registered bidder).
 //
 // On success every honest provider returns the same output vector, where
-// each slot is the proposal of the slot's leader. On any deviation or
-// timeout the round is aborted (⊥).
+// each slot is the proposal of the slot's leader. When all providers propose
+// identical vectors the returned slices alias inputs (the protocol treats
+// decided vectors as immutable). On any deviation or timeout the round is
+// aborted (⊥).
 func Propose(ctx context.Context, peer *proto.Peer, round uint64, instance uint32, inputs [][]byte) ([][]byte, error) {
 	if err := peer.AbortErr(round); err != nil {
 		return nil, err
@@ -117,9 +193,8 @@ func Propose(ctx context.Context, peer *proto.Peer, round uint64, instance uint3
 	if _, err := rand.Read(shareBytes[:]); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: entropy: %v", err))
 	}
-	local := proposal{share: binary.BigEndian.Uint64(shareBytes[:]), values: inputs}
-	encoded := encodeProposal(local)
-	com, op, err := commit.New(dom, peer.Self(), encoded)
+	local := digestProposal{share: binary.BigEndian.Uint64(shareBytes[:]), digest: vectorDigest(inputs)}
+	com, op, err := commit.New(dom, peer.Self(), encodeDigestProposal(local))
 	if err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: commit: %v", err))
 	}
@@ -129,74 +204,119 @@ func Propose(ctx context.Context, peer *proto.Peer, round uint64, instance uint3
 	if err := peer.BroadcastProviders(commitTag, com[:]); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast commit: %v", err))
 	}
-	commitPayloads, err := peer.GatherProviders(ctx, commitTag)
+	commitPayloads, err := peer.GatherOrdered(ctx, commitTag, providers)
 	if err != nil {
 		return nil, failUnlessAborted(peer, round, "consensus: gather commits", err)
 	}
-	commits := make(map[wire.NodeID]commit.Commitment, len(commitPayloads))
-	for id, payload := range commitPayloads {
+	commits := make([]commit.Commitment, len(providers))
+	for i, payload := range commitPayloads {
 		if len(payload) != commit.Size {
-			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d sent malformed commitment", id))
+			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d sent malformed commitment", providers[i]))
 		}
-		var c commit.Commitment
-		copy(c[:], payload)
-		commits[id] = c
+		copy(commits[i][:], payload)
 	}
 
 	// Phase 2: echo the commitment set so equivocated commitments abort the
 	// round while all proposals are still hidden.
-	echo := commitSetDigest(providers, commits)
+	echo := commitSetDigestOrdered(providers, commits)
 	echoTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepEcho}
 	if err := peer.BroadcastProviders(echoTag, echo[:]); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast echo: %v", err))
 	}
-	echoes, err := peer.GatherProviders(ctx, echoTag)
+	echoes, err := peer.GatherOrdered(ctx, echoTag, providers)
 	if err != nil {
 		return nil, failUnlessAborted(peer, round, "consensus: gather echoes", err)
 	}
-	for id, payload := range echoes {
+	for i, payload := range echoes {
 		if !bytes.Equal(payload, echo[:]) {
-			return nil, peer.FailRound(round, fmt.Sprintf("consensus: commitment set mismatch with provider %d", id))
+			return nil, peer.FailRound(round, fmt.Sprintf("consensus: commitment set mismatch with provider %d", providers[i]))
 		}
 	}
 
-	// Phase 3: reveal.
+	// Phase 3: reveal shares and vector digests. The commitments are now
+	// immutable everywhere (echo), so opening them fixes the leader seed and
+	// binds every provider to one vector before any vector is sent.
 	revealTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepReveal}
 	if err := peer.BroadcastProviders(revealTag, commit.EncodeOpening(op)); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast reveal: %v", err))
 	}
-	reveals, err := peer.GatherProviders(ctx, revealTag)
+	reveals, err := peer.GatherOrdered(ctx, revealTag, providers)
 	if err != nil {
 		return nil, failUnlessAborted(peer, round, "consensus: gather reveals", err)
 	}
 
-	proposals := make(map[wire.NodeID]proposal, len(providers))
+	digests := make([]digestProposal, len(providers))
 	var seed uint64
-	for _, id := range providers {
-		opening, err := commit.DecodeOpening(reveals[id])
+	unanimous := true
+	for i, id := range providers {
+		// View decode: the opening is verified and its 40-byte value parsed
+		// into digests right here; nothing aliases the payload afterwards.
+		opening, err := commit.DecodeOpeningView(reveals[i])
 		if err != nil {
 			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d sent malformed opening", id))
 		}
-		if err := commit.Verify(dom, id, commits[id], opening); err != nil {
+		if err := commit.Verify(dom, id, commits[i], opening); err != nil {
 			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d mis-opened its commitment", id))
 		}
-		prop, err := decodeProposal(opening.Value)
+		dp, err := decodeDigestProposal(opening.Value)
 		if err != nil {
 			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d: %v", id, err))
+		}
+		digests[i] = dp
+		seed += dp.share
+		if dp.digest != local.digest {
+			unanimous = false
+		}
+	}
+
+	// Fast path: every digest equals the local one, so by collision
+	// resistance every provider proposed this exact vector — every slot is
+	// unanimous and the leader draw cannot change the outcome. All providers
+	// see the same digest set (the commitments they open were cross-checked
+	// in the echo), so they take or skip this branch together.
+	if unanimous {
+		return inputs, nil
+	}
+
+	// Fallback: digests disagree — at least one slot is disputed (or a
+	// provider deviated). Exchange the full vectors, bind each to its
+	// committed digest, and let the per-slot leaders decide.
+	vectorTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepVector}
+	full := encodeProposal(proposal{share: local.share, values: inputs})
+	if err := peer.BroadcastProviders(vectorTag, full); err != nil {
+		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast vector: %v", err))
+	}
+	vectors, err := peer.GatherOrdered(ctx, vectorTag, providers)
+	if err != nil {
+		return nil, failUnlessAborted(peer, round, "consensus: gather vectors", err)
+	}
+
+	proposals := make([]proposal, len(providers))
+	for i, id := range providers {
+		prop, err := decodeProposal(vectors[i])
+		if err != nil {
+			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d: %v", id, err))
+		}
+		if prop.share != digests[i].share {
+			return nil, peer.FailRound(round, fmt.Sprintf(
+				"consensus: provider %d revealed share %d but sent vector for share %d", id, digests[i].share, prop.share))
+		}
+		if vectorDigest(prop.values) != digests[i].digest {
+			return nil, peer.FailRound(round, fmt.Sprintf(
+				"consensus: provider %d sent a vector that does not open its committed digest", id))
 		}
 		if len(prop.values) != len(inputs) {
 			return nil, peer.FailRound(round, fmt.Sprintf(
 				"consensus: provider %d proposed %d slots, expected %d", id, len(prop.values), len(inputs)))
 		}
-		proposals[id] = prop
-		seed += prop.share
+		proposals[i] = prop
 	}
 
 	// Decide every slot by its leader.
 	base := prng.New(seed)
 	out := make([][]byte, len(inputs))
 	for i := range out {
-		leader := providers[base.Fork(uint64(i)).Intn(len(providers))]
+		leader := base.Fork(uint64(i)).Intn(len(providers))
 		out[i] = proposals[leader].values[i]
 	}
 	return out, nil
@@ -209,16 +329,27 @@ func failUnlessAborted(peer *proto.Peer, round uint64, op string, err error) err
 	return peer.FailRound(round, fmt.Sprintf("%s: %v", op, err))
 }
 
-func commitSetDigest(providers []wire.NodeID, commits map[wire.NodeID]commit.Commitment) [sha256.Size]byte {
+// commitSetDigestOrdered hashes the (id, commitment) pairs with commits
+// aligned to providers' order.
+func commitSetDigestOrdered(providers []wire.NodeID, commits []commit.Commitment) [sha256.Size]byte {
 	h := sha256.New()
 	var idBuf [4]byte
-	for _, id := range providers {
+	for i, id := range providers {
 		binary.BigEndian.PutUint32(idBuf[:], uint32(id))
 		h.Write(idBuf[:])
-		c := commits[id]
-		h.Write(c[:])
+		h.Write(commits[i][:])
 	}
 	var out [sha256.Size]byte
 	h.Sum(out[:0])
 	return out
+}
+
+// commitSetDigest is the map-keyed form of commitSetDigestOrdered (deviation
+// scripts and tests hold commitments keyed by node).
+func commitSetDigest(providers []wire.NodeID, commits map[wire.NodeID]commit.Commitment) [sha256.Size]byte {
+	ordered := make([]commit.Commitment, len(providers))
+	for i, id := range providers {
+		ordered[i] = commits[id]
+	}
+	return commitSetDigestOrdered(providers, ordered)
 }

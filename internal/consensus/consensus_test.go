@@ -5,11 +5,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"distauction/internal/commit"
+	"distauction/internal/deviation"
 	"distauction/internal/proto"
 	"distauction/internal/transport"
 	"distauction/internal/wire"
@@ -258,6 +260,111 @@ func TestProposeOnAbortedRound(t *testing.T) {
 	}
 	if _, err := Propose(context.Background(), peers[0], 9, 0, nil); !errors.Is(err, proto.ErrAborted) {
 		t.Errorf("got %v, want abort", err)
+	}
+}
+
+// TestDigestFastPathSkipsVectorStep asserts the fast path's defining
+// property at the wire level: with unanimous inputs no stepVector message is
+// ever sent, while disputed inputs trigger exactly one fallback exchange.
+func TestDigestFastPathSkipsVectorStep(t *testing.T) {
+	peers := newPeers(t, 3)
+	ids := []wire.NodeID{1, 2, 3}
+
+	// Unanimous round: fast path, no vector exchange.
+	input := [][]byte{[]byte("same-a"), []byte("same-b")}
+	outs, errs := proposeAll(t, peers, 1, [][][]byte{input, input, input})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	for i := range outs {
+		if !sameVectors(outs[i], input) {
+			t.Fatalf("peer %d: fast path changed the unanimous vector", i)
+		}
+	}
+	for i, p := range peers {
+		if _, err := p.Receive(canceledCtx(), wire.Tag{
+			Round: 1, Block: wire.BlockBidAgree, Instance: 0, Step: stepVector,
+		}, ids[(i+1)%len(ids)]); err == nil {
+			t.Fatalf("peer %d buffered a stepVector message on the fast path", i)
+		}
+	}
+
+	// Disputed round: the fallback must have exchanged vectors.
+	disputed := [][][]byte{
+		{[]byte("x")}, {[]byte("x")}, {[]byte("y")},
+	}
+	outs, errs = proposeAll(t, peers, 2, disputed)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(outs); i++ {
+		if !sameVectors(outs[i], outs[0]) {
+			t.Fatal("fallback outputs disagree")
+		}
+	}
+	for i, p := range peers {
+		if _, err := p.Receive(canceledCtx(), wire.Tag{
+			Round: 2, Block: wire.BlockBidAgree, Instance: 0, Step: stepVector,
+		}, ids[(i+1)%len(ids)]); err != nil {
+			t.Fatalf("peer %d: no stepVector message buffered on the fallback path: %v", i, err)
+		}
+	}
+}
+
+// canceledCtx returns an already-expired context: Receive with it reports a
+// buffered message instantly or fails without blocking.
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+// TestFallbackVectorCorruptionAborts forces the digest-mismatch fallback
+// (disputed inputs) while one provider corrupts its full-vector message. The
+// corrupted vector cannot open the committed digest, so honest providers
+// must abort with the deviant attributed.
+func TestFallbackVectorCorruptionAborts(t *testing.T) {
+	hub := transport.NewHub(transport.LatencyModel{}, 1)
+	t.Cleanup(func() { hub.Close() })
+	ids := []wire.NodeID{1, 2, 3}
+	peers := make([]*proto.Peer, len(ids))
+	for i, id := range ids {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c transport.Conn = conn
+		if id == 3 {
+			c = deviation.Wrap(conn, deviation.Rule{
+				Match:     deviation.MatchBlockStep(wire.BlockBidAgree, stepVector),
+				Action:    deviation.Mutate,
+				Transform: deviation.FlipPayloadByte(),
+			})
+		}
+		peers[i] = proto.NewPeer(c, ids)
+		t.Cleanup(func(p *proto.Peer) func() { return func() { p.Close() } }(peers[i]))
+	}
+
+	inputs := [][][]byte{
+		{[]byte("x")}, {[]byte("x")}, {[]byte("z")}, // dispute forces the fallback
+	}
+	_, errs := proposeAll(t, peers, 1, inputs)
+	for i := 0; i < 2; i++ {
+		if !errors.Is(errs[i], proto.ErrAborted) {
+			t.Errorf("honest peer %d: got %v, want abort", i, errs[i])
+		}
+	}
+	// The corrupted vector names provider 3 in the abort reason (audit
+	// attribution).
+	var ae *proto.AbortError
+	if errors.As(errs[0], &ae) {
+		if !strings.Contains(ae.Reason, "provider 3") {
+			t.Errorf("abort reason %q does not attribute provider 3", ae.Reason)
+		}
 	}
 }
 

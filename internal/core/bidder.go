@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"time"
 
 	"distauction/internal/auction"
 	"distauction/internal/proto"
@@ -70,17 +71,26 @@ func (b *Bidder) SubmitRaw(round uint64, payloads map[wire.NodeID][]byte) error 
 // outcome only when all providers reported the same non-⊥ pair; otherwise
 // ErrOutcomeBot.
 func (b *Bidder) AwaitOutcome(ctx context.Context, round uint64) (auction.Outcome, error) {
+	return b.AwaitOutcomeTimeout(ctx, round, nil)
+}
+
+// AwaitOutcomeTimeout is AwaitOutcome bounded by an external timer channel
+// (nil never fires). Bidder sessions pass one reusable timer instead of
+// deriving a timeout context per round.
+func (b *Bidder) AwaitOutcomeTimeout(ctx context.Context, round uint64, timeoutC <-chan time.Time) (auction.Outcome, error) {
 	tag := wire.Tag{Round: round, Block: wire.BlockResult, Step: 1}
 	var agreed []byte
 	first := true
 	for _, p := range b.peer.Providers() {
-		payload, err := b.peer.Receive(ctx, tag, p)
+		payload, err := b.peer.ReceiveTimeout(ctx, tag, p, timeoutC)
 		if err != nil {
 			return auction.Outcome{}, fmt.Errorf("%w: provider %d unreachable: %v", ErrOutcomeBot, p, err)
 		}
 		d := wire.NewDecoder(payload)
 		ok := d.Bool()
-		raw := d.Bytes()
+		// View, not copy: the payload stays buffered in the peer until
+		// EndRound, and raw/agreed are only read within this call.
+		raw := d.BytesView()
 		if err := d.Finish(); err != nil {
 			return auction.Outcome{}, fmt.Errorf("%w: provider %d sent malformed result", ErrOutcomeBot, p)
 		}

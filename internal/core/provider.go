@@ -90,6 +90,12 @@ type engine struct {
 	cfg  Config
 	peer *proto.Peer
 
+	// bidTimer is the reusable bid-window timer. Rounds open strictly one at
+	// a time (the session scheduler serialises phases 0–1; the manual shim
+	// runs rounds serially), so a single timer replaces a per-round
+	// context.WithTimeout allocation on the hot path.
+	bidTimer *time.Timer
+
 	mu        sync.Mutex
 	delivered map[uint64]bool // live rounds whose result already went to bidders
 	ended     uint64          // all rounds <= ended are reclaimed (and were delivered)
@@ -161,24 +167,46 @@ func (e *engine) openRound(ctx context.Context, round uint64, ownBid *auction.Pr
 	return e.collectBids(ctx, round)
 }
 
+// expiredC is a closed timer channel: ReceiveTimeout with it returns any
+// buffered message immediately and DeadlineExceeded otherwise.
+var expiredC = func() <-chan time.Time {
+	ch := make(chan time.Time)
+	close(ch)
+	return ch
+}()
+
 // collectBids gathers the raw submission for every slot (phase 1),
-// substituting nil (→ neutral) when the bid window expires first.
+// substituting nil (→ neutral) when the bid window expires first. The window
+// is enforced with the engine's reusable timer: already-buffered submissions
+// are still accepted after expiry (same as the former context deadline,
+// which Receive also checked only after the buffer).
 func (e *engine) collectBids(ctx context.Context, round uint64) ([][]byte, error) {
 	cfg := e.cfg
-	window, cancel := context.WithTimeout(ctx, cfg.BidWindow)
-	defer cancel()
+	if e.bidTimer == nil {
+		e.bidTimer = time.NewTimer(cfg.BidWindow)
+	} else {
+		e.bidTimer.Reset(cfg.BidWindow)
+	}
+	window := e.bidTimer.C
+	expired := false
 
 	slots := make([][]byte, cfg.slotCount())
 	tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
 	recvSlot := func(slot int, from wire.NodeID) error {
-		raw, err := e.peer.Receive(window, tag, from)
+		raw, err := e.peer.ReceiveTimeout(ctx, tag, from, window)
 		switch {
 		case err == nil:
 			if len(raw) <= MaxRawBidSize {
 				slots[slot] = raw
 			}
 		case errors.Is(err, context.DeadlineExceeded):
-			// No submission: neutral.
+			// No submission: neutral. The timer has fired (its channel is
+			// consumed); later slots still drain buffered submissions via the
+			// always-ready expiry channel.
+			if !expired {
+				expired = true
+				window = expiredC
+			}
 		case errors.Is(err, proto.ErrAborted):
 			return err
 		default:

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"distauction/internal/auction"
 	"distauction/internal/transport"
@@ -98,14 +99,23 @@ func (s *BidderSession) Close() error {
 func (s *BidderSession) collect() {
 	defer s.wg.Done()
 	defer close(s.outcomes)
+	// One reusable timer bounds every round's wait (collect is the only
+	// goroutine touching it); deriving a context per round would cost a
+	// timer plus several allocations per round for the common case where
+	// the result arrives long before the bound.
+	var timer *time.Timer
+	var timeoutC <-chan time.Time
+	if s.settings.roundTimeout > 0 {
+		timer = time.NewTimer(s.settings.roundTimeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
 	start, limit := s.settings.startRound, s.settings.roundLimit
 	for r := start; limit == 0 || r < start+limit; r++ {
-		rctx, cancel := s.ctx, context.CancelFunc(func() {})
-		if s.settings.roundTimeout > 0 {
-			rctx, cancel = context.WithTimeout(s.ctx, s.settings.roundTimeout)
+		if timer != nil && r != start {
+			timer.Reset(s.settings.roundTimeout)
 		}
-		out, err := s.bidder.AwaitOutcome(rctx, r)
-		cancel()
+		out, err := s.bidder.AwaitOutcomeTimeout(s.ctx, r, timeoutC)
 		if s.ctx.Err() != nil {
 			return
 		}

@@ -20,7 +20,7 @@ package doubleauction
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"distauction/internal/auction"
 	"distauction/internal/fixed"
@@ -51,12 +51,15 @@ func Solve(bids auction.BidVector) (auction.Outcome, error) {
 			users = append(users, i)
 		}
 	}
-	sort.Slice(users, func(a, b int) bool {
-		va, vb := bids.Users[users[a]].Value, bids.Users[users[b]].Value
+	slices.SortFunc(users, func(a, b int) int {
+		va, vb := bids.Users[a].Value, bids.Users[b].Value
 		if va != vb {
-			return va > vb
+			if va > vb {
+				return -1
+			}
+			return 1
 		}
-		return users[a] < users[b]
+		return a - b
 	})
 	provs := make([]int, 0, m)
 	for j, b := range bids.Providers {
@@ -64,12 +67,15 @@ func Solve(bids auction.BidVector) (auction.Outcome, error) {
 			provs = append(provs, j)
 		}
 	}
-	sort.Slice(provs, func(a, b int) bool {
-		ca, cb := bids.Providers[provs[a]].Cost, bids.Providers[provs[b]].Cost
+	slices.SortFunc(provs, func(a, b int) int {
+		ca, cb := bids.Providers[a].Cost, bids.Providers[b].Cost
 		if ca != cb {
-			return ca < cb
+			if ca < cb {
+				return -1
+			}
+			return 1
 		}
-		return provs[a] < provs[b]
+		return a - b
 	})
 	if len(users) == 0 || len(provs) == 0 {
 		return out, nil

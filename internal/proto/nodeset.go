@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"slices"
 	"sort"
 
 	"distauction/internal/wire"
@@ -8,7 +9,7 @@ import (
 
 // SortNodes sorts ids ascending in place and returns it.
 func SortNodes(ids []wire.NodeID) []wire.NodeID {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids) // no Swapper allocation, unlike sort.Slice
 	return ids
 }
 

@@ -17,6 +17,12 @@
 // context; deadlines exist so that experiments with injected silent
 // deviations terminate — under the paper's fair-schedule assumption an
 // honest run never hits them.
+//
+// Routing state is striped: rounds hash onto a small array of shards, each
+// with its own lock and per-round message index. Under pipelining, handle
+// and Receive on different rounds touch different shards and do not
+// contend, and EndRound reclaims a round by dropping its index — O(live
+// rounds) — instead of sweeping every buffered message key.
 package proto
 
 import (
@@ -26,6 +32,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"distauction/internal/transport"
 	"distauction/internal/wire"
@@ -59,14 +67,92 @@ func (e *AbortError) Is(target error) bool { return target == ErrAborted }
 // ErrPeerClosed reports use of a closed Peer.
 var ErrPeerClosed = errors.New("proto: peer closed")
 
+// numShards is the number of round stripes. Rounds map onto shards round-
+// robin, so with pipeline depth d at most ⌈d/numShards⌉ live rounds share a
+// lock. A small power of two keeps the Peer footprint negligible while
+// covering any realistic pipeline depth.
+const numShards = 8
+
+// msgKey identifies a message within one round's index: the tag minus the
+// round (redundant there — the index is per round) plus the sender. Keeping
+// it 12 bytes instead of a full 24-byte tag halves the map-hash work on the
+// per-message hot path.
 type msgKey struct {
-	tag  wire.Tag
-	from wire.NodeID
+	instance uint32
+	from     wire.NodeID
+	block    wire.BlockID
+	step     uint8
 }
 
+func keyOf(tag wire.Tag, from wire.NodeID) msgKey {
+	return msgKey{instance: tag.Instance, from: from, block: tag.Block, step: tag.Step}
+}
+
+// roundState is one round's complete routing state: its buffered messages
+// and pending waiters (the per-round index EndRound reclaims in one delete)
+// plus the abort latch.
 type roundState struct {
+	buffered map[msgKey][]byte
+	waiters  map[msgKey][]chan []byte
 	abortCh  chan struct{}
 	abortErr *AbortError // set before abortCh closes
+}
+
+// shard is one stripe of the router: the rounds that hash onto it, guarded
+// by a dedicated lock, plus a free list of retired round states. Recycling
+// keeps the map bucket arrays alive across rounds — a pipelined session
+// retires one round per round started, so steady state allocates no routing
+// maps at all.
+type shard struct {
+	mu     sync.Mutex
+	rounds map[uint64]*roundState
+	free   []*roundState
+}
+
+// maxFree bounds a shard's free list; beyond it retired states go to the GC.
+const maxFree = 4
+
+// roundLocked returns the state for round, creating (or recycling) it if
+// needed. Caller holds s.mu.
+func (s *shard) roundLocked(round uint64) *roundState {
+	rs, ok := s.rounds[round]
+	if !ok {
+		if n := len(s.free); n > 0 {
+			rs = s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+		} else {
+			rs = &roundState{
+				buffered: make(map[msgKey][]byte),
+				waiters:  make(map[msgKey][]chan []byte),
+			}
+		}
+		rs.abortCh = make(chan struct{})
+		if s.rounds == nil {
+			s.rounds = make(map[uint64]*roundState)
+		}
+		s.rounds[round] = rs
+	}
+	return rs
+}
+
+// retireLocked closes round's pending waiters and recycles its state.
+// Caller holds s.mu.
+func (s *shard) retireLocked(round uint64, rs *roundState) {
+	for _, ws := range rs.waiters {
+		for _, ch := range ws {
+			close(ch)
+		}
+	}
+	delete(s.rounds, round)
+	if len(s.free) >= maxFree {
+		return
+	}
+	clear(rs.buffered)
+	clear(rs.waiters)
+	rs.abortCh = nil
+	rs.abortErr = nil
+	s.free = append(s.free, rs)
 }
 
 // Peer is one node's view of the protocol network.
@@ -75,36 +161,45 @@ type Peer struct {
 	self      wire.NodeID
 	providers []wire.NodeID // sorted, may or may not include self
 
-	mu       sync.Mutex
-	buffered map[msgKey][]byte
-	waiters  map[msgKey][]chan []byte
-	rounds   map[uint64]*roundState
-	minRound uint64
-	closed   bool
+	shards   [numShards]shard
+	minRound atomic.Uint64 // rounds below this are retired; their messages drop
+	closed   atomic.Bool
+
+	// waiterPool recycles Receive's rendezvous channels. A channel is pooled
+	// only after its one value was consumed — at that point it is empty,
+	// unregistered and cannot be closed by anyone.
+	waiterPool sync.Pool
 
 	done      chan struct{}
 	closeOnce sync.Once
 	loopDone  chan struct{}
 }
 
-// NewPeer wraps conn and starts the routing loop. providers is the full
+// NewPeer wraps conn and starts message delivery. providers is the full
 // provider set of the auction (used by broadcast and gather); it is copied
 // and sorted.
+//
+// On a transport.PushConn, inbound messages are dispatched directly in the
+// producing goroutines — senders and per-connection readers route into the
+// striped shards concurrently. Other transports get a routing loop goroutine
+// draining Recv.
 func NewPeer(conn transport.Conn, providers []wire.NodeID) *Peer {
 	ps := make([]wire.NodeID, len(providers))
 	copy(ps, providers)
-	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	SortNodes(ps)
 	p := &Peer{
 		conn:      conn,
 		self:      conn.Self(),
 		providers: ps,
-		buffered:  make(map[msgKey][]byte),
-		waiters:   make(map[msgKey][]chan []byte),
-		rounds:    make(map[uint64]*roundState),
 		done:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
 	}
-	go p.runLoop()
+	if pc, ok := conn.(transport.PushConn); ok {
+		close(p.loopDone) // no routing loop to wait for
+		pc.SetHandler(func(env wire.Envelope) { p.handle(env.From, env.Tag, env.Payload) })
+	} else {
+		go p.runLoop()
+	}
 	return p
 }
 
@@ -121,6 +216,11 @@ func (p *Peer) IsProvider(id wire.NodeID) bool {
 	return i < len(p.providers) && p.providers[i] == id
 }
 
+// shardFor returns the stripe that owns round.
+func (p *Peer) shardFor(round uint64) *shard {
+	return &p.shards[round&(numShards-1)]
+}
+
 // Close stops the routing loop and releases the underlying connection.
 func (p *Peer) Close() error {
 	var err error
@@ -128,16 +228,21 @@ func (p *Peer) Close() error {
 		close(p.done)
 		err = p.conn.Close()
 		<-p.loopDone
-		p.mu.Lock()
-		p.closed = true
+		p.closed.Store(true)
 		// Wake every waiter; they will observe the closed state.
-		for _, ws := range p.waiters {
-			for _, ch := range ws {
-				close(ch)
+		for i := range p.shards {
+			sh := &p.shards[i]
+			sh.mu.Lock()
+			for _, rs := range sh.rounds {
+				for _, ws := range rs.waiters {
+					for _, ch := range ws {
+						close(ch)
+					}
+				}
+				rs.waiters = make(map[msgKey][]chan []byte)
 			}
+			sh.mu.Unlock()
 		}
-		p.waiters = make(map[msgKey][]chan []byte)
-		p.mu.Unlock()
 	})
 	return err
 }
@@ -167,15 +272,23 @@ func (p *Peer) handle(from wire.NodeID, tag wire.Tag, payload []byte) {
 		return
 	}
 
-	p.mu.Lock()
-	if p.closed || tag.Round < p.minRound {
-		p.mu.Unlock()
+	if p.closed.Load() || tag.Round < p.minRound.Load() {
 		return
 	}
-	key := msgKey{tag: tag, from: from}
-	if prev, ok := p.buffered[key]; ok {
+	sh := p.shardFor(tag.Round)
+	sh.mu.Lock()
+	// Re-check under the shard lock: EndRound bumps minRound before sweeping
+	// the shards, so a message that passes here is either removed by the
+	// sweep (which serialises behind this lock) or belongs to a live round.
+	if p.closed.Load() || tag.Round < p.minRound.Load() {
+		sh.mu.Unlock()
+		return
+	}
+	rs := sh.roundLocked(tag.Round)
+	key := keyOf(tag, from)
+	if prev, ok := rs.buffered[key]; ok {
 		equiv := !bytes.Equal(prev, payload)
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		if equiv {
 			// Same sender, same tag, different payload: equivocation.
 			// This is the ⊥-inducing deviation of §3.2; poison the round
@@ -186,33 +299,23 @@ func (p *Peer) handle(from wire.NodeID, tag wire.Tag, payload []byte) {
 		}
 		return
 	}
-	p.buffered[key] = payload
-	ws := p.waiters[key]
-	delete(p.waiters, key)
-	p.mu.Unlock()
+	rs.buffered[key] = payload
+	ws := rs.waiters[key]
+	delete(rs.waiters, key)
+	sh.mu.Unlock()
 	for _, ch := range ws {
 		ch <- payload // buffered channel of size 1; never blocks
 	}
 }
 
-// roundLocked returns the state for round, creating it if needed.
-// Caller holds p.mu.
-func (p *Peer) roundLocked(round uint64) *roundState {
-	rs, ok := p.rounds[round]
-	if !ok {
-		rs = &roundState{abortCh: make(chan struct{})}
-		p.rounds[round] = rs
-	}
-	return rs
-}
-
 func (p *Peer) markAborted(round uint64, from wire.NodeID, reason string) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if round < p.minRound {
+	sh := p.shardFor(round)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if round < p.minRound.Load() {
 		return
 	}
-	rs := p.roundLocked(round)
+	rs := sh.roundLocked(round)
 	if rs.abortErr != nil {
 		return // already aborted
 	}
@@ -259,9 +362,10 @@ func (p *Peer) FailRound(round uint64, reason string) error {
 
 // AbortErr returns the abort error for round, or nil.
 func (p *Peer) AbortErr(round uint64) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if rs, ok := p.rounds[round]; ok && rs.abortErr != nil {
+	sh := p.shardFor(round)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rs, ok := sh.rounds[round]; ok && rs.abortErr != nil {
 		return rs.abortErr
 	}
 	return nil
@@ -272,36 +376,39 @@ func (p *Peer) AbortErr(round uint64) error {
 // Sessions reclaim state as rounds complete, so both stay bounded by the
 // pipeline depth regardless of how many rounds have run.
 func (p *Peer) StateSize() (msgs, rounds int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.buffered) + len(p.waiters), len(p.rounds)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		rounds += len(sh.rounds)
+		for _, rs := range sh.rounds {
+			msgs += len(rs.buffered) + len(rs.waiters)
+		}
+		sh.mu.Unlock()
+	}
+	return msgs, rounds
 }
 
 // EndRound discards all buffered state for rounds <= round. Later messages
 // for those rounds are dropped. Rounds must be used in increasing order.
+// Reclamation is O(the retired rounds' state): each round's messages and
+// waiters live in that round's index, so ending a round never scans the
+// still-live rounds' traffic.
 func (p *Peer) EndRound(round uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if round+1 > p.minRound {
-		p.minRound = round + 1
-	}
-	for k := range p.buffered {
-		if k.tag.Round <= round {
-			delete(p.buffered, k)
+	for {
+		cur := p.minRound.Load()
+		if round+1 <= cur || p.minRound.CompareAndSwap(cur, round+1) {
+			break
 		}
 	}
-	for k, ws := range p.waiters {
-		if k.tag.Round <= round {
-			for _, ch := range ws {
-				close(ch)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for r, rs := range sh.rounds {
+			if r <= round {
+				sh.retireLocked(r, rs)
 			}
-			delete(p.waiters, k)
 		}
-	}
-	for r := range p.rounds {
-		if r <= round {
-			delete(p.rounds, r)
-		}
+		sh.mu.Unlock()
 	}
 }
 
@@ -331,57 +438,84 @@ func (p *Peer) BroadcastProviders(tag wire.Tag, payload []byte) error {
 // Receive blocks until a message with the given tag from the given sender
 // arrives, the round aborts, the context expires, or the peer closes.
 func (p *Peer) Receive(ctx context.Context, tag wire.Tag, from wire.NodeID) ([]byte, error) {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	return p.ReceiveTimeout(ctx, tag, from, nil)
+}
+
+// ReceiveTimeout is Receive with an additional give-up signal: when timeoutC
+// fires (or is already closed) before a message arrives, the call returns
+// context.DeadlineExceeded. A nil timeoutC never fires. Sessions use it with
+// one reusable timer per scheduler instead of deriving a context (and its
+// timer allocation) for every round; a buffered message is still returned
+// even when timeoutC is ready.
+func (p *Peer) ReceiveTimeout(ctx context.Context, tag wire.Tag, from wire.NodeID, timeoutC <-chan time.Time) ([]byte, error) {
+	sh := p.shardFor(tag.Round)
+	sh.mu.Lock()
+	if p.closed.Load() {
+		sh.mu.Unlock()
 		return nil, ErrPeerClosed
 	}
-	rs := p.roundLocked(tag.Round)
+	rs := sh.roundLocked(tag.Round)
 	if rs.abortErr != nil {
 		err := rs.abortErr
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		return nil, err
 	}
-	key := msgKey{tag: tag, from: from}
-	if payload, ok := p.buffered[key]; ok {
-		p.mu.Unlock()
+	key := keyOf(tag, from)
+	if payload, ok := rs.buffered[key]; ok {
+		sh.mu.Unlock()
 		return payload, nil
 	}
-	ch := make(chan []byte, 1)
-	p.waiters[key] = append(p.waiters[key], ch)
+	var ch chan []byte
+	if pooled, ok := p.waiterPool.Get().(chan []byte); ok {
+		ch = pooled
+	} else {
+		ch = make(chan []byte, 1)
+	}
+	rs.waiters[key] = append(rs.waiters[key], ch)
 	abortCh := rs.abortCh
-	p.mu.Unlock()
+	sh.mu.Unlock()
 
 	select {
 	case payload, ok := <-ch:
 		if !ok {
 			return nil, ErrPeerClosed
 		}
+		// The sender removed ch from the index before sending, so nothing
+		// else can send on or close it: recycle.
+		p.waiterPool.Put(ch)
 		return payload, nil
 	case <-abortCh:
 		// Prefer a message that raced in over the abort? No: once the round
 		// is ⊥ every block must output ⊥ (§3.2).
 		return nil, p.AbortErr(tag.Round)
+	case <-timeoutC:
+		p.dropWaiter(tag.Round, key, ch)
+		return nil, context.DeadlineExceeded
 	case <-ctx.Done():
-		p.dropWaiter(key, ch)
+		p.dropWaiter(tag.Round, key, ch)
 		return nil, ctx.Err()
 	case <-p.done:
 		return nil, ErrPeerClosed
 	}
 }
 
-func (p *Peer) dropWaiter(key msgKey, ch chan []byte) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ws := p.waiters[key]
+func (p *Peer) dropWaiter(round uint64, key msgKey, ch chan []byte) {
+	sh := p.shardFor(round)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rs, ok := sh.rounds[round]
+	if !ok {
+		return
+	}
+	ws := rs.waiters[key]
 	for i, w := range ws {
 		if w == ch {
-			p.waiters[key] = append(ws[:i], ws[i+1:]...)
+			rs.waiters[key] = append(ws[:i], ws[i+1:]...)
 			break
 		}
 	}
-	if len(p.waiters[key]) == 0 {
-		delete(p.waiters, key)
+	if len(rs.waiters[key]) == 0 {
+		delete(rs.waiters, key)
 	}
 }
 
@@ -400,6 +534,22 @@ func (p *Peer) Gather(ctx context.Context, tag wire.Tag, set []wire.NodeID) (map
 			return nil, err
 		}
 		out[id] = payload
+	}
+	return out, nil
+}
+
+// GatherOrdered receives the message with the given tag from every node in
+// set, returning payloads aligned with set's order. It is the
+// allocation-light variant of Gather for hot paths that iterate the set by
+// index anyway (one slice instead of a map).
+func (p *Peer) GatherOrdered(ctx context.Context, tag wire.Tag, set []wire.NodeID) ([][]byte, error) {
+	out := make([][]byte, len(set))
+	for i, id := range set {
+		payload, err := p.Receive(ctx, tag, id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = payload
 	}
 	return out, nil
 }

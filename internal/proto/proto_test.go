@@ -282,6 +282,66 @@ func TestEndRoundDropsState(t *testing.T) {
 	}
 }
 
+// TestEndRoundReclaimsPerRound buffers traffic across several live rounds
+// and retires a prefix: exactly the retired rounds' state must vanish while
+// later rounds stay receivable (the per-round index makes this O(retired)).
+func TestEndRoundReclaimsPerRound(t *testing.T) {
+	peers := newCluster(t, 2)
+	ctx := testCtx(t)
+	const rounds = 6
+	for r := uint64(1); r <= rounds; r++ {
+		if err := peers[0].Send(2, tag(r, wire.BlockTask, 0, 1), []byte{byte(r)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := peers[1].Receive(ctx, tag(r, wire.BlockTask, 0, 1), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if msgs, live := peers[1].StateSize(); msgs != rounds || live != rounds {
+		t.Fatalf("before: %d msgs, %d rounds", msgs, live)
+	}
+	peers[1].EndRound(3)
+	if msgs, live := peers[1].StateSize(); msgs != 3 || live != 3 {
+		t.Fatalf("after EndRound(3): %d msgs, %d rounds (want 3, 3)", msgs, live)
+	}
+	for r := uint64(4); r <= rounds; r++ {
+		if got, err := peers[1].Receive(ctx, tag(r, wire.BlockTask, 0, 1), 1); err != nil || got[0] != byte(r) {
+			t.Fatalf("round %d after partial reclamation: %v %v", r, got, err)
+		}
+	}
+}
+
+// TestRecycledRoundStateIsClean aborts and retires a round, then reuses its
+// round number ranges long enough that the recycled state would resurface
+// any leaked abort latch or buffered message.
+func TestRecycledRoundStateIsClean(t *testing.T) {
+	peers := newCluster(t, 2)
+	ctx := testCtx(t)
+	// Cycle through many rounds on the same shard (stride = shard count) so
+	// recycled states are certainly reused.
+	const stride = 8 // numShards
+	for i := 0; i < 5; i++ {
+		r := uint64(1 + i*stride)
+		if err := peers[1].Abort(r, "poison"); err != nil {
+			t.Fatal(err)
+		}
+		if err := peers[1].AbortErr(r); err == nil {
+			t.Fatalf("round %d not aborted", r)
+		}
+		peers[1].EndRound(r + stride - 1)
+		next := r + stride
+		if err := peers[1].AbortErr(next); err != nil {
+			t.Fatalf("recycled state leaked abort into round %d: %v", next, err)
+		}
+		if err := peers[0].Send(2, tag(next, wire.BlockTask, 0, 1), []byte("fresh")); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := peers[1].Receive(ctx, tag(next, wire.BlockTask, 0, 1), 1); err != nil || string(got) != "fresh" {
+			t.Fatalf("round %d on recycled state: %q, %v", next, got, err)
+		}
+	}
+}
+
 func TestCloseUnblocksReceive(t *testing.T) {
 	peers := newCluster(t, 2)
 	errCh := make(chan error, 1)

@@ -17,11 +17,12 @@ package taskgraph
 
 import (
 	"bytes"
+	"cmp"
 	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"distauction/internal/coin"
 	"distauction/internal/datatransfer"
@@ -101,7 +102,7 @@ func New(providers []wire.NodeID, k int, tasks []Task) (*Graph, error) {
 		return nil, fmt.Errorf("%w: no tasks", ErrBadGraph)
 	}
 	sorted := append([]Task(nil), tasks...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	slices.SortFunc(sorted, func(a, b Task) int { return cmp.Compare(a.ID, b.ID) })
 
 	all := append([]wire.NodeID(nil), providers...)
 	proto.SortNodes(all)
@@ -174,7 +175,7 @@ func New(providers []wire.NodeID, k int, tasks []Task) (*Graph, error) {
 	for i := range sorted {
 		t := &sorted[i]
 		deps := append([]uint32(nil), t.Deps...)
-		sort.Slice(deps, func(a, b int) bool { return deps[a] < deps[b] })
+		slices.Sort(deps)
 		for _, d := range deps {
 			from := index[d]
 			if proto.EqualNodes(sorted[from].Group, t.Group) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"distauction/internal/wire"
@@ -43,14 +44,18 @@ func (m LatencyModel) Zero() bool {
 	return m.Base == 0 && m.PerByte == 0 && m.Jitter == 0
 }
 
-// Hub is an in-process message switch connecting MemConns.
+// Hub is an in-process message switch connecting MemConns. The routing
+// table is copy-on-write: deliver reads it with one atomic load, so
+// concurrent senders never contend on a hub-wide lock (the lock only guards
+// attachment, shutdown and the jitter RNG).
 type Hub struct {
 	model LatencyModel
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	nodes  map[wire.NodeID]*MemConn
-	closed bool
+	nodes  atomic.Pointer[map[wire.NodeID]*MemConn]
+	closed atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
 
 	stats Stats
 
@@ -62,11 +67,13 @@ type Hub struct {
 // reproducible; runs remain nondeterministic at the goroutine-scheduling
 // level, which is intended (the protocol must tolerate any fair schedule).
 func NewHub(model LatencyModel, seed int64) *Hub {
-	return &Hub{
+	h := &Hub{
 		model: model,
 		rng:   rand.New(rand.NewSource(seed)),
-		nodes: make(map[wire.NodeID]*MemConn),
 	}
+	empty := make(map[wire.NodeID]*MemConn)
+	h.nodes.Store(&empty)
+	return h
 }
 
 // Stats returns hub-wide traffic counters.
@@ -77,10 +84,11 @@ func (h *Hub) Stats() StatsSnapshot { return h.stats.Snapshot() }
 func (h *Hub) Attach(id wire.NodeID) (Conn, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.closed {
+	if h.closed.Load() {
 		return nil, ErrClosed
 	}
-	if _, dup := h.nodes[id]; dup {
+	old := *h.nodes.Load()
+	if _, dup := old[id]; dup {
 		return nil, fmt.Errorf("transport: node %d already attached", id)
 	}
 	c := &MemConn{
@@ -89,20 +97,25 @@ func (h *Hub) Attach(id wire.NodeID) (Conn, error) {
 		inbox: make(chan wire.Envelope, 4096),
 		done:  make(chan struct{}),
 	}
-	h.nodes[id] = c
+	next := make(map[wire.NodeID]*MemConn, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = c
+	h.nodes.Store(&next)
 	return c, nil
 }
 
 // Close shuts the hub and all attached connections.
 func (h *Hub) Close() error {
 	h.mu.Lock()
-	if h.closed {
+	if h.closed.Swap(true) {
 		h.mu.Unlock()
 		return nil
 	}
-	h.closed = true
-	conns := make([]*MemConn, 0, len(h.nodes))
-	for _, c := range h.nodes {
+	nodes := *h.nodes.Load()
+	conns := make([]*MemConn, 0, len(nodes))
+	for _, c := range nodes {
 		conns = append(conns, c)
 	}
 	h.mu.Unlock()
@@ -116,17 +129,16 @@ func (h *Hub) Close() error {
 // deliver routes env to its destination after the modelled delay.
 func (h *Hub) deliver(env wire.Envelope) error {
 	size := len(env.Payload)
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
+	if h.closed.Load() {
 		return ErrClosed
 	}
-	dst, ok := h.nodes[env.To]
+	dst, ok := (*h.nodes.Load())[env.To]
 	var delay time.Duration
 	if ok && !h.model.Zero() {
+		h.mu.Lock()
 		delay = h.model.Delay(size, h.rng)
+		h.mu.Unlock()
 	}
-	h.mu.Unlock()
 	if !ok {
 		// Unknown destination: the reliable-channels assumption only covers
 		// configured nodes; a message to nobody is a programming error.
@@ -151,9 +163,10 @@ func (h *Hub) deliver(env wire.Envelope) error {
 
 // MemConn is a node's attachment to a Hub.
 type MemConn struct {
-	hub   *Hub
-	id    wire.NodeID
-	inbox chan wire.Envelope
+	hub     *Hub
+	id      wire.NodeID
+	inbox   chan wire.Envelope
+	handler atomic.Pointer[Handler]
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -161,7 +174,10 @@ type MemConn struct {
 	stats Stats
 }
 
-var _ Conn = (*MemConn)(nil)
+var (
+	_ Conn     = (*MemConn)(nil)
+	_ PushConn = (*MemConn)(nil)
+)
 
 // Self returns the local node ID.
 func (c *MemConn) Self() wire.NodeID { return c.id }
@@ -210,10 +226,54 @@ func (c *MemConn) Close() error {
 	return nil
 }
 
-// push delivers an envelope into the inbox, dropping it if the node closed.
+// SetHandler switches the connection to push delivery: envelopes go to h in
+// the producing goroutine (sender or delay timer) instead of through Recv.
+// Anything already queued for Recv is drained into h first.
+func (c *MemConn) SetHandler(h Handler) {
+	c.handler.Store(&h)
+	c.drainInto(&h)
+}
+
+// drainInto empties whatever is queued in the inbox into the handler. Safe
+// to call concurrently: each queued envelope is received (and thus
+// dispatched) exactly once.
+func (c *MemConn) drainInto(h *Handler) {
+	for {
+		select {
+		case env := <-c.inbox:
+			c.stats.MsgsReceived.Add(1)
+			c.stats.BytesReceived.Add(int64(len(env.Payload)))
+			(*h)(env)
+		default:
+			return
+		}
+	}
+}
+
+// push delivers an envelope — directly into the handler in push mode, into
+// the inbox otherwise — dropping it if the node closed.
 func (c *MemConn) push(env wire.Envelope) {
+	if h := c.handler.Load(); h != nil {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		c.stats.MsgsReceived.Add(1)
+		c.stats.BytesReceived.Add(int64(len(env.Payload)))
+		(*h)(env)
+		return
+	}
 	select {
 	case <-c.done:
 	case c.inbox <- env:
+	}
+	// A handler installed between the nil check above and the enqueue would
+	// never look at the inbox again (Recv is abandoned in push mode), so
+	// re-check and drain: either SetHandler's own drain ran after our send
+	// and took the message, or we find the handler here and drain it
+	// ourselves — each queued message is channel-received exactly once.
+	if h := c.handler.Load(); h != nil {
+		c.drainInto(h)
 	}
 }

@@ -46,6 +46,35 @@ func TestHubDeliver(t *testing.T) {
 	}
 }
 
+// TestMemPushMode switches a MemConn to push delivery: queued messages are
+// drained into the handler, and later sends dispatch in the sender's
+// goroutine without touching Recv.
+func TestMemPushMode(t *testing.T) {
+	hub := NewHub(LatencyModel{}, 1)
+	defer hub.Close()
+	a, err := hub.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hub.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(env(1, 2, "queued")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	b.(*MemConn).SetHandler(func(e wire.Envelope) { got = append(got, string(e.Payload)) })
+	// Zero-latency push: delivery happens inside Send, so got is visible
+	// right after (same goroutine).
+	if err := a.Send(env(1, 2, "direct")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "queued" || got[1] != "direct" {
+		t.Fatalf("handler saw %v", got)
+	}
+}
+
 func TestHubDuplicateAttach(t *testing.T) {
 	hub := NewHub(LatencyModel{}, 1)
 	defer hub.Close()

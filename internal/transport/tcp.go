@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -12,6 +13,10 @@ import (
 	"distauction/internal/auth"
 	"distauction/internal/wire"
 )
+
+// outBufSize is the per-connection write buffer. One consensus burst is m
+// small frames; 64 KiB batches all of them into one syscall.
+const outBufSize = 64 << 10
 
 // TCPConfig configures a TCP transport node.
 type TCPConfig struct {
@@ -33,9 +38,10 @@ type TCPConfig struct {
 // each envelope carries an HMAC under the pairwise key of (From, To), so no
 // connection handshake is needed and connections are interchangeable.
 type TCPNode struct {
-	cfg   TCPConfig
-	ln    net.Listener
-	inbox chan wire.Envelope
+	cfg     TCPConfig
+	ln      net.Listener
+	inbox   chan wire.Envelope
+	handler atomic.Pointer[Handler]
 
 	mu       sync.Mutex
 	outbound map[wire.NodeID]*tcpOut
@@ -51,9 +57,60 @@ type TCPNode struct {
 	Dropped atomic.Int64
 }
 
+// tcpOut is one outbound connection with write coalescing: frames go into a
+// bufio.Writer, and the writer that finds no successor queued flushes for
+// the whole burst while the others wait for that flush's outcome. A burst of
+// m² consensus messages thus costs a handful of syscalls instead of m², an
+// isolated send still flushes immediately, and every Send synchronously
+// returns the result of the flush that covered its frame — so the
+// retry-once redial logic keeps working for coalesced frames.
 type tcpOut struct {
-	mu   sync.Mutex
-	conn net.Conn
+	queued atomic.Int64 // senders that will take mu next
+	mu     sync.Mutex
+	cond   sync.Cond // signalled after each flush; guarded by mu
+	conn   net.Conn
+	bw     *bufio.Writer
+	gen    uint64 // flush generation
+	err    error  // outcome of the flush that ended generation gen
+}
+
+func newTCPOut(conn net.Conn) *tcpOut {
+	o := &tcpOut{conn: conn, bw: bufio.NewWriterSize(conn, outBufSize)}
+	o.cond.L = &o.mu
+	return o
+}
+
+// writeFrame buffers one frame. The last writer of a burst flushes and
+// publishes the outcome; the others block until that flush and return its
+// error, so a lost frame is always observed by its sender.
+func (o *tcpOut) writeFrame(raw []byte) error {
+	o.queued.Add(1)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	idle := o.queued.Add(-1) == 0
+	err := wire.WriteFrameTo(o.bw, raw)
+	if idle {
+		// The burst's final writer always publishes — even on a write error
+		// — so no earlier writer is left waiting on a flush that cannot
+		// happen (bufio errors are sticky; the whole burst shares the fate).
+		if err == nil {
+			err = o.bw.Flush()
+		}
+		o.gen++
+		o.err = err
+		o.cond.Broadcast()
+		return err
+	}
+	if err != nil {
+		return err // a committed successor will publish for the waiters
+	}
+	// A successor is committed to taking the lock; the burst's final writer
+	// will flush this frame too. Wait for that flush and report its outcome.
+	gen := o.gen
+	for o.gen == gen {
+		o.cond.Wait()
+	}
+	return o.err
 }
 
 var _ Conn = (*TCPNode)(nil)
@@ -135,7 +192,9 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		env, err := wire.DecodeEnvelope(frame)
+		// The frame buffer is owned by this loop and never reused, so the
+		// envelope's payload can alias it instead of being copied out.
+		env, err := wire.DecodeEnvelopeView(frame)
 		if err != nil {
 			n.Dropped.Add(1)
 			continue
@@ -151,13 +210,49 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		}
 		n.stats.MsgsReceived.Add(1)
 		n.stats.BytesReceived.Add(int64(len(env.Payload)))
+		if h := n.handler.Load(); h != nil {
+			// Push mode: dispatch in this connection's read goroutine, so
+			// inbound traffic from different peers is handled in parallel.
+			(*h)(env)
+			continue
+		}
 		select {
 		case n.inbox <- env:
 		case <-n.done:
 			return
 		}
+		// A handler installed between the nil check above and the enqueue
+		// would never look at the inbox again; re-check and drain so the
+		// message cannot be stranded (each one is received exactly once,
+		// here or in SetHandler's drain).
+		if h := n.handler.Load(); h != nil {
+			n.drainInto(h)
+		}
 	}
 }
+
+// SetHandler switches the node to push delivery: envelopes are dispatched in
+// the per-connection read goroutines instead of through Recv. Anything
+// already queued for Recv is drained into h first.
+func (n *TCPNode) SetHandler(h Handler) {
+	n.handler.Store(&h)
+	n.drainInto(&h)
+}
+
+// drainInto empties queued envelopes into the handler; safe to call
+// concurrently (channel receives are exactly-once).
+func (n *TCPNode) drainInto(h *Handler) {
+	for {
+		select {
+		case env := <-n.inbox:
+			(*h)(env)
+		default:
+			return
+		}
+	}
+}
+
+var _ PushConn = (*TCPNode)(nil)
 
 // Send signs (when configured) and transmits env to its destination,
 // dialing or reusing a connection. A stale connection is retried once.
@@ -175,16 +270,19 @@ func (n *TCPNode) Send(env wire.Envelope) error {
 			return fmt.Errorf("transport: %w", err)
 		}
 	}
-	raw := env.Encode()
+	// The frame bytes are fully consumed by writeFrame (copied into the
+	// connection's write buffer or the kernel), so the encoder is pooled.
+	enc := wire.GetEncoder(env.EncodedSize())
+	env.EncodeTo(enc)
+	raw := enc.Buffer()
+	defer wire.PutEncoder(enc)
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		out, err := n.conn(env.To, attempt > 0)
 		if err != nil {
 			return err
 		}
-		out.mu.Lock()
-		err = wire.WriteFrame(out.conn, raw)
-		out.mu.Unlock()
+		err = out.writeFrame(raw)
 		if err == nil {
 			n.stats.MsgsSent.Add(1)
 			n.stats.BytesSent.Add(int64(len(env.Payload)))
@@ -228,7 +326,7 @@ func (n *TCPNode) conn(id wire.NodeID, redial bool) (*tcpOut, error) {
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
-	out := &tcpOut{conn: c}
+	out := newTCPOut(c)
 	n.mu.Lock()
 	if old, ok := n.outbound[id]; ok && !redial {
 		// Lost the race; keep the existing connection.

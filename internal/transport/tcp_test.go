@@ -91,6 +91,74 @@ func TestTCPManyMessagesOrdered(t *testing.T) {
 	}
 }
 
+// TestTCPConcurrentBurstDelivered hammers one connection from many
+// goroutines: the flush-on-idle coalescing must not lose or corrupt frames
+// (the last writer of every burst flushes for all of them).
+func TestTCPConcurrentBurstDelivered(t *testing.T) {
+	n1, n2 := startTCPPair(t)
+	const senders, perSender = 8, 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				e := env(1, 2, "burst")
+				e.Tag.Instance = uint32(s*perSender + i)
+				if err := n1.Send(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	seen := make(map[uint32]bool, senders*perSender)
+	for i := 0; i < senders*perSender; i++ {
+		got, err := n2.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if string(got.Payload) != "burst" || seen[got.Tag.Instance] {
+			t.Fatalf("bad or duplicate frame: %+v", got)
+		}
+		seen[got.Tag.Instance] = true
+	}
+}
+
+// TestTCPPushMode switches a node to push delivery: messages must reach the
+// handler (including any queued before the switch) and Recv is bypassed.
+func TestTCPPushMode(t *testing.T) {
+	n1, n2 := startTCPPair(t)
+	if err := n1.Send(env(1, 2, "early")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the early message reach n2's inbox before the switch.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(n2.inbox) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	got := make(chan wire.Envelope, 16)
+	n2.SetHandler(func(e wire.Envelope) { got <- e })
+	if err := n1.Send(env(1, 2, "pushed")); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"early": true, "pushed": true}
+	for len(want) > 0 {
+		select {
+		case e := <-got:
+			if !want[string(e.Payload)] {
+				t.Fatalf("unexpected envelope %q", e.Payload)
+			}
+			delete(want, string(e.Payload))
+		case <-time.After(5 * time.Second):
+			t.Fatalf("missing envelopes: %v", want)
+		}
+	}
+}
+
 func TestTCPRejectsForgedMAC(t *testing.T) {
 	// n3 shares no keys with n2: its messages must be dropped.
 	n1, n2 := startTCPPair(t)

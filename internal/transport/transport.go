@@ -40,6 +40,22 @@ type Conn interface {
 	Close() error
 }
 
+// Handler consumes one inbound envelope. Handlers must be safe for
+// concurrent calls: push-mode transports invoke them from whatever goroutine
+// produced the message (a sender, a delay timer, a per-connection read
+// loop), which is exactly what lets receivers on different rounds proceed in
+// parallel instead of funnelling through one Recv loop.
+type Handler func(env wire.Envelope)
+
+// PushConn is implemented by transports that can deliver inbound envelopes
+// by direct dispatch. After SetHandler, envelopes go to the handler and Recv
+// must no longer be used; envelopes already queued for Recv before the
+// switch are drained into the handler by SetHandler itself.
+type PushConn interface {
+	Conn
+	SetHandler(h Handler)
+}
+
 // Stats counts traffic through a connection or hub.
 type Stats struct {
 	MsgsSent      atomic.Int64

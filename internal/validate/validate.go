@@ -36,16 +36,17 @@ func Run(ctx context.Context, peer *proto.Peer, round uint64, input []byte) erro
 	if err := peer.BroadcastProviders(tag, digest[:]); err != nil {
 		return peer.FailRound(round, fmt.Sprintf("validate: broadcast: %v", err))
 	}
-	digests, err := peer.GatherProviders(ctx, tag)
+	providers := peer.Providers()
+	digests, err := peer.GatherOrdered(ctx, tag, providers)
 	if err != nil {
 		if abortErr := peer.AbortErr(round); abortErr != nil {
 			return abortErr
 		}
 		return peer.FailRound(round, fmt.Sprintf("validate: gather: %v", err))
 	}
-	for id, d := range digests {
+	for i, d := range digests {
 		if !bytes.Equal(d, digest[:]) {
-			return peer.FailRound(round, fmt.Sprintf("validate: input mismatch with provider %d", id))
+			return peer.FailRound(round, fmt.Sprintf("validate: input mismatch with provider %d", providers[i]))
 		}
 	}
 	return nil

@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"unsafe"
 
 	"distauction/internal/fixed"
 )
@@ -46,6 +48,34 @@ type Encoder struct {
 // NewEncoder returns an encoder with capacity preallocated for n bytes.
 func NewEncoder(n int) *Encoder {
 	return &Encoder{buf: make([]byte, 0, n)}
+}
+
+// encoderPool recycles Encoder buffers across the hot send/sign paths. The
+// pooled buffers grow to the working-set message size and are then reused
+// without further allocation.
+var encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+
+// GetEncoder returns a pooled encoder with at least n bytes of capacity.
+// Callers must hand it back with PutEncoder once the encoded bytes are no
+// longer referenced — the buffer is recycled, so the bytes must not be
+// retained past PutEncoder (copy them, or skip PutEncoder and let the
+// encoder escape to the GC).
+func GetEncoder(n int) *Encoder {
+	e := encoderPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	if cap(e.buf) < n {
+		e.buf = make([]byte, 0, n)
+	}
+	return e
+}
+
+// PutEncoder recycles a pooled encoder. The encoder and its buffer must not
+// be used after the call.
+func PutEncoder(e *Encoder) {
+	if e == nil || cap(e.buf) > MaxBytesLen {
+		return // don't pin pathological buffers in the pool
+	}
+	encoderPool.Put(e)
 }
 
 // Buffer returns the encoded bytes. The buffer is owned by the encoder;
@@ -243,6 +273,21 @@ func (d *Decoder) Bool() bool {
 // Bytes consumes a length-prefixed byte string. The returned slice is a copy,
 // so callers may retain it after the underlying buffer is reused.
 func (d *Decoder) Bytes() []byte {
+	v := d.BytesView()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+// BytesView consumes a length-prefixed byte string and returns a view into
+// the decoder's buffer without copying. The view aliases the input: it is
+// only valid while the underlying buffer is, and callers that retain bytes
+// past the buffer's lifetime must use Bytes instead. A present-but-empty
+// byte string decodes to a non-nil empty slice.
+func (d *Decoder) BytesView() []byte {
 	n := d.Uvarint()
 	if d.err != nil {
 		return nil
@@ -255,15 +300,31 @@ func (d *Decoder) Bytes() []byte {
 		d.fail(ErrTruncated)
 		return nil
 	}
-	out := make([]byte, n)
-	copy(out, d.buf[d.off:])
+	v := d.buf[d.off : d.off+int(n) : d.off+int(n)]
 	d.off += int(n)
-	return out
+	return v
 }
 
-// String consumes a length-prefixed string.
+// String consumes a length-prefixed string. The result is built directly
+// from the input (one copy, no intermediate byte slice).
 func (d *Decoder) String() string {
-	return string(d.Bytes())
+	v := d.BytesView()
+	if d.err != nil {
+		return ""
+	}
+	return string(v)
+}
+
+// StringView consumes a length-prefixed string without copying: the returned
+// string aliases the decoder's buffer via unsafe.String. It is only valid
+// while the underlying buffer is alive and unmodified; callers that retain
+// the string (or whose buffer is recycled) must use String instead.
+func (d *Decoder) StringView() string {
+	v := d.BytesView()
+	if len(v) == 0 {
+		return ""
+	}
+	return unsafe.String(&v[0], len(v))
 }
 
 // Fixed consumes a fixed-point value.

@@ -172,6 +172,124 @@ func TestQuickDecodeGarbage(t *testing.T) {
 	}
 }
 
+func TestBytesViewAliasesInput(t *testing.T) {
+	e := NewEncoder(16)
+	e.Bytes([]byte("abc"))
+	buf := e.Buffer()
+	d := NewDecoder(buf)
+	v := d.BytesView()
+	if string(v) != "abc" {
+		t.Fatalf("view = %q", v)
+	}
+	buf[1] = 'X' // views must alias, copies must not
+	if string(v) != "Xbc" {
+		t.Error("BytesView returned a copy")
+	}
+	d2 := NewDecoder(buf)
+	c := d2.Bytes()
+	buf[1] = 'Y'
+	if string(c) != "Xbc" {
+		t.Error("Bytes returned a view")
+	}
+}
+
+func TestStringViewAndString(t *testing.T) {
+	e := NewEncoder(16)
+	e.String("hello")
+	e.String("")
+	d := NewDecoder(e.Buffer())
+	if got := d.StringView(); got != "hello" {
+		t.Errorf("StringView = %q", got)
+	}
+	if got := d.StringView(); got != "" {
+		t.Errorf("empty StringView = %q", got)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Error paths return zero values.
+	bad := NewDecoder([]byte{0xFF})
+	if got := bad.StringView(); got != "" || bad.Err() == nil {
+		t.Error("StringView on garbage must fail empty")
+	}
+	bad2 := NewDecoder([]byte{0xFF})
+	if got := bad2.String(); got != "" || bad2.Err() == nil {
+		t.Error("String on garbage must fail empty")
+	}
+}
+
+func TestEncoderPoolReuse(t *testing.T) {
+	e := GetEncoder(64)
+	e.String("payload")
+	first := e.Buffer()
+	if len(first) == 0 {
+		t.Fatal("empty encode")
+	}
+	PutEncoder(e)
+	e2 := GetEncoder(16)
+	if e2.Len() != 0 {
+		t.Error("pooled encoder not reset")
+	}
+	e2.Uvarint(7)
+	d := NewDecoder(e2.Buffer())
+	if got := d.Uvarint(); got != 7 {
+		t.Errorf("pooled encoder produced %d", got)
+	}
+	PutEncoder(e2)
+	PutEncoder(nil) // must not panic
+}
+
+func TestWriteFrameToMatchesWriteFrame(t *testing.T) {
+	var a, b bytes.Buffer
+	payload := []byte("framed-payload")
+	if err := WriteFrame(&a, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrameTo(&b, payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("WriteFrameTo encoding differs from WriteFrame")
+	}
+	if err := WriteFrameTo(&b, make([]byte, MaxFrameLen+1)); err == nil {
+		t.Error("oversized frame must fail")
+	}
+}
+
+func TestDecodeEnvelopeViewAliasesInput(t *testing.T) {
+	env := Envelope{
+		From: 1, To: 2,
+		Tag:     Tag{Round: 3, Block: BlockTask, Instance: 4, Step: 5},
+		Payload: []byte("payload"), MAC: []byte("mac"),
+	}
+	raw := env.Encode()
+	got, err := DecodeEnvelopeView(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, env.Payload) || !bytes.Equal(got.MAC, env.MAC) {
+		t.Fatal("view decode mismatch")
+	}
+	raw[len(raw)-len("mac")-len("payload")-1] ^= 0xFF // mutate payload region
+	if bytes.Equal(got.Payload, env.Payload) {
+		t.Error("DecodeEnvelopeView copied the payload")
+	}
+}
+
+func TestEnvelopeEncodeToMatchesEncode(t *testing.T) {
+	env := Envelope{
+		From: 9, To: 8,
+		Tag:     Tag{Round: 7, Block: BlockCoin, Instance: 6, Step: 5},
+		Payload: []byte("p"), MAC: []byte("m"),
+	}
+	enc := GetEncoder(env.EncodedSize())
+	env.EncodeTo(enc)
+	if !bytes.Equal(enc.Buffer(), env.Encode()) {
+		t.Error("EncodeTo differs from Encode")
+	}
+	PutEncoder(enc)
+}
+
 func TestEnvelopeRoundTrip(t *testing.T) {
 	env := Envelope{
 		From:    3,

@@ -76,6 +76,22 @@ func (e *Envelope) SignedBytes() []byte {
 	return enc.Buffer()
 }
 
+// SignedBytesTo appends the canonical MAC-covered bytes to enc. The auth
+// layer uses it with a pooled encoder so that per-message signing and
+// verification do not allocate.
+func (e *Envelope) SignedBytesTo(enc *Encoder) { e.encodeCore(enc) }
+
+// EncodedSize returns a capacity hint covering the full encoding of e.
+func (e *Envelope) EncodedSize() int { return 32 + len(e.Payload) + len(e.MAC) }
+
+// EncodeTo appends the envelope's full encoding (including its MAC) to enc.
+// Transports use it with a pooled encoder: the frame bytes are written to
+// the connection and the buffer is recycled without ever escaping.
+func (e *Envelope) EncodeTo(enc *Encoder) {
+	e.encodeCore(enc)
+	enc.Bytes(e.MAC)
+}
+
 func (e *Envelope) encodeCore(enc *Encoder) {
 	enc.Uint32(uint32(e.From))
 	enc.Uint32(uint32(e.To))
@@ -95,7 +111,21 @@ func (e *Envelope) Encode() []byte {
 }
 
 // DecodeEnvelope parses an envelope, returning an error for malformed input.
+// The payload and MAC are copied out of b; use DecodeEnvelopeView when the
+// caller owns b and can hand it over.
 func DecodeEnvelope(b []byte) (Envelope, error) {
+	return decodeEnvelope(b, false)
+}
+
+// DecodeEnvelopeView parses an envelope whose Payload and MAC alias b
+// directly (zero copy). The caller must own b and must not modify or reuse
+// it afterwards — the stream transports decode each freshly-read frame this
+// way and hand the slices over to the router.
+func DecodeEnvelopeView(b []byte) (Envelope, error) {
+	return decodeEnvelope(b, true)
+}
+
+func decodeEnvelope(b []byte, view bool) (Envelope, error) {
 	d := NewDecoder(b)
 	var e Envelope
 	e.From = NodeID(d.Uint32())
@@ -104,8 +134,13 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 	e.Tag.Block = BlockID(d.Uint8())
 	e.Tag.Instance = d.Uint32()
 	e.Tag.Step = d.Uint8()
-	e.Payload = d.Bytes()
-	e.MAC = d.Bytes()
+	if view {
+		e.Payload = d.BytesView()
+		e.MAC = d.BytesView()
+	} else {
+		e.Payload = d.Bytes()
+		e.MAC = d.Bytes()
+	}
 	if err := d.Finish(); err != nil {
 		return Envelope{}, fmt.Errorf("decode envelope: %w", err)
 	}

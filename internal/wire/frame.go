@@ -23,6 +23,27 @@ func WriteFrame(w io.Writer, payload []byte) error {
 	return nil
 }
 
+// WriteFrameTo writes a length-prefixed frame as two Write calls (header,
+// then payload) without allocating. It is meant for buffered writers — the
+// TCP transport batches frames into a bufio.Writer and flushes once per
+// burst — where WriteFrame's single-Write copy would be a wasted allocation.
+// Callers on unbuffered shared writers must either hold a lock or use
+// WriteFrame to keep frames contiguous.
+func WriteFrameTo(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameLen {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("write frame body: %w", err)
+	}
+	return nil
+}
+
 // ReadFrame reads one length-prefixed frame from r. It returns io.EOF when
 // the stream ends cleanly before a frame starts, and io.ErrUnexpectedEOF when
 // it ends mid-frame.
