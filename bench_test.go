@@ -482,6 +482,51 @@ func BenchmarkSessionThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkMarketThroughput measures aggregate marketplace rounds/s as a
+// function of the concurrent-auction count: M independent double auctions
+// multiplexed over one shared attachment per node (3 provider markets, 10
+// bidders joined to every auction) under the community-network latency
+// model. A single auction is latency-bound — its sequential protocol hops
+// leave the host mostly idle — so the aggregate rate should grow with M
+// until the CPU saturates: that scaling is the marketplace layer's reason
+// to exist. The residual-state check guards per-round reclamation across
+// every lane.
+func BenchmarkMarketThroughput(b *testing.B) {
+	const rounds = 40
+	lat := transport.CommunityNetModel()
+	for _, auctions := range []int{1, 2, 4, 8} {
+		auctions := auctions
+		b.Run(fmt.Sprintf("auctions=%d/m=3/n=10", auctions), func(b *testing.B) {
+			var totalRounds int
+			var totalTime time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunMarketDouble(auctions, rounds,
+					harness.WithProviders(3), harness.WithUsers(10), harness.WithK(1),
+					harness.WithSeed(uint64(i+1)), harness.WithLatency(lat),
+					harness.WithBidWindow(10*time.Second),
+					harness.WithPipelineDepth(4),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Accepted != auctions*rounds {
+					b.Fatalf("accepted %d of %d rounds", res.Accepted, auctions*rounds)
+				}
+				if res.BidsDropped != 0 {
+					b.Fatalf("admission dropped %d bids; the workload degenerated", res.BidsDropped)
+				}
+				if res.ResidualMsgs != 0 || res.ResidualRounds != 0 {
+					b.Fatalf("protocol state grew: %d msgs, %d rounds left",
+						res.ResidualMsgs, res.ResidualRounds)
+				}
+				totalRounds += res.Rounds
+				totalTime += res.Duration
+			}
+			b.ReportMetric(float64(totalRounds)/totalTime.Seconds(), "rounds/s")
+		})
+	}
+}
+
 // BenchmarkReplicatedVsParallel ablates the standard auction's task
 // decomposition: the same auction executed replicated (every provider runs
 // everything — full resilience, no speedup) vs decomposed (k=1, p=4).

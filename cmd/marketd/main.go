@@ -1,0 +1,369 @@
+// Command marketd runs the marketplace layer: many named auctions
+// multiplexed over one shared transport attachment per node.
+//
+// Two modes:
+//
+//   - Hub demo (-hub): a self-contained in-process marketplace — m
+//     provider markets, the named auctions, n bidders joined to every
+//     auction — runs -rounds rounds per auction over the in-memory Hub,
+//     prints the aggregate market statistics and exits. This is the
+//     quickest way to see the layer work (and what CI smoke-tests):
+//
+//     marketd -hub -auctions alpha,beta -rounds 3
+//
+//   - TCP daemon (default): one provider's Market over real sockets, the
+//     marketplace sibling of gatewayd. All providers run it with the same
+//     deployment facts; bidders join by auction name from their own
+//     processes:
+//
+//     marketd -id 1 -listen :7001 \
+//     -providers '1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003' \
+//     -users '100,101' -k 1 -auctions alpha,beta \
+//     -cost 1.5 -capacity 10 -rounds 10 -secret communitynet
+//
+// Auctions are comma-separated names, each optionally pinning a wire lane
+// as name:lane (lanes otherwise derive deterministically from the name).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/cliutil"
+	"distauction/internal/core"
+	"distauction/internal/fixed"
+	"distauction/internal/market"
+	"distauction/internal/metrics"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+	"distauction/internal/workload"
+)
+
+func main() {
+	hubMode := flag.Bool("hub", false, "run a self-contained in-memory marketplace demo and exit")
+	auctionsFlag := flag.String("auctions", "alpha,beta", "auction names, comma separated (name or name:lane)")
+	rounds := flag.Uint64("rounds", 3, "rounds per auction (0 = until interrupted; hub mode requires > 0)")
+	k := flag.Int("k", 1, "coalition bound")
+	pipeline := flag.Int("pipeline", 2, "rounds in flight per auction")
+	bidWindow := flag.Duration("bid-window", 5*time.Second, "bid collection window")
+	roundTimeout := flag.Duration("round-timeout", 2*time.Minute, "per-round deadline")
+
+	// Hub demo knobs.
+	m := flag.Int("m", 3, "hub mode: number of providers")
+	n := flag.Int("n", 4, "hub mode: number of bidders (joined to every auction)")
+	seed := flag.Uint64("seed", 1, "hub mode: workload seed")
+
+	// TCP daemon knobs.
+	id := flag.Uint("id", 0, "tcp mode: this provider's node id")
+	listen := flag.String("listen", ":0", "tcp mode: listen address")
+	providersFlag := flag.String("providers", "", "tcp mode: provider set, id=host:port comma separated")
+	usersFlag := flag.String("users", "", "tcp mode: user bidder ids, comma separated")
+	cost := flag.String("cost", "1", "tcp mode: own unit cost (double auction)")
+	capacity := flag.String("capacity", "10", "tcp mode: own capacity (double auction)")
+	secret := flag.String("secret", "", "tcp mode: shared master secret for HMAC keys")
+	flag.Parse()
+
+	specs, err := parseAuctions(*auctionsFlag)
+	if err == nil {
+		if *hubMode {
+			err = runHub(specs, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout)
+		} else {
+			err = runTCP(specs, uint32(*id), *listen, *providersFlag, *usersFlag, *k, *pipeline,
+				*rounds, *cost, *capacity, *bidWindow, *roundTimeout, *secret)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marketd:", err)
+		os.Exit(1)
+	}
+}
+
+// namedLane is one -auctions entry: a name with an optional pinned lane.
+type namedLane struct {
+	name string
+	lane uint32
+}
+
+func parseAuctions(s string) ([]namedLane, error) {
+	var specs []namedLane
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nl := namedLane{name: part}
+		if name, laneStr, ok := strings.Cut(part, ":"); ok {
+			lane, err := strconv.ParseUint(laneStr, 10, 32)
+			if err != nil || lane == 0 || lane > wire.MaxLane {
+				return nil, fmt.Errorf("auction %q: lane must be in [1,%d]", part, wire.MaxLane)
+			}
+			nl = namedLane{name: name, lane: uint32(lane)}
+		}
+		specs = append(specs, nl)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no auctions given")
+	}
+	return specs, nil
+}
+
+func sessionOpts(k, pipeline int, rounds uint64, bidWindow, roundTimeout time.Duration, bid auction.ProviderBid) []core.SessionOption {
+	opts := []core.SessionOption{
+		core.WithK(k),
+		core.WithMechanismName("double"),
+		core.WithBidWindow(bidWindow),
+		core.WithRoundTimeout(roundTimeout),
+		core.WithMaxConcurrentRounds(pipeline),
+		core.WithProviderBid(bid),
+	}
+	if rounds > 0 {
+		opts = append(opts, core.WithRoundLimit(rounds), core.WithOutcomeBuffer(int(min(rounds, 1024))))
+	}
+	return opts
+}
+
+// runHub is the self-contained demo: everything in one process over the
+// in-memory Hub with the community-network latency model.
+func runHub(specs []namedLane, m, n, k, pipeline int, rounds, seed uint64,
+	bidWindow, roundTimeout time.Duration) error {
+	if rounds == 0 {
+		return fmt.Errorf("hub mode needs -rounds > 0")
+	}
+	hub := transport.NewHub(transport.CommunityNetModel(), int64(seed))
+	defer hub.Close()
+
+	providerIDs := make([]wire.NodeID, m)
+	for i := range providerIDs {
+		providerIDs[i] = wire.NodeID(i + 1)
+	}
+	userIDs := make([]wire.NodeID, n)
+	for i := range userIDs {
+		userIDs[i] = wire.NodeID(1001 + i)
+	}
+	insts := make([]workload.DoubleAuctionInstance, len(specs))
+	for j := range specs {
+		insts[j] = workload.NewDoubleAuction(seed+uint64(j)*104729, n, m)
+	}
+
+	// The demo bidders submit every round's bid up front, so the admission
+	// window must span the whole run or the tail rounds degrade to neutral
+	// bids (a paced client would track the outcome stream instead).
+	window := int(min(rounds+uint64(pipeline)+2, 1<<20))
+	markets := make([]*market.Market, m)
+	for i, pid := range providerIDs {
+		conn, err := hub.Attach(pid)
+		if err != nil {
+			return err
+		}
+		mk, err := market.Open(conn, providerIDs, market.WithAdmissionWindow(window))
+		if err != nil {
+			return err
+		}
+		defer mk.Close()
+		markets[i] = mk
+		for j, nl := range specs {
+			_, err := mk.OpenAuction(market.AuctionSpec{
+				Name:    nl.name,
+				Lane:    nl.lane,
+				Users:   userIDs,
+				Options: sessionOpts(k, pipeline, rounds, bidWindow, roundTimeout, insts[j].Providers[i]),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("marketd: hub demo — %d auctions × %d providers × %d bidders, %d rounds each\n",
+		len(specs), m, n, rounds)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, n*len(specs))
+	for i, uid := range userIDs {
+		conn, err := hub.Attach(uid)
+		if err != nil {
+			return err
+		}
+		mb, err := market.NewBidder(conn, providerIDs)
+		if err != nil {
+			return err
+		}
+		defer mb.Close()
+		for j, nl := range specs {
+			s, err := mb.JoinLane(nl.name, laneOf(nl),
+				core.WithRoundLimit(rounds),
+				core.WithRoundTimeout(roundTimeout))
+			if err != nil {
+				return err
+			}
+			wg.Add(1)
+			go func(i, j int, name string, s *core.BidderSession) {
+				defer wg.Done()
+				for r := uint64(1); r <= rounds; r++ {
+					if err := s.Submit(r, insts[j].Users[i]); err != nil {
+						errCh <- fmt.Errorf("%s: submit: %w", name, err)
+						return
+					}
+				}
+				seen := uint64(0)
+				for out := range s.Outcomes() {
+					seen++
+					if out.Err != nil {
+						errCh <- fmt.Errorf("%s round %d: %w", name, out.Round, out.Err)
+						return
+					}
+				}
+				if seen != rounds {
+					errCh <- fmt.Errorf("%s: saw %d of %d rounds", name, seen, rounds)
+				}
+			}(i, j, nl.name, s)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	// Wait for the provider-side consumers, then print the market table.
+	want := int64(len(specs)) * int64(rounds)
+	deadline := time.Now().Add(roundTimeout)
+	for markets[0].Stats().Rounds < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	printStats(markets[0].Stats())
+	return nil
+}
+
+func laneOf(nl namedLane) uint32 {
+	if nl.lane != 0 {
+		return nl.lane
+	}
+	return market.LaneForName(nl.name)
+}
+
+func printStats(snap market.Snapshot) {
+	rows := make([]metrics.Row, 0, len(snap.Auctions)+1)
+	for _, a := range snap.Auctions {
+		rows = append(rows, metrics.Row{Label: a.Name, Cols: []string{
+			fmt.Sprintf("%d", a.Lane),
+			fmt.Sprintf("%d", a.Rounds),
+			fmt.Sprintf("%d", a.Accepted),
+			fmt.Sprintf("%d", a.Aborted),
+			fmt.Sprintf("%.1f", a.RoundsPerSec),
+			fmt.Sprintf("%d", a.BidsAdmitted),
+			fmt.Sprintf("%d", a.BidsDropped),
+			fmt.Sprintf("%d", a.QueueDepth),
+		}})
+	}
+	rows = append(rows, metrics.Row{Label: "TOTAL", Cols: []string{
+		"-",
+		fmt.Sprintf("%d", snap.Rounds),
+		fmt.Sprintf("%d", snap.Accepted),
+		fmt.Sprintf("%d", snap.Aborted),
+		fmt.Sprintf("%.1f", snap.RoundsPerSec),
+		fmt.Sprintf("%d", snap.BidsAdmitted),
+		fmt.Sprintf("%d", snap.BidsDropped),
+		fmt.Sprintf("%d", snap.QueueDepth),
+	}})
+	fmt.Print(metrics.Table(
+		metrics.Row{Label: "auction", Cols: []string{"lane", "rounds", "ok", "⊥", "r/s", "admitted", "dropped", "queue"}},
+		rows))
+}
+
+// runTCP is one provider's market daemon over real sockets.
+func runTCP(specs []namedLane, id uint32, listen, providersFlag, usersFlag string,
+	k, pipeline int, rounds uint64, cost, capacity string,
+	bidWindow, roundTimeout time.Duration, secret string) error {
+
+	peerAddrs, providerIDs, err := cliutil.ParseAddrMap(providersFlag)
+	if err != nil {
+		return fmt.Errorf("providers: %w", err)
+	}
+	userIDs, err := cliutil.ParseIDList(usersFlag)
+	if err != nil {
+		return fmt.Errorf("users: %w", err)
+	}
+	c, err := fixed.Parse(cost)
+	if err != nil {
+		return fmt.Errorf("cost: %w", err)
+	}
+	cap_, err := fixed.Parse(capacity)
+	if err != nil {
+		return fmt.Errorf("capacity: %w", err)
+	}
+	self := wire.NodeID(id)
+	network, conn, err := cliutil.DialTCP(self, listen, peerAddrs,
+		append(append([]wire.NodeID{}, providerIDs...), userIDs...), secret)
+	if err != nil {
+		return err
+	}
+	defer network.Close()
+
+	mk, err := market.Open(conn, providerIDs,
+		market.WithOnOutcome(func(name string, out core.RoundOutcome) {
+			if out.Err == nil {
+				fmt.Printf("%s round %d: accepted, paid=%v\n", name, out.Round, out.Outcome.Pay.TotalPaid())
+			} else {
+				fmt.Printf("%s round %d: ⊥: %v\n", name, out.Round, out.Err)
+			}
+		}))
+	if err != nil {
+		return err
+	}
+	defer mk.Close()
+	bid := auction.ProviderBid{Cost: c, Capacity: cap_}
+	for _, nl := range specs {
+		_, err := mk.OpenAuction(market.AuctionSpec{
+			Name:    nl.name,
+			Lane:    nl.lane,
+			Users:   userIDs,
+			Options: sessionOpts(k, pipeline, rounds, bidWindow, roundTimeout, bid),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("marketd: provider %d serving %d auctions (m=%d, k=%d): %s\n",
+		id, len(specs), len(providerIDs), k, strings.Join(names(specs), ", "))
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	if rounds > 0 {
+		// Finite run: wait until every auction's rounds completed (or an
+		// interrupt), then print the stats table.
+		want := int64(len(specs)) * int64(rounds)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for mk.Stats().Rounds < want {
+			select {
+			case s := <-sigs:
+				fmt.Printf("marketd: %v: closing market\n", s)
+				printStats(mk.Stats())
+				return nil
+			case <-tick.C:
+			}
+		}
+		printStats(mk.Stats())
+		return nil
+	}
+	s := <-sigs
+	fmt.Printf("marketd: %v: closing market\n", s)
+	printStats(mk.Stats())
+	return nil
+}
+
+func names(specs []namedLane) []string {
+	out := make([]string, len(specs))
+	for i, nl := range specs {
+		out[i] = nl.name
+	}
+	return out
+}

@@ -149,6 +149,27 @@ func (g *Gateway) Transmit(id ReservationID, units fixed.Fixed) (bool, error) {
 	return r.bucket.Take(units), nil
 }
 
+// Sweep eagerly reclaims expired reservations and returns how many were
+// dropped. Expiry is otherwise lazy (piggybacked on Available/Reserve), so
+// a long-running deployment whose gateways go quiet between auctions hooks
+// Sweep on a cadence — the marketplace's enforcement loop does — to keep
+// dead reservations from accumulating.
+func (g *Gateway) Sweep() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	before := len(g.reservations)
+	g.expireLocked()
+	return before - len(g.reservations)
+}
+
+// Live returns the number of live (unexpired) reservations.
+func (g *Gateway) Live() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.expireLocked()
+	return len(g.reservations)
+}
+
 // expireLocked drops expired reservations. Caller holds g.mu.
 func (g *Gateway) expireLocked() {
 	now := g.clock()
@@ -206,6 +227,16 @@ type Enforcer struct {
 	Escrow   wire.NodeID
 	// TTL is the reservation lifetime (one auction period).
 	TTL time.Duration
+}
+
+// Sweep reclaims expired reservations on every gateway of the enforcement
+// target, returning the total dropped.
+func (e *Enforcer) Sweep() int {
+	total := 0
+	for _, g := range e.Gateways {
+		total += g.Sweep()
+	}
+	return total
 }
 
 // Enforce applies a non-⊥ outcome: payments settle atomically, then the

@@ -201,3 +201,119 @@ func TestReleaseAll(t *testing.T) {
 		t.Errorf("available after ReleaseAll = %v, want 10", got)
 	}
 }
+
+func TestSweepReclaimsExpired(t *testing.T) {
+	clk := newFakeClock()
+	g := New(1, bw(10), clockOf(clk))
+	if _, err := g.Reserve(100, bw(4), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Reserve(101, bw(3), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if n := g.Sweep(); n != 0 {
+		t.Fatalf("swept %d live reservations", n)
+	}
+	clk.Advance(2 * time.Minute)
+	if n := g.Sweep(); n != 1 {
+		t.Fatalf("swept %d, want 1 (the expired minute-long reservation)", n)
+	}
+	if got := g.Available(); got != bw(7) {
+		t.Errorf("available after sweep = %v, want 7", got)
+	}
+	if g.Live() != 1 {
+		t.Errorf("live = %d, want 1", g.Live())
+	}
+	clk.Advance(2 * time.Hour)
+	if n := g.Sweep(); n != 1 {
+		t.Fatalf("second sweep reclaimed %d, want 1", n)
+	}
+	if g.Live() != 0 || g.Available() != bw(10) {
+		t.Errorf("gateway not empty after full sweep: live=%d avail=%v", g.Live(), g.Available())
+	}
+}
+
+func TestEnforcerSweepAllGateways(t *testing.T) {
+	clk := newFakeClock()
+	gws := []*Gateway{New(1, bw(10), clockOf(clk)), New(2, bw(10), clockOf(clk))}
+	e := &Enforcer{Ledger: ledger.New(), Gateways: gws, Escrow: 999, TTL: time.Minute}
+	for _, g := range gws {
+		if _, err := g.Reserve(100, bw(2), time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(time.Hour)
+	if n := e.Sweep(); n != 2 {
+		t.Fatalf("enforcer sweep reclaimed %d, want 2", n)
+	}
+}
+
+// TestConcurrentEnforceAndSweep hammers one shared gateway set and ledger
+// from several goroutines — concurrent Enforce (as a marketplace's
+// per-auction consumers do), Sweep, and traffic shaping — to give the race
+// detector a surface. Invariants: supply conserved, allocation never
+// exceeds capacity.
+func TestConcurrentEnforceAndSweep(t *testing.T) {
+	const goroutines, iters = 4, 25
+	led := ledger.New()
+	escrow := wire.NodeID(999)
+	led.Open(escrow)
+	gws := []*Gateway{New(1, bw(1e6), nil), New(2, bw(1e6), nil)}
+	provs := []wire.NodeID{1, 2}
+	for _, p := range provs {
+		led.Open(p)
+	}
+	users := []wire.NodeID{100, 101}
+	for _, u := range users {
+		led.Open(u)
+		if err := led.Deposit(u, bw(1e5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	supply := led.TotalSupply()
+
+	out := auction.Outcome{Alloc: auction.NewAllocation(2, 2), Pay: auction.NewPayments(2, 2)}
+	out.Alloc.Set(0, 0, bw(1))
+	out.Alloc.Set(1, 1, bw(2))
+	out.Pay.ByUser[0] = bw(3)
+	out.Pay.ByUser[1] = bw(4)
+	out.Pay.ToProvider[0] = bw(3)
+	out.Pay.ToProvider[1] = bw(4)
+
+	done := make(chan error, goroutines+1)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			e := &Enforcer{Ledger: led, Gateways: gws, Escrow: escrow, TTL: time.Millisecond}
+			for i := 0; i < iters; i++ {
+				if err := e.Enforce(uint64(g*iters+i+1), out, users, provs); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	go func() {
+		e := &Enforcer{Ledger: led, Gateways: gws, Escrow: escrow}
+		for i := 0; i < iters; i++ {
+			e.Sweep()
+			time.Sleep(time.Millisecond)
+		}
+		done <- nil
+	}()
+	for i := 0; i < goroutines+1; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := led.TotalSupply(); got != supply {
+		t.Fatalf("supply changed: %v -> %v", supply, got)
+	}
+	time.Sleep(5 * time.Millisecond)
+	for _, g := range gws {
+		g.Sweep()
+		if g.Live() != 0 {
+			t.Errorf("gateway %d: %d live reservations survived expiry+sweep", g.ID(), g.Live())
+		}
+	}
+}

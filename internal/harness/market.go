@@ -1,0 +1,228 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/core"
+	"distauction/internal/market"
+	"distauction/internal/workload"
+)
+
+// MarketResult summarises one marketplace throughput run.
+type MarketResult struct {
+	// Auctions is the number of concurrent auctions; Rounds counts rounds
+	// emitted across all of them (Accepted the non-⊥ subset).
+	Auctions int
+	Rounds   int
+	Accepted int
+	// Duration runs from the first bid submission until every bidder holds
+	// every round's result of every auction it joined.
+	Duration time.Duration
+	// ResidualMsgs and ResidualRounds sum the buffered protocol state over
+	// every provider session of every auction after the run — flat in
+	// rounds, or per-round reclamation broke.
+	ResidualMsgs   int
+	ResidualRounds int
+	// BidsAdmitted and BidsDropped aggregate the admission gates across
+	// providers.
+	BidsAdmitted int64
+	BidsDropped  int64
+}
+
+// RoundsPerSec is the aggregate throughput across all auctions.
+func (r MarketResult) RoundsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Rounds) / r.Duration.Seconds()
+}
+
+// RunMarketDouble measures aggregate marketplace throughput: `auctions`
+// independent double auctions multiplexed over one shared network
+// attachment per node (m provider markets, n bidders joined to every
+// auction), each auction running `rounds` pipelined rounds. Lanes are
+// pinned (1..auctions) so generated names cannot collide.
+//
+// With a non-zero latency model a single auction is latency-bound — its
+// sequential protocol hops leave the host idle — so aggregate rounds/s
+// should grow with the auction count until the CPU saturates. That scaling
+// curve is the marketplace's reason to exist, and BenchmarkMarketThroughput
+// records it.
+func RunMarketDouble(auctions, rounds int, opts ...Option) (MarketResult, error) {
+	cfg := newConfig(opts)
+	if auctions < 1 || rounds < 1 {
+		return MarketResult{}, errors.New("harness: need at least one auction and one round")
+	}
+	net := cfg.newNetwork()
+	defer net.Close()
+	providerIDs, userIDs := ids(cfg.m, cfg.n)
+
+	// A bidder may run ahead of a provider's in-order emission by the
+	// pipeline depth (results are delivered at round completion, the
+	// admission window advances on ordered emission), plus its own
+	// lookahead; size the window so an honest fast bidder is never dropped.
+	lookahead := cfg.pipeline + 1
+	window := 2*cfg.pipeline + lookahead + 2
+
+	names := make([]string, auctions)
+	lanes := make([]uint32, auctions)
+	insts := make([]workload.DoubleAuctionInstance, auctions)
+	for j := range names {
+		names[j] = fmt.Sprintf("auction-%03d", j)
+		lanes[j] = uint32(j + 1)
+		insts[j] = workload.NewDoubleAuction(cfg.seed+uint64(j)*104729, cfg.n, cfg.m)
+	}
+
+	markets := make([]*market.Market, cfg.m)
+	for i, id := range providerIDs {
+		conn, err := net.Attach(id)
+		if err != nil {
+			return MarketResult{}, err
+		}
+		mk, err := market.Open(conn, providerIDs, market.WithAdmissionWindow(window), market.WithSweepEvery(0))
+		if err != nil {
+			return MarketResult{}, err
+		}
+		defer mk.Close()
+		markets[i] = mk
+		for j, name := range names {
+			_, err := mk.OpenAuction(market.AuctionSpec{
+				Name:  name,
+				Lane:  lanes[j],
+				Users: userIDs,
+				Options: []core.SessionOption{
+					core.WithK(cfg.k),
+					core.WithMechanismName("double"),
+					core.WithBidWindow(cfg.bidWindow),
+					core.WithRoundTimeout(cfg.timeout),
+					core.WithRoundLimit(uint64(rounds)),
+					core.WithMaxConcurrentRounds(cfg.pipeline),
+					core.WithProviderBid(insts[j].Providers[i]),
+					core.WithOutcomeBuffer(rounds),
+				},
+			})
+			if err != nil {
+				return MarketResult{}, err
+			}
+		}
+	}
+
+	bidders := make([]*market.Bidder, cfg.n)
+	sessions := make([][]*core.BidderSession, cfg.n) // [user][auction]
+	for i, id := range userIDs {
+		conn, err := net.Attach(id)
+		if err != nil {
+			return MarketResult{}, err
+		}
+		mb, err := market.NewBidder(conn, providerIDs)
+		if err != nil {
+			return MarketResult{}, err
+		}
+		defer mb.Close()
+		bidders[i] = mb
+		sessions[i] = make([]*core.BidderSession, auctions)
+		for j, name := range names {
+			s, err := mb.JoinLane(name, lanes[j],
+				core.WithRoundLimit(uint64(rounds)),
+				core.WithOutcomeBuffer(cfg.pipeline+1),
+				core.WithRoundTimeout(cfg.timeout))
+			if err != nil {
+				return MarketResult{}, err
+			}
+			sessions[i][j] = s
+		}
+	}
+
+	// Per-auction per-round workloads, deterministic in the seed.
+	roundBids := make([][][]auction.UserBid, auctions) // [auction][round][user]
+	for j := range roundBids {
+		roundBids[j] = make([][]auction.UserBid, rounds)
+		for r := range roundBids[j] {
+			roundBids[j][r] = workload.NewDoubleAuction(cfg.seed+uint64(j)*104729+uint64(r)*7919, cfg.n, cfg.m).Users
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.n*auctions)
+	acceptedPerAuction := make([]int, auctions)
+	for i := range bidders {
+		for j := range names {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				s := sessions[i][j]
+				slot := i*auctions + j
+				for r := 1; r <= min(lookahead, rounds); r++ {
+					if err := s.Submit(uint64(r), roundBids[j][r-1][i]); err != nil {
+						errs[slot] = err
+						return
+					}
+				}
+				seen, ok := 0, 0
+				for out := range s.Outcomes() {
+					seen++
+					if out.Err == nil {
+						ok++
+					}
+					if next := seen + lookahead; next <= rounds {
+						if err := s.Submit(uint64(next), roundBids[j][next-1][i]); err != nil {
+							errs[slot] = err
+							return
+						}
+					}
+				}
+				if seen != rounds {
+					errs[slot] = fmt.Errorf("auction %d: saw %d of %d rounds", j, seen, rounds)
+					return
+				}
+				if i == 0 {
+					acceptedPerAuction[j] = ok
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for slot, err := range errs {
+		if err != nil {
+			return MarketResult{}, fmt.Errorf("harness: bidder %d: %w", slot/auctions, err)
+		}
+	}
+
+	res := MarketResult{Auctions: auctions, Duration: elapsed}
+	for _, n := range acceptedPerAuction {
+		res.Accepted += n
+	}
+	// Wait for the provider-side outcome streams to finish (bidders hold
+	// results slightly before the markets' consumers count them), then read
+	// the aggregate counters and the residual protocol state.
+	deadline := time.Now().Add(cfg.timeout)
+	for _, mk := range markets {
+		for {
+			snap := mk.Stats()
+			if snap.Rounds >= int64(auctions*rounds) || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		snap := mk.Stats()
+		res.BidsAdmitted += snap.BidsAdmitted
+		res.BidsDropped += snap.BidsDropped
+		for _, name := range names {
+			a, ok := mk.Auction(name)
+			if !ok {
+				return MarketResult{}, fmt.Errorf("harness: auction %q vanished", name)
+			}
+			msgs, rds := a.Session().Peer().StateSize()
+			res.ResidualMsgs += msgs
+			res.ResidualRounds += rds
+		}
+	}
+	res.Rounds = int(markets[0].Stats().Rounds)
+	return res, nil
+}

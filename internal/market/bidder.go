@@ -1,0 +1,128 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"distauction/internal/core"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+// Bidder is the user-side marketplace client: one transport attachment,
+// many auctions. Join opens a per-auction core.BidderSession on the
+// auction's lane; bids and outcome streams then work exactly as for a
+// standalone BidderSession, and different auctions' streams are fully
+// independent (a ⊥ round in one never delays another).
+type Bidder struct {
+	mux       *Mux
+	providers []wire.NodeID
+
+	mu      sync.Mutex
+	byName  map[string]*core.BidderSession
+	closed  bool
+	closing sync.Once
+}
+
+// NewBidder wraps conn (the user's single attachment) for the given
+// provider fleet.
+func NewBidder(conn transport.Conn, providers []wire.NodeID) (*Bidder, error) {
+	if len(providers) == 0 {
+		return nil, fmt.Errorf("%w: market bidder needs providers", core.ErrConfig)
+	}
+	return &Bidder{
+		mux:       NewMux(conn),
+		providers: append([]wire.NodeID(nil), providers...),
+		byName:    make(map[string]*core.BidderSession),
+	}, nil
+}
+
+// Self returns the bidder's node ID.
+func (b *Bidder) Self() wire.NodeID { return b.mux.Self() }
+
+// Join opens a bidder session for the named auction on its derived lane
+// (LaneForName). The session options mirror core.OpenBidderSession's
+// (WithStartRound must match the providers' spec).
+func (b *Bidder) Join(name string, opts ...core.SessionOption) (*core.BidderSession, error) {
+	return b.join(name, LaneForName(name), opts...)
+}
+
+// JoinLane is Join for an auction whose providers pinned an explicit lane
+// (ErrLaneCollision resolution).
+func (b *Bidder) JoinLane(name string, lane uint32, opts ...core.SessionOption) (*core.BidderSession, error) {
+	return b.join(name, lane, opts...)
+}
+
+func (b *Bidder) join(name string, lane uint32, opts ...core.SessionOption) (*core.BidderSession, error) {
+	if name == "" {
+		return nil, fmt.Errorf("%w: auction needs a name", core.ErrConfig)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrMarketClosed
+	}
+	if _, dup := b.byName[name]; dup {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("market: already joined auction %q", name)
+	}
+	b.mu.Unlock()
+
+	lc, err := b.mux.Lane(lane)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.OpenBidderSession(lc, b.providers, opts...)
+	if err != nil {
+		_ = lc.Close()
+		return nil, fmt.Errorf("market: join %q: %w", name, err)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = s.Close()
+		return nil, ErrMarketClosed
+	}
+	b.byName[name] = s
+	b.mu.Unlock()
+	return s, nil
+}
+
+// Leave closes the named auction's session and frees its lane.
+func (b *Bidder) Leave(name string) error {
+	b.mu.Lock()
+	s, ok := b.byName[name]
+	delete(b.byName, name)
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAuction, name)
+	}
+	return s.Close()
+}
+
+// Close leaves every auction and releases the shared connection.
+func (b *Bidder) Close() error {
+	var firstErr error
+	b.closing.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		sessions := make([]*core.BidderSession, 0, len(b.byName))
+		for _, s := range b.byName {
+			sessions = append(sessions, s)
+		}
+		b.byName = map[string]*core.BidderSession{}
+		b.mu.Unlock()
+		var errs []error
+		for _, s := range sessions {
+			if err := s.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if err := b.mux.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		firstErr = errors.Join(errs...)
+	})
+	return firstErr
+}

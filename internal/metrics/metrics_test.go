@@ -121,3 +121,34 @@ func TestTableFormatting(t *testing.T) {
 		t.Errorf("table has %d lines:\n%s", len(lines), out)
 	}
 }
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d, want 5", c.Load())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Load() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Load())
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := NewMeter(func() time.Time { return now })
+	if m.Rate() != 0 {
+		t.Errorf("rate with no elapsed time = %v, want 0", m.Rate())
+	}
+	m.Mark(10)
+	now = now.Add(2 * time.Second)
+	if got := m.Rate(); got != 5 {
+		t.Errorf("rate = %v, want 5", got)
+	}
+	if m.Count() != 10 {
+		t.Errorf("count = %d, want 10", m.Count())
+	}
+}

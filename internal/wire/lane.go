@@ -1,0 +1,40 @@
+package wire
+
+// Marketplace lanes.
+//
+// A marketplace runs many independent auctions over one shared transport
+// attachment per node. Each auction is assigned a *lane*: the high LaneBits
+// of Tag.Instance. The low InstanceBits remain the block-local instance
+// (consensus slot, task id, …), so the protocol building blocks are
+// lane-oblivious — the market mux shifts the lane in on send and strips it
+// on receive, and two auctions' messages can never collide on a tag even
+// when their round numbers coincide.
+//
+// The split is wire-visible; do not change it without versioning the
+// protocol. 12 lane bits cover thousands of concurrent auctions, and 20
+// instance bits dwarf any block's real instance usage (consensus instances
+// are bid slots, task instances are task-graph node ids).
+const (
+	// LaneBits is the width of the lane field in Tag.Instance.
+	LaneBits = 12
+	// InstanceBits is the width left for the block-local instance.
+	InstanceBits = 32 - LaneBits
+	// MaxLane is the largest addressable lane. Lane 0 is the default lane:
+	// traffic outside any marketplace (a standalone Session) runs there.
+	MaxLane = 1<<LaneBits - 1
+	// MaxInstance is the largest block-local instance representable next to
+	// a lane. Sends with a larger instance are rejected by the market mux.
+	MaxInstance = 1<<InstanceBits - 1
+)
+
+// LaneOf extracts the lane from a full Tag.Instance value.
+func LaneOf(instance uint32) uint32 { return instance >> InstanceBits }
+
+// LaneInstance extracts the block-local instance from a full Tag.Instance
+// value.
+func LaneInstance(instance uint32) uint32 { return instance & MaxInstance }
+
+// JoinLane combines a lane and a block-local instance into a full
+// Tag.Instance value. The caller guarantees lane <= MaxLane and
+// instance <= MaxInstance.
+func JoinLane(lane, instance uint32) uint32 { return lane<<InstanceBits | instance }

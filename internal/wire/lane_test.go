@@ -1,0 +1,34 @@
+package wire
+
+import "testing"
+
+func TestLaneSplitRoundTrips(t *testing.T) {
+	cases := []struct{ lane, inst uint32 }{
+		{0, 0},
+		{1, 0},
+		{MaxLane, MaxInstance},
+		{42, 7},
+		{MaxLane, 0},
+		{0, MaxInstance},
+	}
+	for _, c := range cases {
+		full := JoinLane(c.lane, c.inst)
+		if LaneOf(full) != c.lane || LaneInstance(full) != c.inst {
+			t.Errorf("JoinLane(%d,%d)=%#x round-trips to (%d,%d)",
+				c.lane, c.inst, full, LaneOf(full), LaneInstance(full))
+		}
+	}
+	if LaneBits+InstanceBits != 32 {
+		t.Errorf("lane split does not cover the instance field")
+	}
+}
+
+func TestLaneZeroIsIdentity(t *testing.T) {
+	// Lane 0 must leave plain (non-market) instances untouched, so
+	// standalone sessions and marketplaces can share a deployment.
+	for _, inst := range []uint32{0, 1, 12345, MaxInstance} {
+		if JoinLane(0, inst) != inst {
+			t.Errorf("JoinLane(0,%d) = %d, want identity", inst, JoinLane(0, inst))
+		}
+	}
+}

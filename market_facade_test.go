@@ -1,0 +1,123 @@
+package distauction_test
+
+import (
+	"testing"
+	"time"
+
+	"distauction"
+)
+
+// TestMarketFacadeEndToEnd drives the marketplace through the public
+// façade only: three providers each open a Market over a single hub
+// attachment, two auctions run concurrently, one bidder joins both, and
+// every round of both auctions completes.
+func TestMarketFacadeEndToEnd(t *testing.T) {
+	const rounds = 2
+	hub := distauction.NewHub(distauction.LatencyModel{}, 1)
+	defer hub.Close()
+
+	providers := []distauction.NodeID{1, 2, 3}
+	users := []distauction.NodeID{100, 101}
+
+	specFor := func(name string, cost, capacity float64) distauction.AuctionSpec {
+		return distauction.AuctionSpec{
+			Name:  name,
+			Users: users,
+			Options: []distauction.Option{
+				distauction.WithK(1),
+				distauction.WithMechanismName("double"),
+				distauction.WithBidWindow(10 * time.Second),
+				distauction.WithRoundTimeout(time.Minute),
+				distauction.WithRoundLimit(rounds),
+				distauction.WithOutcomeBuffer(rounds),
+				distauction.WithProviderBid(distauction.ProviderBid{
+					Cost:     distauction.Fx(cost),
+					Capacity: distauction.Fx(capacity),
+				}),
+			},
+		}
+	}
+
+	var markets []*distauction.Market
+	for _, id := range providers {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk, err := distauction.OpenMarket(conn, providers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mk.Close()
+		if _, err := mk.OpenAuction(specFor("uplink", 1.0, 5)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mk.OpenAuction(specFor("downlink", 0.8, 8)); err != nil {
+			t.Fatal(err)
+		}
+		markets = append(markets, mk)
+	}
+	if got := markets[0].Names(); len(got) != 2 || got[0] != "downlink" || got[1] != "uplink" {
+		t.Fatalf("catalog: %v", got)
+	}
+
+	type stream struct {
+		name string
+		outs <-chan distauction.RoundOutcome
+	}
+	var streams []stream
+	for _, id := range users {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := distauction.OpenMarketBidder(conn, providers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mb.Close()
+		for _, name := range []string{"uplink", "downlink"} {
+			s, err := mb.Join(name,
+				distauction.WithRoundLimit(rounds),
+				distauction.WithRoundTimeout(time.Minute))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := uint64(1); r <= rounds; r++ {
+				bid := distauction.UserBid{Value: distauction.Fx(1.5), Demand: distauction.Fx(1)}
+				if err := s.Submit(r, bid); err != nil {
+					t.Fatal(err)
+				}
+			}
+			streams = append(streams, stream{name: name, outs: s.Outcomes()})
+		}
+	}
+
+	for _, st := range streams {
+		for r := 1; r <= rounds; r++ {
+			select {
+			case out, ok := <-st.outs:
+				if !ok {
+					t.Fatalf("%s: stream closed at round %d", st.name, r)
+				}
+				if out.Err != nil {
+					t.Fatalf("%s round %d: %v", st.name, out.Round, out.Err)
+				}
+			case <-time.After(time.Minute):
+				t.Fatalf("%s: timeout waiting for round %d", st.name, r)
+			}
+		}
+	}
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		snap := markets[0].Stats()
+		if snap.Accepted == 2*rounds {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("market stats never converged: %+v", snap)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
