@@ -11,6 +11,15 @@
 //     members and cross-validates, so a coalition can only force ⊥;
 //  3. input validation — providers entering with different vectors output ⊥;
 //  4. k-resiliency for solution preference.
+//
+// Input validation runs *concurrently* with the task graph: the scheduler
+// computes speculatively from the local input but publishes nothing — no
+// cross-group transfer, no final return — until validation confirms every
+// provider entered with the same vector (the scheduler's publish gate). A
+// mismatch therefore still yields ⊥ before any value derived from a
+// disputed input can leave the provider, which is all condition (3)
+// requires; sequencing the digest exchange *before* the first task merely
+// added a round trip.
 package allocator
 
 import (
@@ -23,18 +32,48 @@ import (
 )
 
 // Run executes the allocator at the local provider: it validates that all
-// providers hold the same input, then executes the task graph, whose final
+// providers hold the same input while executing the task graph, whose final
 // task's output is returned. Any deviation or timeout aborts the round (⊥).
 //
 // The input bytes must be the canonical encoding of the agreed bid vector;
 // the graph must be built identically at every provider from that vector.
 func Run(ctx context.Context, peer *proto.Peer, round uint64, input []byte, graph *taskgraph.Graph) ([]byte, error) {
-	if err := validate.Run(ctx, peer, round, input); err != nil {
-		return nil, err
+	return RunWith(ctx, peer, round, input, graph, nil)
+}
+
+// RunWith is Run with an optional pre-warmed coin source (the round engine
+// passes a reservoir whose commit/echo phases already overlapped bid
+// agreement; nil lets the scheduler build its own).
+func RunWith(ctx context.Context, peer *proto.Peer, round uint64, input []byte, graph *taskgraph.Graph, coins taskgraph.CoinSource) ([]byte, error) {
+	// An already-aborted round is handled by ExecuteOpts (which still closes
+	// the coin source) and by validate.Run's own fast-fail — no separate
+	// entry check to keep in sync.
+
+	// Property 3, overlapped: the digest exchange runs while the scheduler
+	// already computes; the gate below withholds every publication until it
+	// confirms.
+	vdone := make(chan struct{})
+	var verr error
+	go func() {
+		defer close(vdone)
+		verr = validate.Run(ctx, peer, round, input)
+	}()
+	gate := func() error {
+		<-vdone
+		return verr
 	}
-	out, err := taskgraph.Execute(ctx, peer, round, graph)
+
+	out, err := taskgraph.ExecuteOpts(ctx, peer, round, graph, taskgraph.Options{
+		Coins: coins,
+		Gate:  gate,
+	})
+	<-vdone // join the validator on every path
 	if err != nil {
 		return nil, err
+	}
+	if verr != nil {
+		// Normally subsumed by the scheduler's gate; kept as a backstop.
+		return nil, verr
 	}
 	if out == nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("allocator: empty output in round %d", round))

@@ -18,6 +18,8 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"hash"
+	"sync"
 
 	"distauction/internal/wire"
 )
@@ -52,10 +54,46 @@ func DeriveKey(master []byte, a, b wire.NodeID) []byte {
 	return mac.Sum(nil)
 }
 
+// peerMAC is one peer's keyed-MAC state: the pairwise key plus a pool of
+// initialised HMAC states. hmac.New precomputes the inner and outer padded
+// SHA-256 states from the key; Reset restores them without re-keying, so a
+// pooled state turns the two fresh SHA allocations (plus pad scratch) per
+// envelope into zero steady-state allocations on both the send and the
+// receive path.
+type peerMAC struct {
+	key  []byte
+	pool sync.Pool // of *macState
+}
+
+// macState couples a reusable HMAC with a reusable Sum output buffer.
+type macState struct {
+	mac hash.Hash
+	sum [sha256.Size]byte
+}
+
+func (p *peerMAC) get() *macState {
+	if st, ok := p.pool.Get().(*macState); ok {
+		st.mac.Reset()
+		return st
+	}
+	return &macState{mac: hmac.New(sha256.New, p.key)}
+}
+
+func (p *peerMAC) put(st *macState) { p.pool.Put(st) }
+
 // Registry holds the local node's pairwise keys.
 type Registry struct {
 	self wire.NodeID
-	keys map[wire.NodeID][]byte
+	keys map[wire.NodeID]*peerMAC
+}
+
+// newRegistry wraps the (already private) keys without copying them again.
+func newRegistry(self wire.NodeID, keys map[wire.NodeID][]byte) *Registry {
+	states := make(map[wire.NodeID]*peerMAC, len(keys))
+	for id, k := range keys {
+		states[id] = &peerMAC{key: k}
+	}
+	return &Registry{self: self, keys: states}
 }
 
 // NewRegistry builds a registry for self with the given pairwise keys.
@@ -67,7 +105,7 @@ func NewRegistry(self wire.NodeID, keys map[wire.NodeID][]byte) *Registry {
 		copy(kk, k)
 		cp[id] = kk
 	}
-	return &Registry{self: self, keys: cp}
+	return newRegistry(self, cp)
 }
 
 // NewRegistryFromMaster builds a registry for self covering all peers,
@@ -80,7 +118,7 @@ func NewRegistryFromMaster(master []byte, self wire.NodeID, peers []wire.NodeID)
 		}
 		keys[p] = DeriveKey(master, self, p)
 	}
-	return &Registry{self: self, keys: keys}
+	return newRegistry(self, keys)
 }
 
 // Self returns the local node ID.
@@ -92,16 +130,19 @@ func (r *Registry) Sign(env *wire.Envelope) error {
 	if env.From != r.self {
 		return fmt.Errorf("auth: signing as %d but self is %d", env.From, r.self)
 	}
-	key, ok := r.keys[env.To]
+	pm, ok := r.keys[env.To]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, env.To)
 	}
-	mac := hmac.New(sha256.New, key)
+	st := pm.get()
 	enc := wire.GetEncoder(24 + len(env.Payload))
 	env.SignedBytesTo(enc)
-	mac.Write(enc.Buffer())
+	st.mac.Write(enc.Buffer())
 	wire.PutEncoder(enc)
-	env.MAC = mac.Sum(nil)
+	// The MAC escapes into the envelope; this append is the one allocation
+	// the hot path keeps.
+	env.MAC = append([]byte(nil), st.mac.Sum(st.sum[:0])...)
+	pm.put(st)
 	return nil
 }
 
@@ -111,16 +152,18 @@ func (r *Registry) Verify(env *wire.Envelope) error {
 	if env.To != r.self {
 		return fmt.Errorf("auth: envelope for %d delivered to %d", env.To, r.self)
 	}
-	key, ok := r.keys[env.From]
+	pm, ok := r.keys[env.From]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownPeer, env.From)
 	}
-	mac := hmac.New(sha256.New, key)
+	st := pm.get()
 	enc := wire.GetEncoder(24 + len(env.Payload))
 	env.SignedBytesTo(enc)
-	mac.Write(enc.Buffer())
+	st.mac.Write(enc.Buffer())
 	wire.PutEncoder(enc)
-	if !hmac.Equal(mac.Sum(nil), env.MAC) {
+	good := hmac.Equal(st.mac.Sum(st.sum[:0]), env.MAC)
+	pm.put(st)
+	if !good {
 		return fmt.Errorf("%w: from %d tag %v", ErrBadMAC, env.From, env.Tag)
 	}
 	return nil

@@ -36,3 +36,12 @@ const instanceID uint32 = 0
 func Agree(ctx context.Context, peer *proto.Peer, round uint64, submissions [][]byte) ([][]byte, error) {
 	return consensus.Propose(ctx, peer, round, instanceID, submissions)
 }
+
+// AgreeObserved is Agree with a binding observer: onBound fires once the
+// agreement outcome is committed (every provider's proposal and leader
+// share bound, commitment set echo-verified) — see
+// consensus.ProposeObserved. The round engine hooks the common coin's
+// reveal gate here so the coin's final phase overlaps the agreement's.
+func AgreeObserved(ctx context.Context, peer *proto.Peer, round uint64, submissions [][]byte, onBound func()) ([][]byte, error) {
+	return consensus.ProposeObserved(ctx, peer, round, instanceID, submissions, onBound)
+}

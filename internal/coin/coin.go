@@ -49,6 +49,16 @@ func domain(round uint64, instance uint32) string {
 // returns the agreed 64-bit seed. On any deviation or timeout it aborts the
 // round (⊥) and returns an error matching proto.ErrAborted.
 func Toss(ctx context.Context, peer *proto.Peer, round uint64, instance uint32) (uint64, error) {
+	return toss(ctx, peer, round, instance, nil)
+}
+
+// toss is Toss with a reveal gate: when release is non-nil, the local reveal
+// is withheld until release closes (or ctx expires). The commit and echo
+// phases hide every share, so they may run arbitrarily early; it is the
+// reveal that fixes when the seed becomes knowable, and the Reservoir uses
+// the gate to keep that moment after bid agreement while still overlapping
+// the first two phases with it.
+func toss(ctx context.Context, peer *proto.Peer, round uint64, instance uint32, release <-chan struct{}) (uint64, error) {
 	if err := peer.AbortErr(round); err != nil {
 		return 0, err
 	}
@@ -103,7 +113,16 @@ func Toss(ctx context.Context, peer *proto.Peer, round uint64, instance uint32) 
 		}
 	}
 
-	// Reveal and verify.
+	// Reveal and verify. A gated toss holds the reveal here: all shares are
+	// committed and echo-checked, so the seed is already fixed, but nobody
+	// can compute it until the gate opens.
+	if release != nil {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return 0, failUnlessAborted(peer, round, "coin: cancelled before reveal", ctx.Err())
+		}
+	}
 	revealTag := wire.Tag{Round: round, Block: wire.BlockCoin, Instance: instance, Step: stepReveal}
 	if err := peer.BroadcastProviders(revealTag, commit.EncodeOpening(op)); err != nil {
 		return 0, peer.FailRound(round, fmt.Sprintf("coin: broadcast reveal: %v", err))

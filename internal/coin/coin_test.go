@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -279,5 +280,168 @@ func TestTossOnAbortedRound(t *testing.T) {
 	ctx := context.Background()
 	if _, err := Toss(ctx, peers[0], 5, 0); !errors.Is(err, proto.ErrAborted) {
 		t.Errorf("got %v, want abort", err)
+	}
+}
+
+// reservoirAll creates one reservoir per peer for round.
+func reservoirAll(peers []*proto.Peer, round uint64, gated bool) []*Reservoir {
+	rs := make([]*Reservoir, len(peers))
+	for i, p := range peers {
+		rs[i] = NewReservoir(p, round, gated)
+	}
+	return rs
+}
+
+// Prefetched instances must resolve concurrently and agree across peers.
+func TestReservoirPrefetchAgrees(t *testing.T) {
+	peers := newPeers(t, 4)
+	rs := reservoirAll(peers, 1, false)
+	instances := []uint32{1 << 8, 1<<8 | 1, 2 << 8}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	seeds := make([][]uint64, len(peers))
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, r := range rs {
+		wg.Add(1)
+		go func(i int, r *Reservoir) {
+			defer wg.Done()
+			defer r.Close()
+			r.Prefetch(ctx, instances...)
+			for _, inst := range instances {
+				seed, err := r.Seed(ctx, inst)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				seeds[i] = append(seeds[i], seed)
+			}
+		}(i, r)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	for i := 1; i < len(seeds); i++ {
+		for j := range instances {
+			if seeds[i][j] != seeds[0][j] {
+				t.Fatalf("instance %d: peer %d disagrees", instances[j], i)
+			}
+		}
+	}
+	if seeds[0][0] == seeds[0][1] && seeds[0][1] == seeds[0][2] {
+		t.Error("three instances yielded the same seed; astronomically unlikely")
+	}
+}
+
+// A gated reservoir must not let any seed resolve before every peer
+// releases — the reveal is withheld, not just delayed.
+func TestReservoirGatedWithholdsReveal(t *testing.T) {
+	peers := newPeers(t, 3)
+	rs := reservoirAll(peers, 1, true)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var resolved atomic.Int32
+	seeds := make([]uint64, len(peers))
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, r := range rs {
+		r.Prefetch(ctx, 7)
+		wg.Add(1)
+		go func(i int, r *Reservoir) {
+			defer wg.Done()
+			seeds[i], errs[i] = r.Seed(ctx, 7)
+			resolved.Add(1)
+		}(i, r)
+	}
+
+	time.Sleep(200 * time.Millisecond) // commit+echo done; reveals gated
+	if n := resolved.Load(); n != 0 {
+		t.Fatalf("%d seeds resolved before release", n)
+	}
+	for _, r := range rs {
+		r.Release()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+		if seeds[i] != seeds[0] {
+			t.Fatalf("peer %d disagrees", i)
+		}
+	}
+	for _, r := range rs {
+		r.Close()
+	}
+}
+
+// Prefetching an instance twice (or racing Prefetch with Seed) must toss it
+// once: a second toss would re-draw the share under the same tag, which the
+// peers would flag as equivocation and abort.
+func TestReservoirDedupesInstances(t *testing.T) {
+	peers := newPeers(t, 3)
+	rs := reservoirAll(peers, 1, false)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, r := range rs {
+		wg.Add(1)
+		go func(i int, r *Reservoir) {
+			defer wg.Done()
+			defer r.Close()
+			r.Prefetch(ctx, 3, 3)
+			r.Prefetch(ctx, 3)
+			if _, err := r.Seed(ctx, 3); err != nil {
+				errs[i] = err
+				return
+			}
+			_, errs[i] = r.Seed(ctx, 3)
+		}(i, r)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v (duplicate toss → equivocation?)", i, err)
+		}
+	}
+}
+
+// Tosses parked at a gated reveal must unwind when the round aborts and the
+// engine closes the reservoir (its abort path), returning ⊥.
+func TestReservoirAbortUnwindsGatedToss(t *testing.T) {
+	peers := newPeers(t, 3)
+	rs := reservoirAll(peers, 1, true)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, r := range rs {
+		r.Prefetch(ctx, 9)
+	}
+	time.Sleep(100 * time.Millisecond) // let commit/echo complete
+
+	if err := peers[0].Abort(1, "test abort"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(peers))
+	for i, r := range rs {
+		wg.Add(1)
+		go func(i int, r *Reservoir) {
+			defer wg.Done()
+			r.Close() // abort path: open the gate, join the toss
+			_, errs[i] = r.Seed(ctx, 9)
+		}(i, r)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, proto.ErrAborted) {
+			t.Errorf("peer %d: got %v, want ⊥", i, err)
+		}
 	}
 }

@@ -1,0 +1,124 @@
+package coin
+
+import (
+	"context"
+	"sync"
+
+	"distauction/internal/proto"
+)
+
+// Reservoir pre-tosses common-coin instances for one round so the 3-phase
+// commit-echo-reveal exchange overlaps other protocol work instead of
+// serializing inside task execution.
+//
+// A gated reservoir additionally withholds every reveal until Release is
+// called: the commit and echo phases hide the shares, so they can run while
+// bid agreement is still in progress, but no provider can learn a seed
+// before the local agreement is *bound* (every provider's proposal
+// committed and echo-verified — the round engine releases at exactly that
+// point). By the time any party holds all shares of an instance, the
+// agreement outcome is a fixed function of already-committed values at
+// every honest provider — a coalition that sees the seed can still only
+// force ⊥ (by refusing or mis-opening), exactly the power it already had.
+//
+// All methods are safe for concurrent use. Each instance is tossed at most
+// once per reservoir regardless of how many callers request it — re-tossing
+// an instance would re-draw a fresh random share under the same tag, which
+// receivers would flag as equivocation.
+type Reservoir struct {
+	peer  *proto.Peer
+	round uint64
+
+	release     chan struct{}
+	releaseOnce sync.Once
+
+	mu     sync.Mutex
+	tosses map[uint32]*pendingToss
+
+	wg sync.WaitGroup
+}
+
+// pendingToss is one in-flight (or finished) coin instance.
+type pendingToss struct {
+	done chan struct{}
+	seed uint64
+	err  error
+}
+
+// NewReservoir creates a reservoir for round. When gated is true, reveals
+// are withheld until Release; otherwise tosses run all three phases as soon
+// as they are started.
+func NewReservoir(peer *proto.Peer, round uint64, gated bool) *Reservoir {
+	r := &Reservoir{
+		peer:    peer,
+		round:   round,
+		release: make(chan struct{}),
+	}
+	if !gated {
+		close(r.release)
+	}
+	return r
+}
+
+// Prefetch starts background tosses for the given instances. Instances
+// already started (or finished) are skipped.
+func (r *Reservoir) Prefetch(ctx context.Context, instances ...uint32) {
+	for _, inst := range instances {
+		r.start(ctx, inst)
+	}
+}
+
+// start returns the pending toss for instance, launching it if needed.
+func (r *Reservoir) start(ctx context.Context, instance uint32) *pendingToss {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.tosses[instance]; ok {
+		return t
+	}
+	t := &pendingToss{done: make(chan struct{})}
+	if r.tosses == nil {
+		r.tosses = make(map[uint32]*pendingToss)
+	}
+	r.tosses[instance] = t
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(t.done)
+		t.seed, t.err = toss(ctx, r.peer, r.round, instance, r.release)
+	}()
+	return t
+}
+
+// Seed returns the agreed seed for instance, waiting for its toss to finish
+// (and starting one on demand if the instance was never prefetched).
+func (r *Reservoir) Seed(ctx context.Context, instance uint32) (uint64, error) {
+	t := r.start(ctx, instance)
+	select {
+	case <-t.done:
+		return t.seed, t.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Release opens the reveal gate. It is idempotent; on an ungated reservoir
+// it is a no-op.
+func (r *Reservoir) Release() {
+	r.releaseOnce.Do(func() {
+		select {
+		case <-r.release:
+		default:
+			close(r.release)
+		}
+	})
+}
+
+// Close releases the reveal gate and joins every in-flight toss. It must be
+// called before the round's protocol state is reclaimed (EndRound): a toss
+// still gathering on a retired round would otherwise race the reclamation.
+// Closing twice is harmless; tosses on an aborted round unwind promptly via
+// the round's abort signal.
+func (r *Reservoir) Close() {
+	r.Release()
+	r.wg.Wait()
+}

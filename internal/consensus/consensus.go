@@ -180,6 +180,20 @@ func decodeProposal(b []byte) (proposal, error) {
 // decided vectors as immutable). On any deviation or timeout the round is
 // aborted (⊥).
 func Propose(ctx context.Context, peer *proto.Peer, round uint64, instance uint32, inputs [][]byte) ([][]byte, error) {
+	return ProposeObserved(ctx, peer, round, instance, inputs, nil)
+}
+
+// ProposeObserved is Propose with a binding observer: onBound, when
+// non-nil, is called exactly once if and when the echo phase verifies —
+// the moment every provider's proposal digest and leader share are
+// committed and the commitment set is known consistent. From that point the
+// consensus outcome is a fixed (if not yet known) function of the committed
+// values: a reveal can only open its commitment or abort the round, never
+// steer the decision. Callers use the hook to release work that must not
+// influence the agreement but may safely overlap its reveal phase — the
+// round engine opens the common coin's reveal gate here, taking the coin's
+// last network phase off the round's critical path.
+func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instance uint32, inputs [][]byte, onBound func()) ([][]byte, error) {
 	if err := peer.AbortErr(round); err != nil {
 		return nil, err
 	}
@@ -231,6 +245,9 @@ func Propose(ctx context.Context, peer *proto.Peer, round uint64, instance uint3
 		if !bytes.Equal(payload, echo[:]) {
 			return nil, peer.FailRound(round, fmt.Sprintf("consensus: commitment set mismatch with provider %d", providers[i]))
 		}
+	}
+	if onBound != nil {
+		onBound()
 	}
 
 	// Phase 3: reveal shares and vector digests. The commitments are now

@@ -559,3 +559,39 @@ func TestAbortDoesNotPoisonNextRound(t *testing.T) {
 		}
 	}
 }
+
+// The static coin plan must match the graphs BuildGraph actually returns —
+// in both the replicated and the decomposed shape, for any bids — or the
+// engine would pre-toss instances nobody draws (wasted, but consistent) or
+// miss instances that then toss un-prefetched (slow).
+func TestStandardAuctionCoinPlanMatchesGraph(t *testing.T) {
+	cfg := GraphConfig{
+		Providers: []wire.NodeID{1, 2, 3, 4, 5, 6, 7, 8},
+		K:         1,
+	}
+	params := standardauction.Params{
+		Capacities: make([]fixed.Fixed, 8),
+		InvEpsilon: 4,
+	}
+	for i := range params.Capacities {
+		params.Capacities[i] = fixed.MustInt(2)
+	}
+	bids := auction.BidVector{Users: []auction.UserBid{ub(10, 1), ub(9, 1), ub(8, 1)}}
+	for _, replicated := range []bool{false, true} {
+		mech := StandardAuction{Params: params, Replicated: replicated}
+		plan := mech.CoinPlan(cfg)
+		g, err := mech.BuildGraph(cfg, bids)
+		if err != nil {
+			t.Fatalf("replicated=%v: %v", replicated, err)
+		}
+		declared := g.CoinInstances()
+		if len(plan) != len(declared) {
+			t.Fatalf("replicated=%v: plan has %d instances, graph declares %d", replicated, len(plan), len(declared))
+		}
+		for i := range plan {
+			if plan[i] != declared[i] {
+				t.Errorf("replicated=%v instance %d: plan %d != declared %d", replicated, i, plan[i], declared[i])
+			}
+		}
+	}
+}

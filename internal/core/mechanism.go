@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"distauction/internal/auction"
 	"distauction/internal/fixed"
@@ -24,6 +25,21 @@ type GraphConfig struct {
 	Providers []wire.NodeID
 	// K is the coalition bound; every task group has ≥ K+1 members.
 	K int
+}
+
+// CoinPlanner is an optional Mechanism extension declaring the static
+// coin-draw schedule of the mechanism's task graph: the instance numbers
+// (taskgraph.CoinInstance) its tasks will draw, as a pure function of the
+// deployment facts. The round engine uses the plan to pre-toss every
+// instance while bid agreement is still running — commit and echo overlap
+// the agreement; reveals stay gated until it completes — so the coin's
+// three network phases leave the round's critical path entirely.
+//
+// The plan must match the graphs BuildGraph returns (same tasks, same
+// declared draws) for every bid vector; mechanisms whose draw schedule
+// depends on the bids must not implement CoinPlanner.
+type CoinPlanner interface {
+	CoinPlan(cfg GraphConfig) []uint32
 }
 
 // Mechanism abstracts the allocation algorithm A (§3.1): its direct
@@ -91,10 +107,19 @@ type StandardAuction struct {
 	Replicated bool
 }
 
-var _ Mechanism = StandardAuction{}
+var (
+	_ Mechanism   = StandardAuction{}
+	_ CoinPlanner = StandardAuction{}
+)
 
 // Name implements Mechanism.
 func (StandardAuction) Name() string { return "standard" }
+
+// CoinPlan implements CoinPlanner: both the replicated and the decomposed
+// graph draw exactly once, in task 1, regardless of the bids.
+func (StandardAuction) CoinPlan(GraphConfig) []uint32 {
+	return []uint32{taskgraph.CoinInstance(1, 0)}
+}
 
 // DoubleSided implements Mechanism: only users bid.
 func (StandardAuction) DoubleSided() bool { return false }
@@ -111,7 +136,7 @@ func (m StandardAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*t
 		users := bids.Users
 		params := m.Params
 		return taskgraph.New(cfg.Providers, cfg.K, []taskgraph.Task{{
-			ID: 1, Name: "standard-replicated", Group: cfg.Providers, UsesCoin: true,
+			ID: 1, Name: "standard-replicated", Group: cfg.Providers, UsesCoin: true, CoinDraws: 1,
 			Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
 				seed, err := tc.Coin()
 				if err != nil {
@@ -135,7 +160,7 @@ func (m StandardAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*t
 
 	tasks := make([]taskgraph.Task, 0, c+2)
 	tasks = append(tasks, taskgraph.Task{
-		ID: 1, Name: "allocate", Group: cfg.Providers, UsesCoin: true,
+		ID: 1, Name: "allocate", Group: cfg.Providers, UsesCoin: true, CoinDraws: 1,
 		Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
 			seed, err := tc.Coin()
 			if err != nil {
@@ -158,6 +183,25 @@ func (m StandardAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*t
 				if err != nil {
 					return nil, err
 				}
+				// The compute model bills one counterfactual solve per user in
+				// the share; sleep the share's total once instead of per
+				// payment — identical modeled time, one timer overshoot
+				// instead of n/c on the round's critical path.
+				share := 0
+				for i := range users {
+					if i%c == gi {
+						share++
+					}
+				}
+				if params.ModelDelay > 0 && share > 0 {
+					select {
+					case <-time.After(time.Duration(share) * params.ModelDelay):
+					case <-ctx.Done():
+						return nil, ctx.Err()
+					}
+				}
+				noDelay := params
+				noDelay.ModelDelay = 0
 				var idx []int
 				var pays []fixed.Fixed
 				for i := range users {
@@ -167,7 +211,7 @@ func (m StandardAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*t
 					if err := ctx.Err(); err != nil {
 						return nil, err
 					}
-					pay, err := standardauction.Payment(users, params, seed, assign, i)
+					pay, err := standardauction.Payment(users, noDelay, seed, assign, i)
 					if err != nil {
 						return nil, err
 					}

@@ -10,7 +10,9 @@ import (
 	"distauction/internal/allocator"
 	"distauction/internal/auction"
 	"distauction/internal/bidagree"
+	"distauction/internal/coin"
 	"distauction/internal/proto"
+	"distauction/internal/taskgraph"
 	"distauction/internal/transport"
 	"distauction/internal/wire"
 )
@@ -241,8 +243,31 @@ func (e *engine) collectBids(ctx context.Context, round uint64) ([][]byte, error
 func (e *engine) finishRound(ctx context.Context, round uint64, inputs [][]byte) (auction.Outcome, error) {
 	cfg := e.cfg
 
-	// Phase 2: bid agreement (Property 1).
-	agreed, err := bidagree.Agree(ctx, e.peer, round, inputs)
+	// Coin prefetch: when the mechanism's draw schedule is static, start
+	// the commit/echo phases of every instance now so they overlap bid
+	// agreement; the reveals stay gated until agreement completes, so no
+	// provider can know a seed while the agreed vector is still undecided.
+	var coins *coin.Reservoir
+	if planner, ok := cfg.Mechanism.(CoinPlanner); ok {
+		if plan := planner.CoinPlan(GraphConfig{Providers: e.peer.Providers(), K: cfg.K}); len(plan) > 0 {
+			coins = coin.NewReservoir(e.peer, round, true)
+			coins.Prefetch(ctx, plan...)
+			// Close joins every toss before the round can be reclaimed; on
+			// abort paths it also opens the gate so blocked tosses unwind.
+			defer coins.Close()
+		}
+	}
+
+	// Phase 2: bid agreement (Property 1). The coin's reveal gate opens the
+	// moment the agreement is *bound* (proposals and leader shares all
+	// committed and echo-verified): from there reveals can only open
+	// commitments or abort, so the coin's last phase overlaps agreement's
+	// instead of following it.
+	var onBound func()
+	if coins != nil {
+		onBound = coins.Release
+	}
+	agreed, err := bidagree.AgreeObserved(ctx, e.peer, round, inputs, onBound)
 	if err != nil {
 		return e.deliverAbort(round, err)
 	}
@@ -266,7 +291,11 @@ func (e *engine) finishRound(ctx context.Context, round uint64, inputs [][]byte)
 	if err != nil {
 		return e.deliverAbort(round, e.peer.FailRound(round, fmt.Sprintf("build graph: %v", err)))
 	}
-	rawOutcome, err := allocator.Run(ctx, e.peer, round, bids.Encode(), graph)
+	var coinSrc taskgraph.CoinSource
+	if coins != nil {
+		coinSrc = coins
+	}
+	rawOutcome, err := allocator.RunWith(ctx, e.peer, round, bids.Encode(), graph, coinSrc)
 	if err != nil {
 		return e.deliverAbort(round, err)
 	}

@@ -67,6 +67,34 @@ func Recv(ctx context.Context, peer *proto.Peer, round uint64, instance uint32, 
 	return agreed, nil
 }
 
+// Pending is an in-flight receive started by RecvAsync.
+type Pending struct {
+	done  chan struct{}
+	value []byte
+	err   error
+}
+
+// RecvAsync starts Recv in its own goroutine so a task's in-edges can all
+// be gathered concurrently — c cross-group inputs cost one round trip
+// instead of c. The returned Pending must be joined before the round's
+// protocol state is reclaimed; Recv's abort and context handling guarantee
+// the join cannot hang past the round.
+func RecvAsync(ctx context.Context, peer *proto.Peer, round uint64, instance uint32, sending []wire.NodeID) *Pending {
+	p := &Pending{done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		p.value, p.err = Recv(ctx, peer, round, instance, sending)
+	}()
+	return p
+}
+
+// Join waits for the receive to finish and returns its result. It may be
+// called any number of times, from any goroutine.
+func (p *Pending) Join() ([]byte, error) {
+	<-p.done
+	return p.value, p.err
+}
+
 // Run executes one transfer synchronously (Send then Recv according to the
 // local provider's membership). instance must be unique per transfer within
 // the round (the task-graph engine numbers transfers by edge).

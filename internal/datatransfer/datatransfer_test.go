@@ -251,3 +251,53 @@ func TestAbortedRoundShortCircuits(t *testing.T) {
 		t.Errorf("got %v, want abort", err)
 	}
 }
+
+// RecvAsync must gather many in-edges concurrently: all pendings resolve
+// regardless of send order, and each Join is idempotent.
+func TestRecvAsyncConcurrentEdges(t *testing.T) {
+	peers := newPeers(t, 4)
+	sending := []wire.NodeID{1, 2}
+	receiver := peers[2] // node 3
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const edges = 3
+	pendings := make([]*Pending, edges)
+	for e := 0; e < edges; e++ {
+		pendings[e] = RecvAsync(ctx, receiver, 1, uint32(e), sending)
+	}
+	// Senders publish in reverse edge order; arrival order must not matter.
+	for e := edges - 1; e >= 0; e-- {
+		payload := []byte{byte('a' + e)}
+		for _, p := range peers[:2] {
+			if err := Send(p, 1, uint32(e), []wire.NodeID{3}, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for e, p := range pendings {
+		for i := 0; i < 2; i++ { // Join twice: idempotent
+			v, err := p.Join()
+			if err != nil {
+				t.Fatalf("edge %d: %v", e, err)
+			}
+			if string(v) != string([]byte{byte('a' + e)}) {
+				t.Fatalf("edge %d: got %q", e, v)
+			}
+		}
+	}
+}
+
+// A pending receive must unwind with ⊥ when the round aborts under it.
+func TestRecvAsyncAbortUnwinds(t *testing.T) {
+	peers := newPeers(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	p := RecvAsync(ctx, peers[2], 1, 0, []wire.NodeID{1, 2})
+	if err := peers[0].Abort(1, "test abort"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Join(); !errors.Is(err, proto.ErrAborted) {
+		t.Fatalf("got %v, want ⊥", err)
+	}
+}

@@ -242,10 +242,22 @@ func runDistributed(cfg config, mech core.Mechanism, userBids []auction.UserBid,
 	}
 
 	// The clock starts when the client begins submitting the generated
-	// inputs (paper §6.1).
+	// inputs (paper §6.1). Submissions fan out concurrently — the paper's
+	// experiment instances are independent client nodes, not one serial
+	// submit loop.
 	start := time.Now()
+	var submitWG sync.WaitGroup
+	submitErrs := make([]error, cfg.n)
 	for i, b := range bidders {
-		if err := b.Submit(1, userBids[i]); err != nil {
+		submitWG.Add(1)
+		go func(i int, b *core.BidderSession) {
+			defer submitWG.Done()
+			submitErrs[i] = b.Submit(1, userBids[i])
+		}(i, b)
+	}
+	submitWG.Wait()
+	for i, err := range submitErrs {
+		if err != nil {
 			return Result{}, fmt.Errorf("harness: submit %d: %w", i, err)
 		}
 	}

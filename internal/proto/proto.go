@@ -23,6 +23,15 @@
 // and Receive on different rounds touch different shards and do not
 // contend, and EndRound reclaims a round by dropping its index — O(live
 // rounds) — instead of sweeping every buffered message key.
+//
+// Concurrency contract (audited for the concurrent task scheduler): every
+// method of Peer is safe for concurrent use. Any number of goroutines may
+// Receive/Gather on the same round concurrently — including on the same
+// (tag, sender) key, where every waiter observes the one buffered payload —
+// and sends, gathers and abort signalling may interleave freely. The only
+// ordering requirements are the caller's own: EndRound must not run while
+// the round still has in-flight block operations (they would observe
+// ErrRoundEnded), and rounds must be ended in increasing order.
 package proto
 
 import (
@@ -66,6 +75,13 @@ func (e *AbortError) Is(target error) bool { return target == ErrAborted }
 
 // ErrPeerClosed reports use of a closed Peer.
 var ErrPeerClosed = errors.New("proto: peer closed")
+
+// ErrRoundEnded reports a receive on a round whose state was already
+// reclaimed by EndRound. Before this sentinel existed, such a receive
+// silently resurrected the retired round's routing state and then blocked
+// until its context expired — a hazard once many goroutines of a round run
+// concurrently and one may race the round's reclamation.
+var ErrRoundEnded = errors.New("proto: round already ended")
 
 // numShards is the number of round stripes. Rounds map onto shards round-
 // robin, so with pipeline depth d at most ⌈d/numShards⌉ live rounds share a
@@ -360,6 +376,29 @@ func (p *Peer) FailRound(round uint64, reason string) error {
 	return &AbortError{Round: round, From: p.self, Reason: reason}
 }
 
+// AbortChan returns a channel that closes when round aborts (⊥). For a
+// round already retired by EndRound it returns an already-closed channel —
+// a retired round can never complete, so "treat it as dead" is the only
+// useful answer. Schedulers select on it to cancel in-flight speculative
+// work the moment the round dies.
+func (p *Peer) AbortChan(round uint64) <-chan struct{} {
+	sh := p.shardFor(round)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if round < p.minRound.Load() || p.closed.Load() {
+		return closedChan
+	}
+	return sh.roundLocked(round).abortCh
+}
+
+// closedChan is the shared already-closed channel AbortChan hands out for
+// retired rounds.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // AbortErr returns the abort error for round, or nil.
 func (p *Peer) AbortErr(round uint64) error {
 	sh := p.shardFor(round)
@@ -453,6 +492,10 @@ func (p *Peer) ReceiveTimeout(ctx context.Context, tag wire.Tag, from wire.NodeI
 	if p.closed.Load() {
 		sh.mu.Unlock()
 		return nil, ErrPeerClosed
+	}
+	if tag.Round < p.minRound.Load() {
+		sh.mu.Unlock()
+		return nil, ErrRoundEnded
 	}
 	rs := sh.roundLocked(tag.Round)
 	if rs.abortErr != nil {

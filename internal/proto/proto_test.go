@@ -262,14 +262,16 @@ func TestEndRoundDropsState(t *testing.T) {
 	}
 	peers[1].EndRound(1)
 
-	// A message for an ended round is dropped silently.
+	// A message for an ended round is dropped silently, and a receive on it
+	// fails fast instead of resurrecting the retired state.
 	if err := peers[0].Send(2, tg, []byte("stale")); err != nil {
 		t.Fatal(err)
 	}
-	shortCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
-	defer cancel()
-	if _, err := peers[1].Receive(shortCtx, tg, 1); !errors.Is(err, context.DeadlineExceeded) {
-		t.Errorf("stale round receive: %v", err)
+	if _, err := peers[1].Receive(ctx, tg, 1); !errors.Is(err, ErrRoundEnded) {
+		t.Errorf("stale round receive: %v, want ErrRoundEnded", err)
+	}
+	if msgs, rounds := peers[1].StateSize(); msgs != 0 || rounds != 0 {
+		t.Errorf("retired receive left state behind: %d msgs, %d rounds", msgs, rounds)
 	}
 
 	// Later rounds still work.

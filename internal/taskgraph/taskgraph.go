@@ -16,16 +16,12 @@
 package taskgraph
 
 import (
-	"bytes"
 	"cmp"
 	"context"
-	"crypto/sha256"
 	"errors"
 	"fmt"
 	"slices"
 
-	"distauction/internal/coin"
-	"distauction/internal/datatransfer"
 	"distauction/internal/proto"
 	"distauction/internal/wire"
 )
@@ -38,6 +34,33 @@ var ErrBadGraph = errors.New("taskgraph: invalid graph")
 // ErrCoinUnavailable reports a Coin() call from a task not assigned to the
 // full provider set.
 var ErrCoinUnavailable = errors.New("taskgraph: coin requires a full-provider task")
+
+// ErrCoinOverdraw reports a task drawing more coins than it declared (or
+// than the per-task instance space allows). The draw schedule must be
+// static so instances can be numbered — and prefetched — identically at
+// every provider.
+var ErrCoinOverdraw = errors.New("taskgraph: coin draw beyond the task's declared schedule")
+
+// maxCoinDraws is the per-task coin instance space: instance numbers are
+// taskID<<8 | drawIdx, so a task has 256 draw slots.
+const maxCoinDraws = 1 << 8
+
+// maxCoinTaskID bounds the ID of a coin-drawing task so the shifted
+// instance number fits the tightest instance space any transport offers:
+// the marketplace's lane encoding carries 20-bit block-local instances
+// (wire.LaneBits), and CoinInstance(4095, 255) == 1<<20 - 1 exactly.
+// Validating here means an oversized graph fails at New() instead of
+// aborting every round at send time under a market.
+const maxCoinTaskID = 1<<12 - 1
+
+// CoinInstance returns the wire instance number of a task's draw'th coin
+// toss. The numbering is static — a pure function of the task ID and the
+// draw index — so every provider tosses the same instances regardless of
+// execution order, and all declared instances can be pre-tossed at round
+// start.
+func CoinInstance(taskID uint32, draw int) uint32 {
+	return taskID<<8 | uint32(draw)
+}
 
 // TaskContext carries a task's inputs and services into its Run function.
 type TaskContext struct {
@@ -77,6 +100,13 @@ type Task struct {
 	Group []wire.NodeID
 	// UsesCoin declares that Run calls TaskContext.Coin.
 	UsesCoin bool
+	// CoinDraws declares how many times Run calls TaskContext.Coin. Declared
+	// draws are numbered statically (CoinInstance) and pre-tossed
+	// concurrently at execution start, so the commit-echo-reveal exchange
+	// overlaps task compute instead of serializing inside it. Drawing more
+	// than declared fails the round; zero with UsesCoin set means the task
+	// draws on demand (statically numbered, but not prefetched).
+	CoinDraws int
 	// Run is the task body.
 	Run TaskFunc
 }
@@ -87,6 +117,10 @@ type Graph struct {
 	edges    []edge   // transfer schedule, ordered deterministically
 	inEdges  [][]edge // per task: edges delivering its inputs
 	outEdges [][]edge // per task: edges publishing its result
+
+	coinInstances []uint32       // declared draws, statically numbered
+	needsCoin     bool           // any task draws (declared or on demand)
+	byID          map[uint32]int // task ID → index into tasks
 }
 
 // edge is a cross-group data dependency (from → to).
@@ -128,9 +162,22 @@ func New(providers []wire.NodeID, k int, tasks []Task) (*Graph, error) {
 				return nil, fmt.Errorf("%w: task %d group member %d is not a provider", ErrBadGraph, t.ID, g)
 			}
 		}
-		if t.UsesCoin && !proto.EqualNodes(t.Group, all) {
-			return nil, fmt.Errorf("%w: task %d uses the coin but is not assigned to all providers",
-				ErrBadGraph, t.ID)
+		if t.CoinDraws < 0 || t.CoinDraws > maxCoinDraws {
+			return nil, fmt.Errorf("%w: task %d declares %d coin draws (0..%d allowed)",
+				ErrBadGraph, t.ID, t.CoinDraws, maxCoinDraws)
+		}
+		if t.CoinDraws > 0 {
+			t.UsesCoin = true
+		}
+		if t.UsesCoin {
+			if !proto.EqualNodes(t.Group, all) {
+				return nil, fmt.Errorf("%w: task %d uses the coin but is not assigned to all providers",
+					ErrBadGraph, t.ID)
+			}
+			if t.ID > maxCoinTaskID {
+				return nil, fmt.Errorf("%w: task %d draws coins but its ID exceeds %d",
+					ErrBadGraph, t.ID, maxCoinTaskID)
+			}
 		}
 		for _, d := range t.Deps {
 			j, ok := index[d]
@@ -171,6 +218,7 @@ func New(providers []wire.NodeID, k int, tasks []Task) (*Graph, error) {
 		tasks:    sorted,
 		inEdges:  make([][]edge, len(sorted)),
 		outEdges: make([][]edge, len(sorted)),
+		byID:     index,
 	}
 	for i := range sorted {
 		t := &sorted[i]
@@ -186,9 +234,20 @@ func New(providers []wire.NodeID, k int, tasks []Task) (*Graph, error) {
 			g.inEdges[i] = append(g.inEdges[i], e)
 			g.outEdges[from] = append(g.outEdges[from], e)
 		}
+		if t.UsesCoin {
+			g.needsCoin = true
+			for draw := 0; draw < t.CoinDraws; draw++ {
+				g.coinInstances = append(g.coinInstances, CoinInstance(t.ID, draw))
+			}
+		}
 	}
 	return g, nil
 }
+
+// CoinInstances returns the statically numbered coin instances declared by
+// the graph's tasks, in task order. The slice is shared; callers must not
+// modify it.
+func (g *Graph) CoinInstances() []uint32 { return g.coinInstances }
 
 // Tasks returns the tasks in execution (ID) order.
 func (g *Graph) Tasks() []Task { return g.tasks }
@@ -199,108 +258,10 @@ func (g *Graph) NumTransfers() int { return len(g.edges) }
 // Execute runs the graph at the local provider and returns the final task's
 // output. Every provider of the round must call Execute with an identical
 // graph. Deviations, mismatched redundant results, and timeouts abort the
-// round (⊥).
+// round (⊥). It is shorthand for ExecuteOpts with default options; see
+// ExecuteOpts for the scheduling model.
 func Execute(ctx context.Context, peer *proto.Peer, round uint64, g *Graph) ([]byte, error) {
-	if err := peer.AbortErr(round); err != nil {
-		return nil, err
-	}
-	self := peer.Self()
-	results := make(map[uint32][]byte, len(g.tasks))
-
-	// Coin instances are numbered per graph execution in call order; only
-	// full-provider tasks draw, and they execute the same calls in the same
-	// order everywhere, so the numbering agrees across providers.
-	var coinSeq uint32
-
-	for ti := range g.tasks {
-		t := &g.tasks[ti]
-		inGroup := proto.ContainsNode(t.Group, self)
-
-		// Pull the inputs that cross group boundaries into this task.
-		// Senders already pushed them right after computing (below), so
-		// disjoint groups never wait on each other's unrelated work.
-		if inGroup {
-			for _, e := range g.inEdges[ti] {
-				src := &g.tasks[e.from]
-				v, err := datatransfer.Recv(ctx, peer, round, e.instance, src.Group)
-				if err != nil {
-					return nil, err
-				}
-				results[src.ID] = v
-			}
-		}
-
-		if !inGroup {
-			continue
-		}
-
-		// Assemble the task context.
-		tc := &TaskContext{Round: round, Inputs: make(map[uint32][]byte, len(t.Deps))}
-		for _, d := range t.Deps {
-			v, ok := results[d]
-			if !ok {
-				return nil, peer.FailRound(round, fmt.Sprintf(
-					"taskgraph: task %d (%s) missing input %d", t.ID, t.Name, d))
-			}
-			tc.Inputs[d] = v
-		}
-		if t.UsesCoin {
-			tc.coinFn = func() (uint64, error) {
-				inst := coinSeq
-				coinSeq++
-				return coin.Toss(ctx, peer, round, inst)
-			}
-		}
-
-		out, err := t.Run(ctx, tc)
-		if err != nil {
-			return nil, peer.FailRound(round, fmt.Sprintf(
-				"taskgraph: task %d (%s) failed: %v", t.ID, t.Name, err))
-		}
-
-		// Cross-validate the redundant computation within the group: every
-		// member broadcasts a digest of its result; any mismatch means some
-		// member deviated (or the task is nondeterministic) and the round
-		// aborts before the bad value can propagate.
-		digest := sha256.Sum256(out)
-		tag := wire.Tag{Round: round, Block: wire.BlockTask, Instance: t.ID, Step: stepTaskDigest}
-		for _, member := range t.Group {
-			if err := peer.Send(member, tag, digest[:]); err != nil {
-				return nil, peer.FailRound(round, fmt.Sprintf("taskgraph: task %d digest send: %v", t.ID, err))
-			}
-		}
-		digests, err := peer.Gather(ctx, tag, t.Group)
-		if err != nil {
-			if abortErr := peer.AbortErr(round); abortErr != nil {
-				return nil, abortErr
-			}
-			return nil, peer.FailRound(round, fmt.Sprintf("taskgraph: task %d digest gather: %v", t.ID, err))
-		}
-		for id, d := range digests {
-			if !bytes.Equal(d, digest[:]) {
-				return nil, peer.FailRound(round, fmt.Sprintf(
-					"taskgraph: task %d result mismatch with provider %d", t.ID, id))
-			}
-		}
-		results[t.ID] = out
-
-		// Push the validated result to every dependent group immediately
-		// (the send half of the data transfer never blocks).
-		for _, e := range g.outEdges[ti] {
-			dst := &g.tasks[e.to]
-			if err := datatransfer.Send(peer, round, e.instance, dst.Group, out); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	final := g.tasks[len(g.tasks)-1]
-	out, ok := results[final.ID]
-	if !ok {
-		// Unreachable: the final task runs at all providers.
-		return nil, peer.FailRound(round, "taskgraph: final result missing")
-	}
-	return out, nil
+	return ExecuteOpts(ctx, peer, round, g, Options{})
 }
 
 // Groups partitions providers into ⌊m/(k+1)⌋ disjoint groups of at least

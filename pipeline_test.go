@@ -219,3 +219,91 @@ func TestDeepPipelineProviderEquivocationAborts(t *testing.T) {
 		}
 	}
 }
+
+// TestDeepPipelineTaskMismatchAborts drives the concurrent task scheduler
+// through a 4-deep pipeline in which one provider's task-digest broadcasts
+// are corrupted in two specific rounds — the session-level version of a
+// group member returning a mismatched task result mid-graph. Exactly those
+// rounds must end ⊥ at every provider and bidder (the scheduler's withheld
+// publication means the bad rounds abort before any value propagates),
+// every other in-flight round must complete normally, and no protocol
+// state may leak — the scheduler's per-round goroutines unwind cleanly.
+func TestDeepPipelineTaskMismatchAborts(t *testing.T) {
+	const rounds = 24
+	poisoned := map[uint64]bool{7: true, 15: true}
+
+	flip := deviation.FlipPayloadByte()
+	wrap := func(i int, conn distauction.Conn) distauction.Conn {
+		if i != 2 {
+			return conn
+		}
+		return deviation.Wrap(conn, deviation.Rule{
+			Match: deviation.And(
+				deviation.MatchBlockStep(wire.BlockTask, 1), // task result digest
+				func(env wire.Envelope) bool { return poisoned[env.Tag.Round] },
+			),
+			Action:    deviation.Mutate,
+			Transform: flip,
+		})
+	}
+	sessions, bidders, _ := deepDeployment(t, rounds, wrap)
+
+	for r := uint64(1); r <= rounds; r++ {
+		for bi, b := range bidders {
+			if err := b.Submit(r, distauction.UserBid{
+				Value: distauction.Fx(float64(6 - bi)), Demand: distauction.Fx(1),
+			}); err != nil {
+				t.Fatalf("bidder %d round %d: %v", bi, r, err)
+			}
+		}
+	}
+
+	checkStream := func(who string, outs <-chan distauction.RoundOutcome, botErr error) error {
+		want := uint64(1)
+		deadline := time.After(2 * time.Minute)
+		for want <= rounds {
+			select {
+			case out, ok := <-outs:
+				if !ok {
+					return fmt.Errorf("%s: stream closed at round %d", who, want)
+				}
+				if out.Round != want {
+					return fmt.Errorf("%s: got round %d, want %d", who, out.Round, want)
+				}
+				if poisoned[out.Round] {
+					if !errors.Is(out.Err, botErr) {
+						return fmt.Errorf("%s round %d: err = %v, want ⊥", who, out.Round, out.Err)
+					}
+				} else if out.Err != nil {
+					return fmt.Errorf("%s round %d: %v", who, out.Round, out.Err)
+				}
+				want++
+			case <-deadline:
+				return fmt.Errorf("%s: timed out at round %d", who, want)
+			}
+		}
+		return nil
+	}
+
+	done := make(chan error, len(sessions)+len(bidders))
+	for si, s := range sessions {
+		go func(si int, s *distauction.Session) {
+			done <- checkStream(fmt.Sprintf("provider %d", si), s.Outcomes(), proto.ErrAborted)
+		}(si, s)
+	}
+	for bi, b := range bidders {
+		go func(bi int, b *distauction.BidderSession) {
+			done <- checkStream(fmt.Sprintf("bidder %d", bi), b.Outcomes(), distauction.ErrOutcomeBot)
+		}(bi, b)
+	}
+	for i := 0; i < len(sessions)+len(bidders); i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for si, s := range sessions {
+		if msgs, live := s.Peer().StateSize(); msgs != 0 || live != 0 {
+			t.Errorf("provider %d: %d buffered msgs, %d live rounds left", si, msgs, live)
+		}
+	}
+}
