@@ -494,11 +494,12 @@ func BenchmarkSessionThroughput(b *testing.B) {
 func BenchmarkMarketThroughput(b *testing.B) {
 	const rounds = 40
 	lat := transport.CommunityNetModel()
-	for _, auctions := range []int{1, 2, 4, 8} {
+	for _, auctions := range []int{1, 4, 16, 64} {
 		auctions := auctions
 		b.Run(fmt.Sprintf("auctions=%d/m=3/n=10", auctions), func(b *testing.B) {
 			var totalRounds int
 			var totalTime time.Duration
+			var frames, envs int64
 			for i := 0; i < b.N; i++ {
 				res, err := harness.RunMarketDouble(auctions, rounds,
 					harness.WithProviders(3), harness.WithUsers(10), harness.WithK(1),
@@ -515,14 +516,22 @@ func BenchmarkMarketThroughput(b *testing.B) {
 				if res.BidsDropped != 0 {
 					b.Fatalf("admission dropped %d bids; the workload degenerated", res.BidsDropped)
 				}
+				if res.ParkedDropped != 0 {
+					b.Fatalf("mux dropped %d parked envelopes", res.ParkedDropped)
+				}
 				if res.ResidualMsgs != 0 || res.ResidualRounds != 0 {
 					b.Fatalf("protocol state grew: %d msgs, %d rounds left",
 						res.ResidualMsgs, res.ResidualRounds)
 				}
 				totalRounds += res.Rounds
 				totalTime += res.Duration
+				frames += res.FramesSent
+				envs += res.EnvelopesSent
 			}
 			b.ReportMetric(float64(totalRounds)/totalTime.Seconds(), "rounds/s")
+			if frames > 0 {
+				b.ReportMetric(float64(envs)/float64(frames), "envs/frame")
+			}
 		})
 	}
 }

@@ -31,6 +31,14 @@ type MarketResult struct {
 	// providers.
 	BidsAdmitted int64
 	BidsDropped  int64
+	// ParkedDropped aggregates mux parking-overflow drops across providers.
+	ParkedDropped int64
+	// FramesSent / SuperframesSent / EnvelopesSent aggregate the provider
+	// muxes' outbound coalescing counters; EnvelopesSent/FramesSent is the
+	// average batch occupancy.
+	FramesSent      int64
+	SuperframesSent int64
+	EnvelopesSent   int64
 }
 
 // RoundsPerSec is the aggregate throughput across all auctions.
@@ -61,12 +69,15 @@ func RunMarketDouble(auctions, rounds int, opts ...Option) (MarketResult, error)
 	defer net.Close()
 	providerIDs, userIDs := ids(cfg.m, cfg.n)
 
-	// A bidder may run ahead of a provider's in-order emission by the
-	// pipeline depth (results are delivered at round completion, the
-	// admission window advances on ordered emission), plus its own
-	// lookahead; size the window so an honest fast bidder is never dropped.
+	// A bidder may run ahead of the provider's admission window by its own
+	// lookahead plus however far the market's outcome consumer lags ordered
+	// emission — bounded by the session's outcome buffer (sized to `rounds`
+	// below so emission never blocks). Size the window to cover that whole
+	// skew: the bench asserts zero drops, and on a saturated host the
+	// consumer can lag many rounds while bidders keep receiving results
+	// straight off the wire.
 	lookahead := cfg.pipeline + 1
-	window := 2*cfg.pipeline + lookahead + 2
+	window := rounds + lookahead + 2
 
 	names := make([]string, auctions)
 	lanes := make([]uint32, auctions)
@@ -213,6 +224,10 @@ func RunMarketDouble(auctions, rounds int, opts ...Option) (MarketResult, error)
 		snap := mk.Stats()
 		res.BidsAdmitted += snap.BidsAdmitted
 		res.BidsDropped += snap.BidsDropped
+		res.ParkedDropped += snap.ParkedDropped
+		res.FramesSent += snap.FramesSent
+		res.SuperframesSent += snap.SuperframesSent
+		res.EnvelopesSent += snap.EnvelopesSent
 		for _, name := range names {
 			a, ok := mk.Auction(name)
 			if !ok {

@@ -473,12 +473,15 @@ func (a *Auction) consume() {
 	sweepEvery := a.market.cfg.sweepEvery
 	sinceSweep := 0
 	for out := range a.session.Outcomes() {
+		// The round is complete the moment it emerges: slide the admission
+		// window first, so enforcement latency never starves honest bidders
+		// running at the pipeline's natural lookahead.
+		a.gate.roundDone(out.Round)
 		if out.Err == nil && a.enforcer != nil {
 			if err := a.enforcer.Enforce(out.Round, out.Outcome, a.users, a.market.providers); err != nil {
 				a.enforceErrs.Inc()
 			}
 		}
-		a.gate.roundDone(out.Round)
 		a.lastEmitted.Store(out.Round)
 		if a.enforcer != nil && sweepEvery > 0 {
 			if sinceSweep++; sinceSweep >= sweepEvery {
@@ -528,7 +531,22 @@ type Snapshot struct {
 	QueueDepth   int
 	EnforceErrs  int64
 	Swept        int64 // expired reservations reclaimed by sweep hooks
-	Auctions     []AuctionSnapshot
+
+	// ParkedDropped counts envelopes the mux dropped on parking overflow
+	// (previously a silent loss).
+	ParkedDropped int64
+	// FramesSent / SuperframesSent count outbound frames shipped by the
+	// mux's per-peer coalescer and the superframes (>1 envelope) among
+	// them; EnvelopesSent the envelopes they carried. Zero when the
+	// transport cannot batch.
+	FramesSent      int64
+	SuperframesSent int64
+	EnvelopesSent   int64
+	// BatchOccupancy is the average envelopes per outbound frame — the
+	// amortisation factor superframe batching is buying (1.0 = no win).
+	BatchOccupancy float64
+
+	Auctions []AuctionSnapshot
 }
 
 // snapshot captures one auction.
@@ -559,6 +577,12 @@ func (m *Market) Stats() Snapshot {
 	m.mu.Unlock()
 	sort.Slice(auctions, func(i, j int) bool { return auctions[i].name < auctions[j].name })
 	snap := Snapshot{Open: len(auctions), Swept: m.swept.Load()}
+	mux := m.mux.Stats()
+	snap.ParkedDropped = mux.ParkedDropped
+	snap.FramesSent = mux.Out.Frames
+	snap.SuperframesSent = mux.Out.Superframes
+	snap.EnvelopesSent = mux.Out.Envelopes
+	snap.BatchOccupancy = mux.Out.Occupancy()
 	for _, a := range auctions {
 		as := a.snapshot()
 		snap.Auctions = append(snap.Auctions, as)

@@ -29,9 +29,16 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"distauction/internal/metrics"
 	"distauction/internal/transport"
 	"distauction/internal/wire"
 )
+
+// ErrMuxClosed reports a send on a lane of a mux that has been closed. It
+// wraps transport.ErrClosed so transport-level callers keep matching, while
+// market callers can tell a whole-mux shutdown from an individually closed
+// lane.
+var ErrMuxClosed = fmt.Errorf("market: mux closed: %w", transport.ErrClosed)
 
 // AdmitFunc inspects one inbound envelope after lane demultiplexing (the
 // tag's Instance is already the block-local one) and reports whether it may
@@ -62,6 +69,13 @@ type Mux struct {
 	conn transport.Conn
 	self wire.NodeID
 
+	// out is the send path: a transport.Coalescer over conn when the
+	// transport can batch (all lanes' sends then coalesce per destination
+	// peer into superframes), conn itself otherwise.
+	out transport.Conn
+	// co is out's coalescer, nil when the transport cannot batch.
+	co *transport.Coalescer
+
 	// lanes is copy-on-write: dispatch (the per-message hot path, possibly
 	// many producer goroutines on a push transport) reads it with one atomic
 	// load; mu guards mutation.
@@ -72,6 +86,14 @@ type Mux struct {
 	parked      map[uint32][]wire.Envelope
 	parkedTotal int
 
+	// parkedDropped counts envelopes dropped because parking overflowed —
+	// the previously silent loss Market.Stats now surfaces.
+	parkedDropped metrics.Counter
+	// batchesIn / batchedEnvsIn count inbound superframes and the envelopes
+	// they carried (receive-side occupancy).
+	batchesIn     metrics.Counter
+	batchedEnvsIn metrics.Counter
+
 	closed   atomic.Bool
 	done     chan struct{}
 	loopDone chan struct{}
@@ -80,7 +102,10 @@ type Mux struct {
 
 // NewMux wraps conn. On a transport.PushConn inbound envelopes are
 // dispatched to lanes directly in the producing goroutines (lanes then run
-// in parallel); otherwise a pump goroutine drains Recv.
+// in parallel); whole superframes are dispatched in ONE call with the lane
+// fan-out inside (transport.PushBatchConn); otherwise a pump goroutine
+// drains Recv. On a transport.BatchConn, sends from all lanes coalesce per
+// destination peer into superframes.
 func NewMux(conn transport.Conn) *Mux {
 	m := &Mux{
 		conn:     conn,
@@ -89,15 +114,49 @@ func NewMux(conn transport.Conn) *Mux {
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
+	m.out = transport.Coalesce(conn)
+	if co, ok := m.out.(*transport.Coalescer); ok {
+		m.co = co
+	}
 	empty := make(map[uint32]*laneConn)
 	m.lanes.Store(&empty)
 	if pc, ok := conn.(transport.PushConn); ok {
 		close(m.loopDone)
 		pc.SetHandler(m.dispatch)
+		if pbc, ok := conn.(transport.PushBatchConn); ok {
+			pbc.SetBatchHandler(m.dispatchBatch)
+		}
 	} else {
 		go m.pump()
 	}
 	return m
+}
+
+// MuxStats is a mux's traffic counters beyond the transport's own.
+type MuxStats struct {
+	// ParkedDropped counts envelopes dropped by parking overflow (lanes that
+	// never opened, or a flood outpacing the bounds).
+	ParkedDropped int64
+	// Out is the outbound coalescing view: frames shipped, superframes among
+	// them, envelopes carried. Zero when the transport cannot batch.
+	Out transport.CoalesceStats
+	// BatchesIn and BatchedEnvsIn count inbound superframes and the
+	// envelopes they carried.
+	BatchesIn     int64
+	BatchedEnvsIn int64
+}
+
+// Stats returns the mux's counters.
+func (m *Mux) Stats() MuxStats {
+	st := MuxStats{
+		ParkedDropped: m.parkedDropped.Load(),
+		BatchesIn:     m.batchesIn.Load(),
+		BatchedEnvsIn: m.batchedEnvsIn.Load(),
+	}
+	if m.co != nil {
+		st.Out = m.co.Stats()
+	}
+	return st
 }
 
 // Self returns the underlying node ID (shared by every lane).
@@ -223,6 +282,49 @@ func (m *Mux) dispatch(env wire.Envelope) {
 	m.park(lane, env)
 }
 
+// dispatchBatch routes one inbound superframe in the producing goroutine:
+// one wakeup for the whole batch, with the lane fan-out inside. Consecutive
+// envelopes for the same lane are handed to it as one run, so a lane whose
+// user ingests batches (proto.Peer does) pays one dispatch hop per run
+// instead of one per envelope. The mux owns the slice (transports hand
+// ownership over) and filters admission-rejected envelopes in place.
+func (m *Mux) dispatchBatch(envs []wire.Envelope) {
+	m.batchesIn.Inc()
+	m.batchedEnvsIn.Add(int64(len(envs)))
+	gate := m.admit.Load()
+	i := 0
+	for i < len(envs) {
+		lane := wire.LaneOf(envs[i].Tag.Instance)
+		j := i
+		for j < len(envs) && wire.LaneOf(envs[j].Tag.Instance) == lane {
+			j++
+		}
+		run := envs[i:j]
+		for k := range run {
+			run[k].Tag.Instance = wire.LaneInstance(run[k].Tag.Instance)
+		}
+		if gate != nil {
+			kept := run[:0]
+			for _, env := range run {
+				if (*gate)(lane, env) {
+					kept = append(kept, env)
+				}
+			}
+			run = kept
+		}
+		if len(run) > 0 {
+			if lc, ok := (*m.lanes.Load())[lane]; ok {
+				lc.deliverBatch(run)
+			} else {
+				for _, env := range run {
+					m.park(lane, env)
+				}
+			}
+		}
+		i = j
+	}
+}
+
 // park buffers an envelope for a lane that is not open (yet). Bounded: a
 // lane that never opens costs at most maxParkedPerLane envelopes, the whole
 // mux at most maxParkedTotal.
@@ -241,7 +343,10 @@ func (m *Mux) park(lane uint32, env wire.Envelope) {
 	}
 	if len(m.parked[lane]) >= maxParkedPerLane || m.parkedTotal >= maxParkedTotal {
 		m.mu.Unlock()
-		return // drop; bid drops degrade to neutral, control traffic is retried
+		// Drop — bid drops degrade to neutral, control traffic is retried —
+		// but never silently: Market.Stats surfaces the counter.
+		m.parkedDropped.Inc()
+		return
 	}
 	m.parked[lane] = append(m.parked[lane], env)
 	m.parkedTotal++
@@ -252,28 +357,37 @@ func (m *Mux) park(lane uint32, env wire.Envelope) {
 // the tag; receives get lane-stripped envelopes from the mux. Close
 // detaches the lane only — the shared underlying connection stays up.
 type laneConn struct {
-	mux     *Mux
-	lane    uint32
-	handler atomic.Pointer[transport.Handler]
-	inbox   chan wire.Envelope
+	mux          *Mux
+	lane         uint32
+	handler      atomic.Pointer[transport.Handler]
+	batchHandler atomic.Pointer[transport.BatchHandler]
+	inbox        chan wire.Envelope
 
 	closeOnce sync.Once
 	done      chan struct{}
 }
 
 var (
-	_ transport.Conn     = (*laneConn)(nil)
-	_ transport.PushConn = (*laneConn)(nil)
+	_ transport.Conn          = (*laneConn)(nil)
+	_ transport.PushConn      = (*laneConn)(nil)
+	_ transport.PushBatchConn = (*laneConn)(nil)
 )
 
 // Self returns the node ID shared by all lanes of the mux.
 func (c *laneConn) Self() wire.NodeID { return c.mux.self }
 
 // Send stamps the lane into env's tag and transmits it on the shared
-// connection. A block-local instance wider than wire.InstanceBits cannot be
+// connection — through the mux's per-peer coalescer when the transport can
+// batch, so concurrent sends from any lanes to the same peer leave as one
+// superframe. A block-local instance wider than wire.InstanceBits cannot be
 // represented next to a lane and is rejected (the caller's round fails
-// loudly instead of silently corrupting another lane's traffic).
+// loudly instead of silently corrupting another lane's traffic). After
+// Mux.Close every send fails with ErrMuxClosed; a lane closed on its own
+// keeps returning transport.ErrClosed.
 func (c *laneConn) Send(env wire.Envelope) error {
+	if c.mux.closed.Load() {
+		return ErrMuxClosed
+	}
 	select {
 	case <-c.done:
 		return transport.ErrClosed
@@ -284,7 +398,13 @@ func (c *laneConn) Send(env wire.Envelope) error {
 			env.Tag.Instance, wire.MaxInstance)
 	}
 	env.Tag.Instance = wire.JoinLane(c.lane, env.Tag.Instance)
-	return c.mux.conn.Send(env)
+	err := c.mux.out.Send(env)
+	if err != nil && c.mux.closed.Load() {
+		// The send raced Mux.Close; name the real cause instead of whatever
+		// state the half-torn-down lane table produced.
+		return ErrMuxClosed
+	}
+	return err
 }
 
 // Recv blocks for the lane's next envelope.
@@ -308,6 +428,12 @@ func (c *laneConn) Recv(ctx context.Context) (wire.Envelope, error) {
 func (c *laneConn) SetHandler(h transport.Handler) {
 	c.handler.Store(&h)
 	c.drainInto(&h)
+}
+
+// SetBatchHandler installs a handler receiving whole same-lane runs of a
+// superframe in one call each (see transport.PushBatchConn).
+func (c *laneConn) SetBatchHandler(h transport.BatchHandler) {
+	c.batchHandler.Store(&h)
 }
 
 func (c *laneConn) drainInto(h *transport.Handler) {
@@ -346,6 +472,24 @@ func (c *laneConn) deliver(env wire.Envelope) {
 	}
 	if h := c.handler.Load(); h != nil {
 		c.drainInto(h)
+	}
+}
+
+// deliverBatch hands a same-lane run of an inbound superframe to the lane —
+// one call into the batch handler when installed (proto.Peer's batch
+// ingest), envelope by envelope otherwise.
+func (c *laneConn) deliverBatch(envs []wire.Envelope) {
+	if bh := c.batchHandler.Load(); bh != nil {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		(*bh)(envs)
+		return
+	}
+	for _, env := range envs {
+		c.deliver(env)
 	}
 }
 

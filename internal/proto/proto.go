@@ -213,6 +213,11 @@ func NewPeer(conn transport.Conn, providers []wire.NodeID) *Peer {
 	if pc, ok := conn.(transport.PushConn); ok {
 		close(p.loopDone) // no routing loop to wait for
 		pc.SetHandler(func(env wire.Envelope) { p.handle(env.From, env.Tag, env.Payload) })
+		if pbc, ok := conn.(transport.PushBatchConn); ok {
+			// Superframes arrive as one call per batch; ingest runs of
+			// same-shard messages under a single lock acquisition.
+			pbc.SetBatchHandler(p.handleBatch)
+		}
 	} else {
 		go p.runLoop()
 	}
@@ -321,6 +326,101 @@ func (p *Peer) handle(from wire.NodeID, tag wire.Tag, payload []byte) {
 	sh.mu.Unlock()
 	for _, ch := range ws {
 		ch <- payload // buffered channel of size 1; never blocks
+	}
+}
+
+// handleBatch ingests one superframe's envelopes in the producing
+// goroutine: a single dispatch hop for the whole batch. Consecutive
+// messages whose rounds share a shard are ingested under ONE lock
+// acquisition — a burst of protocol steps for the same round (the common
+// superframe content) pays one lock instead of one per message. Control
+// (abort) messages take the ordinary path, so a ⊥ riding a superframe
+// behaves exactly as it would alone.
+//
+// Payloads are buffered as-is: on stream transports they are views into
+// the received frame, so one buffered envelope pins its whole frame until
+// the round retires — the same zero-copy trade the per-envelope view
+// decode made in PR 2, scaled by the batch and bounded by the coalescer's
+// byte cap (transport.maxCoalesceBytes).
+func (p *Peer) handleBatch(envs []wire.Envelope) {
+	i := 0
+	for i < len(envs) {
+		e := &envs[i]
+		if e.Tag.Block == wire.BlockControl {
+			p.handle(e.From, e.Tag, e.Payload)
+			i++
+			continue
+		}
+		sh := p.shardFor(e.Tag.Round)
+		j := i + 1
+		for j < len(envs) && envs[j].Tag.Block != wire.BlockControl && p.shardFor(envs[j].Tag.Round) == sh {
+			j++
+		}
+		p.ingestRun(sh, envs[i:j])
+		i = j
+	}
+}
+
+// batchWake defers a waiter notification out of the shard lock.
+type batchWake struct {
+	ch      chan []byte
+	payload []byte
+}
+
+// batchEquiv defers an equivocation reaction out of the shard lock.
+type batchEquiv struct {
+	round  uint64
+	from   wire.NodeID
+	reason string
+}
+
+// ingestRun buffers a run of same-shard messages under one lock hold,
+// performing exactly the per-message work of handle; wakeups and
+// equivocation reactions run after the lock drops (handle's own ordering).
+func (p *Peer) ingestRun(sh *shard, run []wire.Envelope) {
+	if p.closed.Load() {
+		return
+	}
+	var wakes []batchWake
+	var equivs []batchEquiv
+	sh.mu.Lock()
+	if p.closed.Load() {
+		sh.mu.Unlock()
+		return
+	}
+	min := p.minRound.Load()
+	for k := range run {
+		e := &run[k]
+		if e.Tag.Round < min {
+			continue
+		}
+		rs := sh.roundLocked(e.Tag.Round)
+		key := keyOf(e.Tag, e.From)
+		if prev, ok := rs.buffered[key]; ok {
+			if !bytes.Equal(prev, e.Payload) {
+				equivs = append(equivs, batchEquiv{
+					round:  e.Tag.Round,
+					from:   e.From,
+					reason: fmt.Sprintf("equivocation by %d on %v", e.From, e.Tag),
+				})
+			}
+			continue
+		}
+		rs.buffered[key] = e.Payload
+		if ws := rs.waiters[key]; len(ws) > 0 {
+			delete(rs.waiters, key)
+			for _, ch := range ws {
+				wakes = append(wakes, batchWake{ch: ch, payload: e.Payload})
+			}
+		}
+	}
+	sh.mu.Unlock()
+	for _, w := range wakes {
+		w.ch <- w.payload // buffered channel of size 1; never blocks
+	}
+	for _, q := range equivs {
+		p.markAborted(q.round, p.self, q.reason)
+		_ = p.broadcastAbort(q.round, q.reason)
 	}
 }
 

@@ -1,0 +1,253 @@
+package transport
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"distauction/internal/wire"
+)
+
+// maxCoalesce bounds the envelopes per shipped superframe. Batches normally
+// stay far smaller (they only grow while senders are concurrently queued);
+// the cap keeps a pathological burst's frame bounded well under
+// wire.MaxSuperframeEnvs.
+const maxCoalesce = 128
+
+// maxCoalesceBytes bounds a superframe's accumulated payload bytes. Two
+// individually legal jumbo envelopes must not coalesce into a frame that
+// wire.MaxFrameLen would reject where the separate sends would each have
+// succeeded; the cap also bounds how much memory one decoded frame can pin
+// on the receive side while a buffered envelope waits for its round.
+const maxCoalesceBytes = 128 << 10
+
+// CoalesceStats counts a coalescer's outbound traffic.
+type CoalesceStats struct {
+	// Frames is every ship: superframes and singleton envelopes alike.
+	Frames int64
+	// Superframes is the ships that carried more than one envelope.
+	Superframes int64
+	// Envelopes is the total envelopes shipped.
+	Envelopes int64
+}
+
+// Occupancy returns the average envelopes per shipped frame (0 before any
+// traffic). 1.0 means coalescing never found a concurrent companion; the
+// amortisation win grows with this number.
+func (s CoalesceStats) Occupancy() float64 {
+	if s.Frames == 0 {
+		return 0
+	}
+	return float64(s.Envelopes) / float64(s.Frames)
+}
+
+// Coalescer wraps a BatchConn and gathers concurrent same-destination sends
+// into superframes. The flush policy is last-writer-flushes at envelope
+// granularity (the envelope-level analogue of the TCP transport's byte
+// coalescing): a Send appends to the destination peer's open batch, and the
+// last concurrent appender detaches and ships it. An isolated send thus
+// still leaves in one hop with zero added latency — there is no flush timer
+// — while an m²-burst to a peer costs O(1) frames instead of O(m²).
+//
+// Ships happen outside the per-peer lock, so a transport that delivers
+// synchronously (the zero-latency Hub) can invoke receive handlers — which
+// may themselves send — without lock cycles. Batches to one peer may
+// therefore ship out of order, which the asynchronous model already
+// requires every receiver to tolerate.
+type Coalescer struct {
+	conn BatchConn
+
+	// peers is copy-on-write (the Mux.lanes / Hub.nodes pattern): the
+	// per-send lookup is one atomic load, mu only guards the rare insert of
+	// a new destination.
+	peers atomic.Pointer[map[wire.NodeID]*peerCoalescer]
+	mu    sync.Mutex
+
+	frames      atomic.Int64
+	superframes atomic.Int64
+	envelopes   atomic.Int64
+}
+
+// peerCoalescer is one destination's open batch. queued counts senders
+// committed to appending (incremented before taking mu), so the appender
+// that brings it back to zero knows no concurrent companion follows and
+// ships the batch.
+type peerCoalescer struct {
+	queued atomic.Int64
+	mu     sync.Mutex
+	open   *pendingBatch
+}
+
+// pendingBatch accumulates envelopes until shipped; done closes once the
+// ship's outcome is in err, so every appender observes the fate of the
+// frame that carried its envelope.
+type pendingBatch struct {
+	envs  []wire.Envelope
+	bytes int // accumulated payload bytes, bounded by maxCoalesceBytes
+	done  chan struct{}
+	err   error
+}
+
+var (
+	_ Conn     = (*Coalescer)(nil)
+	_ PushConn = (*Coalescer)(nil)
+)
+
+// NewCoalescer wraps conn. The coalescer owns no goroutines; Close simply
+// closes conn.
+func NewCoalescer(conn BatchConn) *Coalescer {
+	c := &Coalescer{conn: conn}
+	empty := make(map[wire.NodeID]*peerCoalescer)
+	c.peers.Store(&empty)
+	return c
+}
+
+// Coalesce wraps conn in a Coalescer when the transport can batch, and
+// returns conn unchanged otherwise — so callers (sessions, muxes) opt in
+// without caring which transport they run over.
+func Coalesce(conn Conn) Conn {
+	if bc, ok := conn.(BatchConn); ok {
+		return NewCoalescer(bc)
+	}
+	return conn
+}
+
+// Stats returns the coalescer's outbound counters.
+func (c *Coalescer) Stats() CoalesceStats {
+	return CoalesceStats{
+		Frames:      c.frames.Load(),
+		Superframes: c.superframes.Load(),
+		Envelopes:   c.envelopes.Load(),
+	}
+}
+
+// Self returns the underlying node ID.
+func (c *Coalescer) Self() wire.NodeID { return c.conn.Self() }
+
+// Recv delegates to the underlying connection.
+func (c *Coalescer) Recv(ctx context.Context) (wire.Envelope, error) { return c.conn.Recv(ctx) }
+
+// Close closes the underlying connection. In-flight batches fail with the
+// transport's close error.
+func (c *Coalescer) Close() error { return c.conn.Close() }
+
+// SetHandler delegates push delivery to the underlying connection.
+func (c *Coalescer) SetHandler(h Handler) {
+	if pc, ok := c.conn.(PushConn); ok {
+		pc.SetHandler(h)
+	}
+}
+
+// SetBatchHandler delegates batch push delivery to the underlying
+// connection.
+func (c *Coalescer) SetBatchHandler(h BatchHandler) {
+	if pbc, ok := c.conn.(PushBatchConn); ok {
+		pbc.SetBatchHandler(h)
+	}
+}
+
+// peer returns the destination's coalescer, creating it on first use.
+func (c *Coalescer) peer(id wire.NodeID) *peerCoalescer {
+	if pc, ok := (*c.peers.Load())[id]; ok {
+		return pc
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.peers.Load()
+	if pc, ok := old[id]; ok {
+		return pc
+	}
+	pc := &peerCoalescer{}
+	next := make(map[wire.NodeID]*peerCoalescer, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[id] = pc
+	c.peers.Store(&next)
+	return pc
+}
+
+// Send appends env to the destination peer's open batch; the last
+// concurrent appender ships the batch and every appender returns the
+// outcome of the frame that carried its envelope.
+//
+// Before sealing, the would-be shipper yields the processor once. Sends of
+// a peer-burst are usually *runnable* together rather than *running*
+// together — one inbound frame wakes many session goroutines that each send
+// within microseconds — and on a small host they run back to back, so
+// without the yield each would find the batch empty of companions and ship
+// alone. The yield lets every already-runnable sender append first, then
+// ships one superframe for the lot. An isolated send pays one scheduler
+// pass through an empty run queue — nanoseconds — and still leaves
+// immediately; no flush timer exists anywhere on this path.
+func (c *Coalescer) Send(env wire.Envelope) error {
+	if env.To == wire.Broadcast {
+		return c.conn.Send(env) // not a single destination; nothing to coalesce
+	}
+	pc := c.peer(env.To)
+	pc.queued.Add(1)
+	pc.mu.Lock()
+	// A batch at either cap — envelope count or payload bytes — is detached
+	// and shipped immediately; the appender that detached it starts a fresh
+	// batch for its own envelope.
+	var full *pendingBatch
+	if pc.open != nil &&
+		(len(pc.open.envs) >= maxCoalesce || pc.open.bytes+len(env.Payload) > maxCoalesceBytes) {
+		full = pc.open
+		pc.open = nil
+	}
+	pb := pc.open
+	if pb == nil {
+		pb = &pendingBatch{done: make(chan struct{})}
+		pc.open = pb
+	}
+	pb.envs = append(pb.envs, env)
+	pb.bytes += len(env.Payload)
+	pending := pc.queued.Add(-1) > 0
+	pc.mu.Unlock()
+	if full != nil {
+		full.err = c.ship(full.envs)
+		close(full.done)
+	}
+	if pending {
+		// A committed successor (queued was > 0) will take the lock and
+		// either ship pb or wait behind yet another successor; induction
+		// bottoms out at a successor that finds no further company, and the
+		// cap bounds how long a batch can keep growing.
+		<-pb.done
+		return pb.err
+	}
+	runtime.Gosched()
+	pc.mu.Lock()
+	if pc.open != pb {
+		// Someone who appended during the yield already sealed the batch
+		// (or detached it at the cap): its ship covers our envelope.
+		pc.mu.Unlock()
+		<-pb.done
+		return pb.err
+	}
+	if pc.queued.Load() > 0 {
+		// New senders are committed to appending; hand the seal to them.
+		pc.mu.Unlock()
+		<-pb.done
+		return pb.err
+	}
+	pc.open = nil
+	pc.mu.Unlock()
+	pb.err = c.ship(pb.envs)
+	close(pb.done)
+	return pb.err
+}
+
+// ship transmits one detached batch: a singleton as a plain envelope (the
+// per-envelope MAC fallback), anything larger as one superframe.
+func (c *Coalescer) ship(envs []wire.Envelope) error {
+	c.frames.Add(1)
+	c.envelopes.Add(int64(len(envs)))
+	if len(envs) == 1 {
+		return c.conn.Send(envs[0])
+	}
+	c.superframes.Add(1)
+	return c.conn.SendBatch(envs)
+}

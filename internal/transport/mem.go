@@ -161,12 +161,53 @@ func (h *Hub) deliver(env wire.Envelope) error {
 	return nil
 }
 
+// deliverBatch routes one superframe to its destination after ONE modelled
+// delay: the latency model is charged per frame (base + jitter once,
+// serialisation on the batch's total bytes), not per envelope, and the
+// whole batch arrives in one push — exactly the amortisation a real link
+// gets from writing one frame.
+func (h *Hub) deliverBatch(envs []wire.Envelope) error {
+	if h.closed.Load() {
+		return ErrClosed
+	}
+	to := envs[0].To
+	size := 0
+	for i := range envs {
+		size += len(envs[i].Payload)
+	}
+	dst, ok := (*h.nodes.Load())[to]
+	if !ok {
+		return fmt.Errorf("transport: unknown destination %d", to)
+	}
+	var delay time.Duration
+	if !h.model.Zero() {
+		h.mu.Lock()
+		delay = h.model.Delay(size, h.rng)
+		h.mu.Unlock()
+	}
+
+	h.stats.MsgsSent.Add(int64(len(envs)))
+	h.stats.BytesSent.Add(int64(size))
+
+	if delay == 0 {
+		dst.pushBatch(envs)
+		return nil
+	}
+	h.timers.Add(1)
+	time.AfterFunc(delay, func() {
+		defer h.timers.Done()
+		dst.pushBatch(envs)
+	})
+	return nil
+}
+
 // MemConn is a node's attachment to a Hub.
 type MemConn struct {
-	hub     *Hub
-	id      wire.NodeID
-	inbox   chan wire.Envelope
-	handler atomic.Pointer[Handler]
+	hub          *Hub
+	id           wire.NodeID
+	inbox        chan wire.Envelope
+	handler      atomic.Pointer[Handler]
+	batchHandler atomic.Pointer[BatchHandler]
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -175,8 +216,10 @@ type MemConn struct {
 }
 
 var (
-	_ Conn     = (*MemConn)(nil)
-	_ PushConn = (*MemConn)(nil)
+	_ Conn          = (*MemConn)(nil)
+	_ PushConn      = (*MemConn)(nil)
+	_ BatchConn     = (*MemConn)(nil)
+	_ PushBatchConn = (*MemConn)(nil)
 )
 
 // Self returns the local node ID.
@@ -198,6 +241,32 @@ func (c *MemConn) Send(env wire.Envelope) error {
 	c.stats.MsgsSent.Add(1)
 	c.stats.BytesSent.Add(int64(len(env.Payload)))
 	return c.hub.deliver(env)
+}
+
+// SendBatch queues a whole superframe — envelopes for ONE destination — for
+// delivery as a single frame: one latency-model event, one push.
+func (c *MemConn) SendBatch(envs []wire.Envelope) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	if len(envs) == 0 {
+		return nil
+	}
+	size := 0
+	for i := range envs {
+		if envs[i].From != c.id {
+			return fmt.Errorf("transport: sending as %d from conn %d", envs[i].From, c.id)
+		}
+		if envs[i].To != envs[0].To {
+			return fmt.Errorf("transport: superframe mixes destinations %d and %d", envs[0].To, envs[i].To)
+		}
+		size += len(envs[i].Payload)
+	}
+	c.stats.MsgsSent.Add(int64(len(envs)))
+	c.stats.BytesSent.Add(int64(size))
+	return c.hub.deliverBatch(envs)
 }
 
 // Recv blocks for the next envelope, the context, or Close.
@@ -232,6 +301,12 @@ func (c *MemConn) Close() error {
 func (c *MemConn) SetHandler(h Handler) {
 	c.handler.Store(&h)
 	c.drainInto(&h)
+}
+
+// SetBatchHandler installs a handler receiving whole inbound superframes in
+// one call each; without one, batches degrade to per-envelope delivery.
+func (c *MemConn) SetBatchHandler(h BatchHandler) {
+	c.batchHandler.Store(&h)
 }
 
 // drainInto empties whatever is queued in the inbox into the handler. Safe
@@ -275,5 +350,29 @@ func (c *MemConn) push(env wire.Envelope) {
 	// ourselves — each queued message is channel-received exactly once.
 	if h := c.handler.Load(); h != nil {
 		c.drainInto(h)
+	}
+}
+
+// pushBatch delivers one inbound superframe: one call into the batch
+// handler when installed (the receiver fans out inside), otherwise envelope
+// by envelope through the usual path.
+func (c *MemConn) pushBatch(envs []wire.Envelope) {
+	if bh := c.batchHandler.Load(); bh != nil {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		size := 0
+		for i := range envs {
+			size += len(envs[i].Payload)
+		}
+		c.stats.MsgsReceived.Add(int64(len(envs)))
+		c.stats.BytesReceived.Add(int64(size))
+		(*bh)(envs)
+		return
+	}
+	for _, env := range envs {
+		c.push(env)
 	}
 }

@@ -38,10 +38,11 @@ type TCPConfig struct {
 // each envelope carries an HMAC under the pairwise key of (From, To), so no
 // connection handshake is needed and connections are interchangeable.
 type TCPNode struct {
-	cfg     TCPConfig
-	ln      net.Listener
-	inbox   chan wire.Envelope
-	handler atomic.Pointer[Handler]
+	cfg          TCPConfig
+	ln           net.Listener
+	inbox        chan wire.Envelope
+	handler      atomic.Pointer[Handler]
+	batchHandler atomic.Pointer[BatchHandler]
 
 	mu       sync.Mutex
 	outbound map[wire.NodeID]*tcpOut
@@ -192,6 +193,10 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		if wire.IsSuperframe(frame) {
+			n.ingestSuperframe(frame)
+			continue
+		}
 		// The frame buffer is owned by this loop and never reused, so the
 		// envelope's payload can alias it instead of being copied out.
 		env, err := wire.DecodeEnvelopeView(frame)
@@ -210,23 +215,70 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		}
 		n.stats.MsgsReceived.Add(1)
 		n.stats.BytesReceived.Add(int64(len(env.Payload)))
-		if h := n.handler.Load(); h != nil {
-			// Push mode: dispatch in this connection's read goroutine, so
-			// inbound traffic from different peers is handled in parallel.
-			(*h)(env)
-			continue
-		}
-		select {
-		case n.inbox <- env:
-		case <-n.done:
+		if !n.deliverEnvelope(env) {
 			return
 		}
-		// A handler installed between the nil check above and the enqueue
-		// would never look at the inbox again; re-check and drain so the
-		// message cannot be stranded (each one is received exactly once,
-		// here or in SetHandler's drain).
-		if h := n.handler.Load(); h != nil {
-			n.drainInto(h)
+	}
+}
+
+// deliverEnvelope hands one inbound envelope to the handler (push mode: in
+// the calling read goroutine, so inbound traffic from different peers is
+// handled in parallel) or the Recv inbox. It returns false when the node is
+// shutting down.
+func (n *TCPNode) deliverEnvelope(env wire.Envelope) bool {
+	if h := n.handler.Load(); h != nil {
+		(*h)(env)
+		return true
+	}
+	select {
+	case n.inbox <- env:
+	case <-n.done:
+		return false
+	}
+	// A handler installed between the nil check above and the enqueue would
+	// never look at the inbox again; re-check and drain so the message
+	// cannot be stranded (each one is received exactly once, here or in
+	// SetHandler's drain).
+	if h := n.handler.Load(); h != nil {
+		n.drainInto(h)
+	}
+	return true
+}
+
+// ingestSuperframe decodes, authenticates (ONE batch MAC check) and
+// dispatches one inbound superframe. The whole batch is handed to the batch
+// handler in this connection's read goroutine — one dispatch hop per
+// superframe — falling back to per-envelope delivery when no batch handler
+// is installed. A bad batch MAC drops the frame and counts once in Dropped;
+// auth.VerifyBatch already attributed it as finely as the frame allows.
+func (n *TCPNode) ingestSuperframe(frame []byte) {
+	sf, err := wire.DecodeSuperframeView(frame)
+	if err != nil {
+		n.Dropped.Add(1)
+		return
+	}
+	if n.cfg.Registry != nil {
+		if err := n.cfg.Registry.VerifyBatchView(&sf, frame); err != nil {
+			n.Dropped.Add(1)
+			return
+		}
+	} else if sf.To != n.cfg.Self {
+		n.Dropped.Add(1)
+		return
+	}
+	size := 0
+	for i := range sf.Envs {
+		size += len(sf.Envs[i].Payload)
+	}
+	n.stats.MsgsReceived.Add(int64(len(sf.Envs)))
+	n.stats.BytesReceived.Add(int64(size))
+	if bh := n.batchHandler.Load(); bh != nil {
+		(*bh)(sf.Envs)
+		return
+	}
+	for _, env := range sf.Envs {
+		if !n.deliverEnvelope(env) {
+			return
 		}
 	}
 }
@@ -237,6 +289,12 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 func (n *TCPNode) SetHandler(h Handler) {
 	n.handler.Store(&h)
 	n.drainInto(&h)
+}
+
+// SetBatchHandler installs a handler receiving whole inbound superframes in
+// one call each; without one, batches degrade to per-envelope delivery.
+func (n *TCPNode) SetBatchHandler(h BatchHandler) {
+	n.batchHandler.Store(&h)
 }
 
 // drainInto empties queued envelopes into the handler; safe to call
@@ -252,7 +310,11 @@ func (n *TCPNode) drainInto(h *Handler) {
 	}
 }
 
-var _ PushConn = (*TCPNode)(nil)
+var (
+	_ PushConn      = (*TCPNode)(nil)
+	_ BatchConn     = (*TCPNode)(nil)
+	_ PushBatchConn = (*TCPNode)(nil)
+)
 
 // Send signs (when configured) and transmits env to its destination,
 // dialing or reusing a connection. A stale connection is retried once.
@@ -274,24 +336,83 @@ func (n *TCPNode) Send(env wire.Envelope) error {
 	// connection's write buffer or the kernel), so the encoder is pooled.
 	enc := wire.GetEncoder(env.EncodedSize())
 	env.EncodeTo(enc)
-	raw := enc.Buffer()
-	defer wire.PutEncoder(enc)
+	err := n.writeRetry(env.To, enc.Buffer())
+	wire.PutEncoder(enc)
+	if err == nil {
+		n.stats.MsgsSent.Add(1)
+		n.stats.BytesSent.Add(int64(len(env.Payload)))
+	}
+	return err
+}
+
+// SendBatch signs (ONE batch MAC, when configured) and transmits a whole
+// superframe to its destination as a single wire frame. Every envelope must
+// share the batch's destination; singletons fall back to Send and its
+// per-envelope MAC, so a lone message never pays the superframe framing.
+func (n *TCPNode) SendBatch(envs []wire.Envelope) error {
+	select {
+	case <-n.done:
+		return ErrClosed
+	default:
+	}
+	if len(envs) == 0 {
+		return nil
+	}
+	if len(envs) == 1 {
+		return n.Send(envs[0])
+	}
+	size := 0
+	for i := range envs {
+		if envs[i].From != n.cfg.Self {
+			return fmt.Errorf("transport: sending as %d from node %d", envs[i].From, n.cfg.Self)
+		}
+		if envs[i].To != envs[0].To {
+			return fmt.Errorf("transport: superframe mixes destinations %d and %d", envs[0].To, envs[i].To)
+		}
+		size += len(envs[i].Payload)
+	}
+	// One encode serves both framing and authentication: the batch MAC is
+	// computed directly over the encoded signed bytes and appended, instead
+	// of encoding once to sign and again to frame. The size hint includes
+	// the MAC that is about to be installed, so appending it never regrows
+	// (and memmoves) the encoded frame.
+	sf := wire.Superframe{From: n.cfg.Self, To: envs[0].To, Envs: envs}
+	enc := wire.GetEncoder(sf.EncodedSize() + 1 + auth.KeySize)
+	sf.SignedBytesTo(enc)
+	if n.cfg.Registry != nil {
+		var sum [auth.KeySize]byte
+		if err := n.cfg.Registry.SignBatchBytes(sf.To, enc.Buffer(), &sum); err != nil {
+			wire.PutEncoder(enc)
+			return fmt.Errorf("transport: %w", err)
+		}
+		sf.MAC = sum[:]
+	}
+	enc.Bytes(sf.MAC)
+	err := n.writeRetry(sf.To, enc.Buffer())
+	wire.PutEncoder(enc)
+	if err == nil {
+		n.stats.MsgsSent.Add(int64(len(envs)))
+		n.stats.BytesSent.Add(int64(size))
+	}
+	return err
+}
+
+// writeRetry writes one raw frame to the peer's connection, redialing a
+// stale connection once.
+func (n *TCPNode) writeRetry(to wire.NodeID, raw []byte) error {
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		out, err := n.conn(env.To, attempt > 0)
+		out, err := n.conn(to, attempt > 0)
 		if err != nil {
 			return err
 		}
-		err = out.writeFrame(raw)
-		if err == nil {
-			n.stats.MsgsSent.Add(1)
-			n.stats.BytesSent.Add(int64(len(env.Payload)))
+		if err = out.writeFrame(raw); err == nil {
 			return nil
 		}
 		lastErr = err
-		n.dropConn(env.To, out)
+		n.dropConn(to, out)
 	}
-	return fmt.Errorf("transport: send to %d: %w", env.To, lastErr)
+	return fmt.Errorf("transport: send to %d: %w", to, lastErr)
 }
 
 // conn returns the outbound connection for id, dialing if absent or if

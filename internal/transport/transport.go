@@ -56,6 +56,34 @@ type PushConn interface {
 	SetHandler(h Handler)
 }
 
+// BatchConn is implemented by transports that can ship a batch of envelopes
+// to ONE destination peer as a single superframe: one wire frame, one MAC,
+// one latency-model event. Every envelope must carry the same To (and the
+// local From); batching is transport-level only — each envelope inside the
+// superframe is byte-for-byte what it would be alone. SendBatch takes
+// ownership of the slice. Use a Coalescer to gather concurrent sends into
+// batches; SendBatch itself ships immediately.
+type BatchConn interface {
+	Conn
+	SendBatch(envs []wire.Envelope) error
+}
+
+// BatchHandler consumes one inbound superframe's envelopes in a single
+// call — one dispatch hop per batch, with any fan-out done inside by the
+// receiver. Like Handler it runs on the producing goroutine and must be
+// safe for concurrent calls. The handler takes ownership of the slice.
+type BatchHandler func(envs []wire.Envelope)
+
+// PushBatchConn is implemented by push transports that can deliver a whole
+// inbound superframe in one dispatch. After SetBatchHandler, superframes go
+// to the batch handler; envelopes outside any superframe still go to the
+// regular Handler (or Recv). A receiver that installs a batch handler
+// should install a regular handler too.
+type PushBatchConn interface {
+	PushConn
+	SetBatchHandler(h BatchHandler)
+}
+
 // Stats counts traffic through a connection or hub.
 type Stats struct {
 	MsgsSent      atomic.Int64
