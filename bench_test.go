@@ -536,6 +536,63 @@ func BenchmarkMarketThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkFederationThroughput measures aggregate rounds/s of the sharded
+// federation as a function of the shard count: 64 double auctions
+// partitioned over S committees of 3 providers each (disjoint fleets, 10
+// bidders joined to every auction through one federated attachment each)
+// under the community-network latency model. The 1-shard point deploys the
+// identical topology as BenchmarkMarketThroughput's 64-auction case — the
+// unsharded baseline — so the shards axis isolates what partitioning the
+// catalog buys. On a single-core host protocol CPU does not shrink with
+// sharding, so this curve mostly reflects past-saturation congestion
+// relief; see EXPERIMENTS.md for the multicore argument.
+func BenchmarkFederationThroughput(b *testing.B) {
+	const auctions, rounds = 64, 40
+	lat := transport.CommunityNetModel()
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d/auctions=%d/m=3/n=10", shards, auctions), func(b *testing.B) {
+			var totalRounds int
+			var totalTime time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunFederationDouble(shards, auctions, rounds,
+					harness.WithProviders(3), harness.WithUsers(10), harness.WithK(1),
+					harness.WithSeed(uint64(i+1)), harness.WithLatency(lat),
+					harness.WithBidWindow(10*time.Second),
+					harness.WithPipelineDepth(4),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Accepted != auctions*rounds {
+					b.Fatalf("accepted %d of %d rounds", res.Accepted, auctions*rounds)
+				}
+				if res.BidsDropped != 0 {
+					b.Fatalf("admission dropped %d bids; the workload degenerated", res.BidsDropped)
+				}
+				if res.ParkedDropped != 0 {
+					b.Fatalf("mux dropped %d parked envelopes", res.ParkedDropped)
+				}
+				if res.ResidualMsgs != 0 || res.ResidualRounds != 0 {
+					b.Fatalf("protocol state grew: %d msgs, %d rounds left",
+						res.ResidualMsgs, res.ResidualRounds)
+				}
+				if len(res.PerShard) != shards {
+					b.Fatalf("shard rollup has %d entries, want %d", len(res.PerShard), shards)
+				}
+				for _, ss := range res.PerShard {
+					if !ss.Healthy || ss.Saturation != 0 {
+						b.Fatalf("shard %d unhealthy: %+v", ss.Shard, ss)
+					}
+				}
+				totalRounds += res.Rounds
+				totalTime += res.Duration
+			}
+			b.ReportMetric(float64(totalRounds)/totalTime.Seconds(), "rounds/s")
+		})
+	}
+}
+
 // BenchmarkReplicatedVsParallel ablates the standard auction's task
 // decomposition: the same auction executed replicated (every provider runs
 // everything — full resilience, no speedup) vs decomposed (k=1, p=4).

@@ -39,6 +39,7 @@ import (
 	"distauction/internal/auction"
 	"distauction/internal/cliutil"
 	"distauction/internal/core"
+	"distauction/internal/federation"
 	"distauction/internal/fixed"
 	"distauction/internal/market"
 	"distauction/internal/metrics"
@@ -57,9 +58,10 @@ func main() {
 	roundTimeout := flag.Duration("round-timeout", 2*time.Minute, "per-round deadline")
 
 	// Hub demo knobs.
-	m := flag.Int("m", 3, "hub mode: number of providers")
+	m := flag.Int("m", 3, "hub mode: number of providers (per shard when -shards > 1)")
 	n := flag.Int("n", 4, "hub mode: number of bidders (joined to every auction)")
 	seed := flag.Uint64("seed", 1, "hub mode: workload seed")
+	shards := flag.Int("shards", 1, "hub mode: partition the catalog over this many provider committees")
 
 	// TCP daemon knobs.
 	id := flag.Uint("id", 0, "tcp mode: this provider's node id")
@@ -73,7 +75,9 @@ func main() {
 
 	specs, err := parseAuctions(*auctionsFlag)
 	if err == nil {
-		if *hubMode {
+		if *hubMode && *shards > 1 {
+			err = runHubFederated(specs, *shards, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout)
+		} else if *hubMode {
 			err = runHub(specs, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout)
 		} else {
 			err = runTCP(specs, uint32(*id), *listen, *providersFlag, *usersFlag, *k, *pipeline,
@@ -240,6 +244,182 @@ func runHub(specs []namedLane, m, n, k, pipeline int, rounds, seed uint64,
 	}
 	printStats(markets[0].Stats())
 	return nil
+}
+
+// runHubFederated is the sharded demo: the same catalog partitioned over
+// `shards` disjoint provider committees of m nodes each behind one
+// federated façade, bidders joined through one attachment apiece.
+func runHubFederated(specs []namedLane, shards, m, n, k, pipeline int, rounds, seed uint64,
+	bidWindow, roundTimeout time.Duration) error {
+	if rounds == 0 {
+		return fmt.Errorf("hub mode needs -rounds > 0")
+	}
+	if shards > federation.MaxShards {
+		return fmt.Errorf("-shards %d exceeds the %d-shard lane band", shards, federation.MaxShards)
+	}
+	hub := transport.NewHub(transport.CommunityNetModel(), int64(seed))
+	defer hub.Close()
+
+	fedSpecs := make([]federation.ShardSpec, shards)
+	for s := range fedSpecs {
+		committee := make([]wire.NodeID, m)
+		for i := range committee {
+			committee[i] = wire.NodeID(s*m + i + 1)
+		}
+		fedSpecs[s] = federation.ShardSpec{Index: s + 1, Providers: committee}
+	}
+	userIDs := make([]wire.NodeID, n)
+	for i := range userIDs {
+		userIDs[i] = wire.NodeID(1001 + i)
+	}
+
+	window := int(min(rounds+uint64(pipeline)+2, 1<<20))
+	fed, err := federation.Open(hub, fedSpecs,
+		federation.WithMarketOptions(market.WithAdmissionWindow(window)))
+	if err != nil {
+		return err
+	}
+	defer fed.Close()
+
+	insts := make([]workload.DoubleAuctionInstance, len(specs))
+	for j, nl := range specs {
+		if nl.lane > federation.MaxLocalLane {
+			return fmt.Errorf("auction %q: sharded lanes are local, max %d", nl.name, federation.MaxLocalLane)
+		}
+		inst := workload.NewDoubleAuction(seed+uint64(j)*104729, n, m)
+		insts[j] = inst
+		err := fed.OpenAuction(federation.AuctionSpec{
+			Name:      nl.name,
+			LocalLane: nl.lane, // 0 derives; placement is routed
+			Users:     userIDs,
+			Options: []core.SessionOption{
+				core.WithK(k),
+				core.WithMechanismName("double"),
+				core.WithBidWindow(bidWindow),
+				core.WithRoundTimeout(roundTimeout),
+				core.WithMaxConcurrentRounds(pipeline),
+				core.WithRoundLimit(rounds),
+				core.WithOutcomeBuffer(int(min(rounds, 1024))),
+			},
+			MemberOptions: func(i int, _ wire.NodeID) []core.SessionOption {
+				return []core.SessionOption{core.WithProviderBid(inst.Providers[i])}
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("marketd: federated hub demo — %d auctions over %d shards × %d providers, %d bidders, %d rounds each\n",
+		len(specs), shards, m, n, rounds)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, n*len(specs))
+	for i, uid := range userIDs {
+		conn, err := hub.Attach(uid)
+		if err != nil {
+			return err
+		}
+		fb, err := federation.NewBidder(conn, fedSpecs)
+		if err != nil {
+			return err
+		}
+		defer fb.Close()
+		for j, nl := range specs {
+			shard, lane, err := fed.Place(nl.name)
+			if err != nil {
+				return err
+			}
+			_, local := federation.SplitLane(lane)
+			s, err := fb.JoinOn(nl.name, shard, local,
+				core.WithRoundLimit(rounds),
+				core.WithRoundTimeout(roundTimeout))
+			if err != nil {
+				return err
+			}
+			wg.Add(1)
+			go func(i, j int, name string, s *core.BidderSession) {
+				defer wg.Done()
+				for r := uint64(1); r <= rounds; r++ {
+					if err := s.Submit(r, insts[j].Users[i]); err != nil {
+						errCh <- fmt.Errorf("%s: submit: %w", name, err)
+						return
+					}
+				}
+				seen := uint64(0)
+				for out := range s.Outcomes() {
+					seen++
+					if out.Err != nil {
+						errCh <- fmt.Errorf("%s round %d: %w", name, out.Round, out.Err)
+						return
+					}
+				}
+				if seen != rounds {
+					errCh <- fmt.Errorf("%s: saw %d of %d rounds", name, seen, rounds)
+				}
+			}(i, j, nl.name, s)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+
+	// Wait for every committee member's consumer, then print the rollup.
+	want := int64(len(specs)) * int64(rounds) * int64(m)
+	deadline := time.Now().Add(roundTimeout)
+	for time.Now().Before(deadline) {
+		var got int64
+		for _, ns := range fed.Stats().PerNode {
+			got += ns.Rounds
+		}
+		if got >= want {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	printFederationStats(fed.Stats())
+	return nil
+}
+
+// printFederationStats renders the per-shard rollup table.
+func printFederationStats(snap federation.Snapshot) {
+	rows := make([]metrics.Row, 0, len(snap.PerShard)+1)
+	for _, ss := range snap.PerShard {
+		health := "ok"
+		if !ss.Healthy {
+			health = "DEGRADED"
+		}
+		rows = append(rows, metrics.Row{Label: fmt.Sprintf("shard %d", ss.Shard), Cols: []string{
+			fmt.Sprintf("%d", len(ss.Committee)),
+			fmt.Sprintf("%d", ss.Auctions),
+			fmt.Sprintf("%d", ss.Rounds),
+			fmt.Sprintf("%d", ss.Accepted),
+			fmt.Sprintf("%d", ss.Aborted),
+			fmt.Sprintf("%.1f", ss.RoundsPerSec),
+			fmt.Sprintf("%d", ss.BidsDropped),
+			fmt.Sprintf("%.2f", ss.Saturation),
+			health,
+		}})
+	}
+	rows = append(rows, metrics.Row{Label: "TOTAL", Cols: []string{
+		"-",
+		fmt.Sprintf("%d", snap.Auctions),
+		fmt.Sprintf("%d", snap.Rounds),
+		fmt.Sprintf("%d", snap.Accepted),
+		fmt.Sprintf("%d", snap.Aborted),
+		fmt.Sprintf("%.1f", snap.RoundsPerSec),
+		fmt.Sprintf("%d", snap.BidsDropped),
+		"-",
+		"-",
+	}})
+	fmt.Print(metrics.Table(
+		metrics.Row{Label: "shard", Cols: []string{"m", "auctions", "rounds", "ok", "⊥", "r/s", "dropped", "sat", "health"}},
+		rows))
+	if snap.SettleCommits+snap.SettleAborts+snap.SettleErrs > 0 {
+		fmt.Printf("cross-shard settle: %d committed, %d aborted, %d errors\n",
+			snap.SettleCommits, snap.SettleAborts, snap.SettleErrs)
+	}
 }
 
 func laneOf(nl namedLane) uint32 {

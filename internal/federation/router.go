@@ -1,0 +1,264 @@
+// Package federation partitions the auction catalog across independent
+// provider committees (shards) behind one federated market façade. The
+// paper's auctioneer runs on a single m-provider clique, so every auction
+// of a one-committee marketplace shares that clique's CPU and m² message
+// complexity; the federation multiplies throughput by giving each shard its
+// own committee, its own sessions and its own attachments, while bidders
+// keep a single API (and a single transport attachment) across all shards
+// and settlement stays globally consistent through the shared ledger.
+//
+// The wire protocol is untouched: a federation subdivides the existing
+// 12-bit lane space of internal/wire into a shard band (high ShardBits)
+// and a shard-local lane (low LocalLaneBits), so any lane a federation
+// assigns is an ordinary market lane and every protocol building block
+// stays lane-oblivious.
+package federation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"distauction/internal/core"
+	"distauction/internal/wire"
+)
+
+// The shard/lane split of the wire lane space. Shard indices are 1-based —
+// shard s occupies wire lanes ((s-1)<<LocalLaneBits)+1 … — mirroring the
+// lane convention where 0 means "unset/derive". Shard 1's band is lanes
+// 1..MaxLocalLane, i.e. exactly the lanes a plain (unsharded) market uses.
+const (
+	// ShardBits is the width of the shard field within wire.LaneBits.
+	ShardBits = 4
+	// MaxShards is the number of addressable shards.
+	MaxShards = 1 << ShardBits
+	// LocalLaneBits is the width left for the shard-local lane.
+	LocalLaneBits = wire.LaneBits - ShardBits
+	// MaxLocalLane is the largest shard-local lane. Local lane 0 of shard 1
+	// is wire lane 0 (the default lane of non-market traffic), so local
+	// lanes run 1..MaxLocalLane in every shard.
+	MaxLocalLane = 1<<LocalLaneBits - 1
+)
+
+// WireLane combines a 1-based shard index and a shard-local lane into the
+// wire lane the auction actually runs on. The caller guarantees
+// 1 <= shard <= MaxShards and 1 <= local <= MaxLocalLane.
+func WireLane(shard int, local uint32) uint32 {
+	return uint32(shard-1)<<LocalLaneBits | local
+}
+
+// SplitLane is the inverse of WireLane.
+func SplitLane(lane uint32) (shard int, local uint32) {
+	return int(lane>>LocalLaneBits) + 1, lane & MaxLocalLane
+}
+
+// LocalLaneForName deterministically assigns a shard-local lane in
+// [1, MaxLocalLane] to an auction name — the sharded generalisation of
+// market.LaneForName (same FNV-1a derivation, folded into the smaller
+// per-shard lane space). Collisions only matter within a shard: two names
+// that collide on the local lane but land on different shards get distinct
+// wire lanes and both open fine; a same-shard collision surfaces as the
+// market's ErrLaneCollision and is resolved by pinning an explicit
+// AuctionSpec.LocalLane.
+func LocalLaneForName(name string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return h.Sum32()%MaxLocalLane + 1
+}
+
+// shardScore is the rendezvous (highest-random-weight) score of a name on
+// a shard: the name's FNV-1a hash combined with the shard index through a
+// splitmix64 finalizer (raw FNV of a short shard prefix is too correlated
+// across sequential names to spread evenly). Every participant computes
+// the same scores from the same inputs, so placement needs no
+// coordination; and because each (name, shard) pair scores independently,
+// adding or removing a shard moves only the names whose top score changes
+// — names on surviving shards stay put (rebalance-safe placement).
+func shardScore(nameHash uint64, shard int) uint64 {
+	x := nameHash ^ (uint64(shard) * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// nameHash is the per-name half of the rendezvous score.
+func nameHash(name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// PlaceForName returns the rendezvous placement of name over the given
+// shard set — the stateless core of the Router, exported so any
+// participant (bidders, operators, tests) can predict and audit placement
+// without holding a Router. Ties break toward the lower shard index;
+// an empty shard set returns 0.
+func PlaceForName(name string, shards []int) int {
+	nh := nameHash(name)
+	best, bestScore := 0, uint64(0)
+	for _, s := range shards {
+		if score := shardScore(nh, s); best == 0 || score > bestScore || (score == bestScore && s < best) {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// routerState is the Router's copy-on-write state: readers load it with
+// one atomic pointer read and never lock.
+type routerState struct {
+	shards []int          // active shard indices, sorted ascending
+	pins   map[string]int // name → shard overrides
+}
+
+// Router maps auction names to shards: explicit pins win, everything else
+// places by rendezvous hashing over the active shard set. Reads (Place)
+// are lock-free on copy-on-write state; writers serialise on a mutex.
+type Router struct {
+	state atomic.Pointer[routerState]
+	mu    sync.Mutex
+}
+
+// NewRouter creates a router over the given active shard indices
+// (1-based, each at most MaxShards).
+func NewRouter(shards ...int) (*Router, error) {
+	r := &Router{}
+	st := &routerState{pins: map[string]int{}}
+	r.state.Store(st)
+	for _, s := range shards {
+		if err := r.AddShard(s); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Shards returns the active shard indices, sorted.
+func (r *Router) Shards() []int {
+	st := r.state.Load()
+	return append([]int(nil), st.shards...)
+}
+
+// AddShard activates a shard. Names whose rendezvous winner becomes the
+// new shard move to it; every other name keeps its placement.
+func (r *Router) AddShard(shard int) error {
+	if shard < 1 || shard > MaxShards {
+		return fmt.Errorf("%w: shard %d out of range [1,%d]", core.ErrConfig, shard, MaxShards)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.state.Load()
+	for _, s := range old.shards {
+		if s == shard {
+			return fmt.Errorf("%w: shard %d already active", core.ErrConfig, shard)
+		}
+	}
+	next := &routerState{
+		shards: append(append([]int(nil), old.shards...), shard),
+		pins:   old.pins,
+	}
+	sort.Ints(next.shards)
+	r.state.Store(next)
+	return nil
+}
+
+// RemoveShard deactivates a shard. Only names that placed on it move
+// (to their rendezvous runner-up); pins to it are dropped.
+func (r *Router) RemoveShard(shard int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.state.Load()
+	keep := make([]int, 0, len(old.shards))
+	for _, s := range old.shards {
+		if s != shard {
+			keep = append(keep, s)
+		}
+	}
+	if len(keep) == len(old.shards) {
+		return fmt.Errorf("%w: shard %d not active", core.ErrConfig, shard)
+	}
+	pins := old.pins
+	for _, to := range pins {
+		if to == shard {
+			pins = make(map[string]int, len(old.pins))
+			for name, t := range old.pins {
+				if t != shard {
+					pins[name] = t
+				}
+			}
+			break
+		}
+	}
+	r.state.Store(&routerState{shards: keep, pins: pins})
+	return nil
+}
+
+// Pin forces name onto shard (which must be active), overriding rendezvous
+// placement — the sharded counterpart of pinning an explicit lane.
+func (r *Router) Pin(name string, shard int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.state.Load()
+	active := false
+	for _, s := range old.shards {
+		if s == shard {
+			active = true
+			break
+		}
+	}
+	if !active {
+		return fmt.Errorf("%w: pin %q to inactive shard %d", core.ErrConfig, name, shard)
+	}
+	pins := make(map[string]int, len(old.pins)+1)
+	for n, s := range old.pins {
+		pins[n] = s
+	}
+	pins[name] = shard
+	r.state.Store(&routerState{shards: old.shards, pins: pins})
+	return nil
+}
+
+// Unpin removes a pin; the name reverts to rendezvous placement.
+func (r *Router) Unpin(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.state.Load()
+	if _, ok := old.pins[name]; !ok {
+		return
+	}
+	pins := make(map[string]int, len(old.pins))
+	for n, s := range old.pins {
+		if n != name {
+			pins[n] = s
+		}
+	}
+	r.state.Store(&routerState{shards: old.shards, pins: pins})
+}
+
+// Place returns the shard for name — its pin if set, else the rendezvous
+// winner over the active shard set. ok is false when no shard is active.
+func (r *Router) Place(name string) (shard int, ok bool) {
+	st := r.state.Load()
+	if s, pinned := st.pins[name]; pinned {
+		return s, true
+	}
+	if len(st.shards) == 0 {
+		return 0, false
+	}
+	return PlaceForName(name, st.shards), true
+}
+
+// PlaceLane returns the full placement of name: its shard and the wire
+// lane derived from the shard band and LocalLaneForName.
+func (r *Router) PlaceLane(name string) (shard int, lane uint32, ok bool) {
+	shard, ok = r.Place(name)
+	if !ok {
+		return 0, 0, false
+	}
+	return shard, WireLane(shard, LocalLaneForName(name)), true
+}

@@ -1,0 +1,233 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"distauction/internal/core"
+	"distauction/internal/market"
+	"distauction/internal/wire"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("auction-%04d", i)
+	}
+	return out
+}
+
+func TestWireLaneSplitRoundTrip(t *testing.T) {
+	for shard := 1; shard <= MaxShards; shard++ {
+		for _, local := range []uint32{1, 7, MaxLocalLane} {
+			lane := WireLane(shard, local)
+			if lane > wire.MaxLane {
+				t.Fatalf("WireLane(%d,%d) = %d exceeds wire.MaxLane", shard, local, lane)
+			}
+			s, l := SplitLane(lane)
+			if s != shard || l != local {
+				t.Fatalf("SplitLane(WireLane(%d,%d)) = (%d,%d)", shard, local, s, l)
+			}
+		}
+	}
+	// Shard 1's band is exactly the plain market's lane space.
+	if WireLane(1, 5) != 5 {
+		t.Fatalf("shard 1 band not identity: WireLane(1,5) = %d", WireLane(1, 5))
+	}
+}
+
+func TestLocalLaneForNameDeterministicAndInRange(t *testing.T) {
+	for _, name := range names(200) {
+		l := LocalLaneForName(name)
+		if l != LocalLaneForName(name) {
+			t.Fatalf("local lane not deterministic for %q", name)
+		}
+		if l < 1 || l > MaxLocalLane {
+			t.Fatalf("local lane %d out of range for %q", l, name)
+		}
+		// The sharded derivation folds the same hash as LaneForName; both
+		// must be stable but need not agree — only check range here.
+		_ = market.LaneForName(name)
+	}
+}
+
+func TestRouterPlacementDeterministicAndBalanced(t *testing.T) {
+	r, err := NewRouter(1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, name := range names(1000) {
+		s1, ok := r.Place(name)
+		if !ok {
+			t.Fatalf("no placement for %q", name)
+		}
+		if s2, _ := r.Place(name); s2 != s1 {
+			t.Fatalf("placement not deterministic for %q: %d vs %d", name, s1, s2)
+		}
+		if s1 < 1 || s1 > 4 {
+			t.Fatalf("placement %d out of the active set for %q", s1, name)
+		}
+		counts[s1]++
+	}
+	// Rendezvous hashing over 4 shards should spread 1000 names roughly
+	// evenly; be generous (each within 2x of fair share).
+	for s, c := range counts {
+		if c < 125 || c > 500 {
+			t.Fatalf("shard %d got %d of 1000 names; distribution degenerated: %v", s, c, counts)
+		}
+	}
+}
+
+// TestRouterRebalanceSafety is the rendezvous property the catalog relies
+// on: adding a shard moves ONLY names that place on the new shard, and
+// removing a shard moves ONLY the names that were on it.
+func TestRouterRebalanceSafety(t *testing.T) {
+	all := names(1000)
+	r, err := NewRouter(1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]int{}
+	for _, name := range all {
+		before[name], _ = r.Place(name)
+	}
+
+	if err := r.AddShard(4); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, name := range all {
+		after, _ := r.Place(name)
+		if after != before[name] {
+			if after != 4 {
+				t.Fatalf("%q moved %d→%d on AddShard(4)", name, before[name], after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved > 500 {
+		t.Fatalf("AddShard moved %d of 1000 names (want ~250)", moved)
+	}
+
+	with4 := map[string]int{}
+	for _, name := range all {
+		with4[name], _ = r.Place(name)
+	}
+	if err := r.RemoveShard(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range all {
+		after, _ := r.Place(name)
+		if with4[name] != 2 && after != with4[name] {
+			t.Fatalf("%q moved %d→%d on RemoveShard(2)", name, with4[name], after)
+		}
+		if after == 2 {
+			t.Fatalf("%q still places on removed shard 2", name)
+		}
+	}
+}
+
+func TestRouterPins(t *testing.T) {
+	r, err := NewRouter(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "pinned-auction"
+	natural, _ := r.Place(name)
+	target := 1
+	if natural == 1 {
+		target = 2
+	}
+	if err := r.Pin(name, target); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := r.Place(name); s != target {
+		t.Fatalf("pinned placement = %d, want %d", s, target)
+	}
+	if err := r.Pin(name, 9); !errors.Is(err, core.ErrConfig) {
+		t.Fatalf("pin to inactive shard: %v", err)
+	}
+	r.Unpin(name)
+	if s, _ := r.Place(name); s != natural {
+		t.Fatalf("unpinned placement = %d, want %d", s, natural)
+	}
+	// Removing a shard drops its pins.
+	if err := r.Pin(name, target); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveShard(target); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := r.Place(name); s == target {
+		t.Fatalf("placement still on removed pinned shard %d", s)
+	}
+}
+
+func TestRouterBounds(t *testing.T) {
+	if _, err := NewRouter(0); !errors.Is(err, core.ErrConfig) {
+		t.Fatalf("shard 0: %v", err)
+	}
+	if _, err := NewRouter(MaxShards + 1); !errors.Is(err, core.ErrConfig) {
+		t.Fatalf("shard %d: %v", MaxShards+1, err)
+	}
+	r, err := NewRouter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddShard(3); !errors.Is(err, core.ErrConfig) {
+		t.Fatalf("duplicate shard: %v", err)
+	}
+	if err := r.RemoveShard(7); !errors.Is(err, core.ErrConfig) {
+		t.Fatalf("remove inactive: %v", err)
+	}
+	empty, err := NewRouter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := empty.Place("x"); ok {
+		t.Fatal("placement over empty shard set")
+	}
+}
+
+// TestLocalLaneCollisionAcrossShards pins down the sharded collision
+// semantics: two names that collide on the LOCAL lane but place on
+// different shards occupy distinct wire lanes.
+func TestLocalLaneCollisionAcrossShards(t *testing.T) {
+	r, err := NewRouter(1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, ok := findLocalCollisionAcrossShards(r)
+	if !ok {
+		t.Fatal("no cross-shard local-lane collision among generated names (astronomically unlikely)")
+	}
+	_, laneA, _ := r.PlaceLane(a)
+	_, laneB, _ := r.PlaceLane(b)
+	if laneA == laneB {
+		t.Fatalf("wire lanes collide for %q and %q despite different shards", a, b)
+	}
+}
+
+// findLocalCollisionAcrossShards searches generated names for a pair with
+// the same local lane but different shard placements.
+func findLocalCollisionAcrossShards(r *Router) (a, b string, ok bool) {
+	type slot struct {
+		name  string
+		shard int
+	}
+	byLocal := map[uint32][]slot{}
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("collide-%04d", i)
+		shard, _ := r.Place(name)
+		local := LocalLaneForName(name)
+		for _, prev := range byLocal[local] {
+			if prev.shard != shard {
+				return prev.name, name, true
+			}
+		}
+		byLocal[local] = append(byLocal[local], slot{name, shard})
+	}
+	return "", "", false
+}

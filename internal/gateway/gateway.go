@@ -254,10 +254,25 @@ func (e *Enforcer) Enforce(round uint64, out auction.Outcome, users, providers [
 	if err := e.Ledger.Settle(round, transfers); err != nil {
 		return fmt.Errorf("gateway: settlement failed, nothing reserved: %w", err)
 	}
-	var created []struct {
-		g  *Gateway
-		id ReservationID
+	created, err := e.reserveAll(out, users)
+	if err != nil {
+		releaseAll(created)
+		return fmt.Errorf("gateway: reservation failed after settlement — rolled back reservations "+
+			"(payments stand; deployment-level reconciliation required): %w", err)
 	}
+	return nil
+}
+
+// staged is one created reservation awaiting commit or abort.
+type staged struct {
+	g  *Gateway
+	id ReservationID
+}
+
+// reserveAll turns the allocation into reservations, returning whatever was
+// created even on failure so the caller can roll back.
+func (e *Enforcer) reserveAll(out auction.Outcome, users []wire.NodeID) ([]staged, error) {
+	var created []staged
 	for u := 0; u < out.Alloc.NumUsers; u++ {
 		for p := 0; p < out.Alloc.NumProviders; p++ {
 			bw := out.Alloc.At(u, p)
@@ -266,17 +281,88 @@ func (e *Enforcer) Enforce(round uint64, out auction.Outcome, users, providers [
 			}
 			r, err := e.Gateways[p].Reserve(users[u], bw, e.TTL)
 			if err != nil {
-				for _, c := range created {
-					_ = c.g.Release(c.id)
-				}
-				return fmt.Errorf("gateway: reservation failed after settlement — rolled back reservations "+
-					"(payments stand; deployment-level reconciliation required): %w", err)
+				return created, err
 			}
-			created = append(created, struct {
-				g  *Gateway
-				id ReservationID
-			}{e.Gateways[p], r.ID})
+			created = append(created, staged{e.Gateways[p], r.ID})
 		}
 	}
-	return nil
+	return created, nil
+}
+
+func releaseAll(created []staged) {
+	for _, c := range created {
+		_ = c.g.Release(c.id)
+	}
+}
+
+// Prepared is a staged enforcement: the outcome's payments are held on the
+// ledger (payers debited, nothing journaled) and its allocation is already
+// reserved on the gateways, but nobody has been paid. Exactly one of
+// Commit or Abort finishes it.
+type Prepared struct {
+	enforcer *Enforcer
+	round    uint64
+	hold     ledger.HoldID
+	created  []staged
+
+	mu   sync.Mutex
+	done bool
+}
+
+// ErrPreparedDone reports a second Commit/Abort on the same Prepared.
+var ErrPreparedDone = errors.New("gateway: prepared enforcement already finished")
+
+// Prepare is the first phase of cross-shard enforcement: it fences the
+// outcome's payments on the ledger (Reserve) and creates the gateway
+// reservations, but journals and credits nothing. If either leg fails,
+// everything already staged is undone and the error returned — the caller
+// sees all-or-nothing. A coordinator settling one user's wins on several
+// shards Prepares every shard's outcome first and only then Commits them
+// all (or Aborts them all), so supply conservation and pay-iff-allocated
+// hold across shards.
+func (e *Enforcer) Prepare(round uint64, out auction.Outcome, users, providers []wire.NodeID) (*Prepared, error) {
+	if len(e.Gateways) != out.Alloc.NumProviders {
+		return nil, fmt.Errorf("gateway: %d gateways for %d providers", len(e.Gateways), out.Alloc.NumProviders)
+	}
+	transfers, err := ledger.OutcomeTransfers(out, users, providers, e.Escrow)
+	if err != nil {
+		return nil, err
+	}
+	hold, err := e.Ledger.Reserve(round, transfers)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: prepare: %w", err)
+	}
+	created, err := e.reserveAll(out, users)
+	if err != nil {
+		releaseAll(created)
+		_ = e.Ledger.Release(hold)
+		return nil, fmt.Errorf("gateway: prepare: %w", err)
+	}
+	return &Prepared{enforcer: e, round: round, hold: hold, created: created}, nil
+}
+
+// Commit finalises a prepared enforcement: the ledger hold commits (payees
+// credited, batch journaled exactly as Enforce would have) and the gateway
+// reservations stand.
+func (p *Prepared) Commit() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return ErrPreparedDone
+	}
+	p.done = true
+	return p.enforcer.Ledger.Commit(p.hold)
+}
+
+// Abort undoes a prepared enforcement: the gateway reservations are
+// released and the ledger hold refunded, as if the outcome had been ⊥.
+func (p *Prepared) Abort() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return ErrPreparedDone
+	}
+	p.done = true
+	releaseAll(p.created)
+	return p.enforcer.Ledger.Release(p.hold)
 }

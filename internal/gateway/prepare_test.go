@@ -1,0 +1,134 @@
+package gateway
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/ledger"
+	"distauction/internal/wire"
+)
+
+// prepFixture builds a one-user one-provider enforcement target with the
+// user funded to `funds` bandwidth-units of currency.
+func prepFixture(t *testing.T, funds, capacity float64) (*Enforcer, *ledger.Ledger, *Gateway) {
+	t.Helper()
+	clk := newFakeClock()
+	l := ledger.New()
+	for _, id := range []wire.NodeID{100, 1, 999} {
+		l.Open(id)
+	}
+	if funds > 0 {
+		if err := l.Deposit(100, bw(funds)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := New(1, bw(capacity), clockOf(clk))
+	return &Enforcer{Ledger: l, Gateways: []*Gateway{g}, Escrow: 999, TTL: time.Hour}, l, g
+}
+
+func prepOutcome(alloc, pay, revenue float64) auction.Outcome {
+	out := auction.Outcome{Alloc: auction.NewAllocation(1, 1), Pay: auction.NewPayments(1, 1)}
+	out.Alloc.Set(0, 0, bw(alloc))
+	out.Pay.ByUser[0] = bw(pay)
+	out.Pay.ToProvider[0] = bw(revenue)
+	return out
+}
+
+func TestPrepareCommitMatchesEnforce(t *testing.T) {
+	users, provs := []wire.NodeID{100}, []wire.NodeID{1}
+	out := prepOutcome(3, 6, 4)
+
+	eDirect, lDirect, _ := prepFixture(t, 10, 5)
+	if err := eDirect.Enforce(1, out, users, provs); err != nil {
+		t.Fatal(err)
+	}
+
+	eStaged, lStaged, gStaged := prepFixture(t, 10, 5)
+	p, err := eStaged.Prepare(1, out, users, provs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-prepare: payer debited, payee not yet paid, allocation reserved,
+	// supply conserved.
+	if lStaged.Balance(100) != bw(4) || lStaged.Balance(1) != 0 {
+		t.Errorf("mid-prepare balances: user=%v provider=%v", lStaged.Balance(100), lStaged.Balance(1))
+	}
+	if gStaged.Available() != bw(2) {
+		t.Errorf("mid-prepare available = %v", gStaged.Available())
+	}
+	if lStaged.TotalSupply() != bw(10) {
+		t.Errorf("mid-prepare supply = %v", lStaged.TotalSupply())
+	}
+	if err := p.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lDirect.Journal(), lStaged.Journal()) {
+		t.Errorf("journals diverge:\nenforce: %+v\nstaged:  %+v", lDirect.Journal(), lStaged.Journal())
+	}
+	for _, id := range []wire.NodeID{100, 1, 999} {
+		if lDirect.Balance(id) != lStaged.Balance(id) {
+			t.Errorf("account %d: enforce %v, staged %v", id, lDirect.Balance(id), lStaged.Balance(id))
+		}
+	}
+	if err := p.Commit(); !errors.Is(err, ErrPreparedDone) {
+		t.Errorf("double commit: %v", err)
+	}
+	if err := p.Abort(); !errors.Is(err, ErrPreparedDone) {
+		t.Errorf("abort after commit: %v", err)
+	}
+}
+
+func TestPrepareAbortUndoesEverything(t *testing.T) {
+	e, l, g := prepFixture(t, 10, 5)
+	p, err := e.Prepare(1, prepOutcome(3, 6, 4), []wire.NodeID{100}, []wire.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Balance(100) != bw(10) || l.Balance(1) != 0 || l.Balance(999) != 0 {
+		t.Errorf("balances after abort: user=%v provider=%v escrow=%v",
+			l.Balance(100), l.Balance(1), l.Balance(999))
+	}
+	if g.Available() != bw(5) {
+		t.Errorf("available after abort = %v", g.Available())
+	}
+	if len(l.Journal()) != 0 {
+		t.Errorf("abort journaled %d entries", len(l.Journal()))
+	}
+	if l.Holds() != 0 {
+		t.Errorf("%d holds linger after abort", l.Holds())
+	}
+}
+
+func TestPrepareLedgerFailureStagesNothing(t *testing.T) {
+	e, l, g := prepFixture(t, 0, 5) // user unfunded: the hold must fail
+	_, err := e.Prepare(1, prepOutcome(3, 6, 4), []wire.NodeID{100}, []wire.NodeID{1})
+	if !errors.Is(err, ledger.ErrInsufficientFunds) {
+		t.Fatalf("prepare: %v", err)
+	}
+	if g.Available() != bw(5) {
+		t.Errorf("reservation created despite failed hold: available = %v", g.Available())
+	}
+	if l.Holds() != 0 {
+		t.Errorf("%d holds linger after failed prepare", l.Holds())
+	}
+}
+
+func TestPrepareCapacityFailureReleasesHold(t *testing.T) {
+	e, l, g := prepFixture(t, 10, 2) // gateway too small for the allocation
+	_, err := e.Prepare(1, prepOutcome(3, 6, 4), []wire.NodeID{100}, []wire.NodeID{1})
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("prepare: %v", err)
+	}
+	if l.Balance(100) != bw(10) {
+		t.Errorf("hold not refunded: user balance = %v", l.Balance(100))
+	}
+	if l.Holds() != 0 || g.Live() != 0 {
+		t.Errorf("staged state lingers: %d holds, %d reservations", l.Holds(), g.Live())
+	}
+}

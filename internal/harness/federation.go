@@ -1,0 +1,238 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"distauction/internal/auction"
+	"distauction/internal/core"
+	"distauction/internal/federation"
+	"distauction/internal/market"
+	"distauction/internal/wire"
+	"distauction/internal/workload"
+)
+
+// FederationResult summarises one sharded-federation throughput run.
+type FederationResult struct {
+	MarketResult
+	// Shards is the number of provider committees the catalog was
+	// partitioned over (each with its own m-provider committee).
+	Shards int
+	// PerShard is the federation's shard rollup after the run.
+	PerShard []federation.ShardSnapshot
+}
+
+// RunFederationDouble measures aggregate throughput of a sharded
+// federation: `auctions` double auctions partitioned round-robin over
+// `shards` committees of m providers each (disjoint fleets — shards×m
+// provider nodes total), n bidders joined to every auction through ONE
+// federated bidder attachment each, every auction running `rounds`
+// pipelined rounds.
+//
+// This is RunMarketDouble generalised from one committee to many: with one
+// shard it deploys the identical topology (m providers, same lanes 1..A),
+// so the 1-shard point doubles as the unsharded baseline, and the
+// shards-axis curve measures what federating the catalog buys.
+func RunFederationDouble(shards, auctions, rounds int, opts ...Option) (FederationResult, error) {
+	cfg := newConfig(opts)
+	if shards < 1 || shards > federation.MaxShards {
+		return FederationResult{}, fmt.Errorf("harness: shard count %d out of range [1,%d]", shards, federation.MaxShards)
+	}
+	if auctions < 1 || rounds < 1 {
+		return FederationResult{}, errors.New("harness: need at least one auction and one round")
+	}
+	if auctions/shards+1 > federation.MaxLocalLane {
+		return FederationResult{}, fmt.Errorf("harness: %d auctions overflow %d shards' local lanes", auctions, shards)
+	}
+	net := cfg.newNetwork()
+	defer net.Close()
+
+	// Shard s gets committee (s-1)m+1 .. sm; users are the usual 1001…
+	specs := make([]federation.ShardSpec, shards)
+	for s := range specs {
+		committee := make([]wire.NodeID, cfg.m)
+		for i := range committee {
+			committee[i] = wire.NodeID(s*cfg.m + i + 1)
+		}
+		specs[s] = federation.ShardSpec{Index: s + 1, Providers: committee}
+	}
+	_, userIDs := ids(cfg.m, cfg.n)
+
+	// Same admission skew bound as RunMarketDouble.
+	lookahead := cfg.pipeline + 1
+	window := rounds + lookahead + 2
+
+	fed, err := federation.Open(net, specs,
+		federation.WithMarketOptions(market.WithAdmissionWindow(window), market.WithSweepEvery(0)))
+	if err != nil {
+		return FederationResult{}, err
+	}
+	defer fed.Close()
+
+	type place struct {
+		shard int
+		local uint32
+	}
+	names := make([]string, auctions)
+	places := make([]place, auctions)
+	insts := make([]workload.DoubleAuctionInstance, auctions)
+	for j := range names {
+		names[j] = fmt.Sprintf("fed-%03d", j)
+		places[j] = place{shard: j%shards + 1, local: uint32(j/shards + 1)}
+		insts[j] = workload.NewDoubleAuction(cfg.seed+uint64(j)*104729, cfg.n, cfg.m)
+	}
+	for j, name := range names {
+		inst := insts[j]
+		err := fed.OpenAuction(federation.AuctionSpec{
+			Name:      name,
+			Shard:     places[j].shard,
+			LocalLane: places[j].local,
+			Users:     userIDs,
+			Options: []core.SessionOption{
+				core.WithK(cfg.k),
+				core.WithMechanismName("double"),
+				core.WithBidWindow(cfg.bidWindow),
+				core.WithRoundTimeout(cfg.timeout),
+				core.WithRoundLimit(uint64(rounds)),
+				core.WithMaxConcurrentRounds(cfg.pipeline),
+				core.WithOutcomeBuffer(rounds),
+			},
+			MemberOptions: func(i int, _ wire.NodeID) []core.SessionOption {
+				return []core.SessionOption{core.WithProviderBid(inst.Providers[i])}
+			},
+		})
+		if err != nil {
+			return FederationResult{}, err
+		}
+	}
+
+	bidders := make([]*federation.Bidder, cfg.n)
+	sessions := make([][]*core.BidderSession, cfg.n) // [user][auction]
+	for i, id := range userIDs {
+		conn, err := net.Attach(id)
+		if err != nil {
+			return FederationResult{}, err
+		}
+		fb, err := federation.NewBidder(conn, specs)
+		if err != nil {
+			return FederationResult{}, err
+		}
+		defer fb.Close()
+		bidders[i] = fb
+		sessions[i] = make([]*core.BidderSession, auctions)
+		for j, name := range names {
+			s, err := fb.JoinOn(name, places[j].shard, places[j].local,
+				core.WithRoundLimit(uint64(rounds)),
+				core.WithOutcomeBuffer(cfg.pipeline+1),
+				core.WithRoundTimeout(cfg.timeout))
+			if err != nil {
+				return FederationResult{}, err
+			}
+			sessions[i][j] = s
+		}
+	}
+
+	roundBids := make([][][]auction.UserBid, auctions) // [auction][round][user]
+	for j := range roundBids {
+		roundBids[j] = make([][]auction.UserBid, rounds)
+		for r := range roundBids[j] {
+			roundBids[j][r] = workload.NewDoubleAuction(cfg.seed+uint64(j)*104729+uint64(r)*7919, cfg.n, cfg.m).Users
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.n*auctions)
+	acceptedPerAuction := make([]int, auctions)
+	for i := range bidders {
+		for j := range names {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				s := sessions[i][j]
+				slot := i*auctions + j
+				for r := 1; r <= min(lookahead, rounds); r++ {
+					if err := s.Submit(uint64(r), roundBids[j][r-1][i]); err != nil {
+						errs[slot] = err
+						return
+					}
+				}
+				seen, ok := 0, 0
+				for out := range s.Outcomes() {
+					seen++
+					if out.Err == nil {
+						ok++
+					}
+					if next := seen + lookahead; next <= rounds {
+						if err := s.Submit(uint64(next), roundBids[j][next-1][i]); err != nil {
+							errs[slot] = err
+							return
+						}
+					}
+				}
+				if seen != rounds {
+					errs[slot] = fmt.Errorf("auction %d: saw %d of %d rounds", j, seen, rounds)
+					return
+				}
+				if i == 0 {
+					acceptedPerAuction[j] = ok
+				}
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for slot, err := range errs {
+		if err != nil {
+			return FederationResult{}, fmt.Errorf("harness: bidder %d: %w", slot/auctions, err)
+		}
+	}
+
+	res := FederationResult{
+		MarketResult: MarketResult{Auctions: auctions, Duration: elapsed},
+		Shards:       shards,
+	}
+	for _, n := range acceptedPerAuction {
+		res.Accepted += n
+	}
+	// Wait for every committee member's consumer to finish (each of the m
+	// members of an auction's shard counts its rounds), then read the
+	// rollup and the residual protocol state.
+	wantNodeRounds := int64(auctions * rounds * cfg.m)
+	deadline := time.Now().Add(cfg.timeout)
+	for {
+		var nodeRounds int64
+		for _, ns := range fed.Stats().PerNode {
+			nodeRounds += ns.Rounds
+		}
+		if nodeRounds >= wantNodeRounds || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := fed.Stats()
+	res.Rounds = int(snap.Rounds)
+	res.PerShard = snap.PerShard
+	for _, ns := range snap.PerNode {
+		res.BidsAdmitted += ns.BidsAdmitted
+		res.BidsDropped += ns.BidsDropped
+		res.ParkedDropped += ns.ParkedDropped
+		res.FramesSent += ns.FramesSent
+		res.SuperframesSent += ns.SuperframesSent
+		res.EnvelopesSent += ns.EnvelopesSent
+	}
+	for _, name := range names {
+		handles, ok := fed.AuctionHandles(name)
+		if !ok {
+			return FederationResult{}, fmt.Errorf("harness: auction %q vanished", name)
+		}
+		for _, a := range handles {
+			msgs, rds := a.Session().Peer().StateSize()
+			res.ResidualMsgs += msgs
+			res.ResidualRounds += rds
+		}
+	}
+	return res, nil
+}

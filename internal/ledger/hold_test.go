@@ -1,0 +1,175 @@
+package ledger
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"distauction/internal/fixed"
+	"distauction/internal/wire"
+)
+
+func TestReserveCommitReplayEqualsSettle(t *testing.T) {
+	batches := [][]Transfer{
+		{
+			{From: 1, To: 9, Amount: fixed.MustFloat(4), Memo: "auction payment"},
+			{From: 9, To: 2, Amount: fixed.MustFloat(3), Memo: "auction revenue"},
+		},
+		{
+			{From: 1, To: 9, Amount: fixed.MustFloat(2), Memo: "auction payment"},
+			{From: 9, To: 3, Amount: fixed.MustFloat(2), Memo: "auction revenue"},
+		},
+	}
+	fund := map[wire.NodeID]float64{1: 10, 2: 0, 3: 0, 9: 0}
+
+	direct := newFunded(t, fund)
+	staged := newFunded(t, fund)
+	for r, batch := range batches {
+		if err := direct.Settle(uint64(r+1), batch); err != nil {
+			t.Fatal(err)
+		}
+		id, err := staged.Reserve(uint64(r+1), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := staged.Commit(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(direct.Journal(), staged.Journal()) {
+		t.Errorf("journals diverge:\nsettle:  %+v\nstaged:  %+v", direct.Journal(), staged.Journal())
+	}
+	for id := range fund {
+		if direct.Balance(id) != staged.Balance(id) {
+			t.Errorf("account %d: settle %v, staged %v", id, direct.Balance(id), staged.Balance(id))
+		}
+	}
+	if staged.Holds() != 0 || staged.HeldFunds() != 0 {
+		t.Errorf("holds linger: %d holds, %v held", staged.Holds(), staged.HeldFunds())
+	}
+}
+
+func TestReserveFencesFunds(t *testing.T) {
+	l := newFunded(t, map[wire.NodeID]float64{1: 10, 9: 0})
+	pay := func(amount float64) []Transfer {
+		return []Transfer{{From: 1, To: 9, Amount: fixed.MustFloat(amount)}}
+	}
+	id, err := l.Reserve(1, pay(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reserved 7 are gone from the spendable balance: a second reserve
+	// for more than the 3 left must fail — this IS the cross-shard
+	// insufficient-funds case.
+	if _, err := l.Reserve(2, pay(4)); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("overlapping reserve: %v", err)
+	}
+	if got := l.TotalSupply(); got != fixed.MustFloat(10) {
+		t.Errorf("supply mid-hold = %v", got)
+	}
+	if err := l.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Balance(1); got != fixed.MustFloat(10) {
+		t.Errorf("balance after release = %v", got)
+	}
+	if len(l.Journal()) != 0 {
+		t.Errorf("release journaled %d entries", len(l.Journal()))
+	}
+	// With the hold gone the second payment fits again.
+	if _, err := l.Reserve(3, pay(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoldDoubleFinishRejected(t *testing.T) {
+	l := newFunded(t, map[wire.NodeID]float64{1: 10, 9: 0})
+	id, err := l.Reserve(1, []Transfer{{From: 1, To: 9, Amount: fixed.One}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(id); !errors.Is(err, ErrUnknownHold) {
+		t.Errorf("double commit: %v", err)
+	}
+	if err := l.Release(id); !errors.Is(err, ErrUnknownHold) {
+		t.Errorf("release after commit: %v", err)
+	}
+	if err := l.Release(HoldID(999)); !errors.Is(err, ErrUnknownHold) {
+		t.Errorf("release of never-created hold: %v", err)
+	}
+}
+
+func TestReserveRejectsBadBatches(t *testing.T) {
+	l := newFunded(t, map[wire.NodeID]float64{1: 1, 9: 0})
+	if _, err := l.Reserve(1, []Transfer{{From: 1, To: 9, Amount: -1}}); !errors.Is(err, ErrBadTransfer) {
+		t.Errorf("negative amount: %v", err)
+	}
+	if _, err := l.Reserve(1, []Transfer{{From: 7, To: 9, Amount: fixed.One}}); !errors.Is(err, ErrBadTransfer) {
+		t.Errorf("unknown account: %v", err)
+	}
+	if _, err := l.Reserve(1, []Transfer{{From: 1, To: 9, Amount: fixed.MustFloat(2)}}); !errors.Is(err, ErrInsufficientFunds) {
+		t.Errorf("overdraw: %v", err)
+	}
+	if l.Holds() != 0 {
+		t.Errorf("failed reserves left %d holds", l.Holds())
+	}
+}
+
+// TestConcurrentHoldsConserveSupply hammers Reserve/Commit/Release from many
+// goroutines (run under -race) and asserts total supply — balances plus
+// held funds — is conserved at every step and at the end.
+func TestConcurrentHoldsConserveSupply(t *testing.T) {
+	const workers = 8
+	const iters = 200
+	accounts := map[wire.NodeID]float64{9: 0}
+	var ids []wire.NodeID
+	for i := 1; i <= workers; i++ {
+		accounts[wire.NodeID(i)] = 100
+		ids = append(ids, wire.NodeID(i))
+	}
+	l := newFunded(t, accounts)
+	supply := l.TotalSupply()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			self := ids[w]
+			for i := 0; i < iters; i++ {
+				id, err := l.Reserve(uint64(i+1), []Transfer{
+					{From: self, To: 9, Amount: fixed.MustFloat(0.25)},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := l.TotalSupply(); got != supply {
+					t.Errorf("supply mid-hold = %v, want %v", got, supply)
+					return
+				}
+				var finish error
+				if i%3 == 0 {
+					finish = l.Release(id)
+				} else {
+					finish = l.Commit(id)
+				}
+				if finish != nil {
+					t.Error(finish)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := l.TotalSupply(); got != supply {
+		t.Errorf("final supply = %v, want %v", got, supply)
+	}
+	if l.Holds() != 0 || l.HeldFunds() != 0 {
+		t.Errorf("holds linger: %d holds, %v held", l.Holds(), l.HeldFunds())
+	}
+}

@@ -25,6 +25,10 @@ var ErrInsufficientFunds = errors.New("ledger: insufficient funds")
 // account).
 var ErrBadTransfer = errors.New("ledger: bad transfer")
 
+// ErrUnknownHold reports a commit or release of a hold that does not exist
+// (never created, or already committed/released).
+var ErrUnknownHold = errors.New("ledger: unknown hold")
+
 // Transfer moves Amount from one account to another.
 type Transfer struct {
 	From   wire.NodeID
@@ -43,17 +47,36 @@ type Entry struct {
 	Memo   string
 }
 
+// HoldID identifies a pending two-phase hold on this ledger.
+type HoldID uint64
+
+// hold is a reserved-but-uncommitted settlement batch: the payer side is
+// already debited (the funds are fenced off), the payee side applies at
+// Commit, and Release refunds the debits.
+type hold struct {
+	round     uint64
+	transfers []Transfer
+	debits    map[wire.NodeID]fixed.Fixed // positive amounts taken at Reserve
+	credits   map[wire.NodeID]fixed.Fixed // positive amounts granted at Commit
+}
+
 // Ledger holds account balances and an append-only journal.
 type Ledger struct {
 	mu       sync.Mutex
 	balances map[wire.NodeID]fixed.Fixed
 	journal  []Entry
 	seq      uint64
+	holds    map[HoldID]*hold
+	nextHold HoldID
+	held     fixed.Fixed // sum of all holds' debits (in-flight funds)
 }
 
 // New returns an empty ledger.
 func New() *Ledger {
-	return &Ledger{balances: make(map[wire.NodeID]fixed.Fixed)}
+	return &Ledger{
+		balances: make(map[wire.NodeID]fixed.Fixed),
+		holds:    make(map[HoldID]*hold),
+	}
 }
 
 // Open creates the account if needed (zero balance). Transfers to unknown
@@ -88,44 +111,145 @@ func (l *Ledger) Balance(id wire.NodeID) fixed.Fixed {
 	return l.balances[id]
 }
 
-// Settle atomically applies all transfers of a round. If any transfer is
-// malformed or any account would go negative after the *whole batch*, no
-// transfer applies.
-func (l *Ledger) Settle(round uint64, transfers []Transfer) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-
-	// Dry-run on a delta map.
+// deltasLocked validates a batch and computes its per-account net deltas,
+// failing if any transfer is malformed or any account would go negative
+// after the whole batch. Caller holds l.mu.
+func (l *Ledger) deltasLocked(transfers []Transfer) (map[wire.NodeID]fixed.Fixed, error) {
 	delta := make(map[wire.NodeID]fixed.Fixed)
 	for _, t := range transfers {
 		if t.Amount < 0 {
-			return fmt.Errorf("%w: negative amount", ErrBadTransfer)
+			return nil, fmt.Errorf("%w: negative amount", ErrBadTransfer)
 		}
 		if _, ok := l.balances[t.From]; !ok {
-			return fmt.Errorf("%w: unknown account %d", ErrBadTransfer, t.From)
+			return nil, fmt.Errorf("%w: unknown account %d", ErrBadTransfer, t.From)
 		}
 		if _, ok := l.balances[t.To]; !ok {
-			return fmt.Errorf("%w: unknown account %d", ErrBadTransfer, t.To)
+			return nil, fmt.Errorf("%w: unknown account %d", ErrBadTransfer, t.To)
 		}
 		delta[t.From] = delta[t.From].SatSub(t.Amount)
 		delta[t.To] = delta[t.To].SatAdd(t.Amount)
 	}
 	for id, d := range delta {
 		if l.balances[id].SatAdd(d) < 0 {
-			return fmt.Errorf("%w: account %d", ErrInsufficientFunds, id)
+			return nil, fmt.Errorf("%w: account %d", ErrInsufficientFunds, id)
 		}
 	}
-	// Commit.
-	for id, d := range delta {
-		l.balances[id] = l.balances[id].SatAdd(d)
-	}
+	return delta, nil
+}
+
+// journalLocked appends a batch to the journal. Caller holds l.mu.
+func (l *Ledger) journalLocked(round uint64, transfers []Transfer) {
 	for _, t := range transfers {
 		l.seq++
 		l.journal = append(l.journal, Entry{
 			Seq: l.seq, Round: round, From: t.From, To: t.To, Amount: t.Amount, Memo: t.Memo,
 		})
 	}
+}
+
+// Settle atomically applies all transfers of a round. If any transfer is
+// malformed or any account would go negative after the *whole batch*, no
+// transfer applies.
+func (l *Ledger) Settle(round uint64, transfers []Transfer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delta, err := l.deltasLocked(transfers)
+	if err != nil {
+		return err
+	}
+	for id, d := range delta {
+		l.balances[id] = l.balances[id].SatAdd(d)
+	}
+	l.journalLocked(round, transfers)
 	return nil
+}
+
+// Reserve is the prepare half of a two-phase settlement: it validates the
+// batch exactly as Settle would and immediately debits the paying side, so
+// the funds are fenced off — a later Reserve cannot spend them — but
+// nothing is journaled and nobody is paid yet. The hold then either
+// Commits (payees credited, batch journaled, byte-for-byte what Settle
+// would have written) or Releases (debits refunded, no trace). This is the
+// ledger leg of cross-shard settlement: a coordinator reserves on every
+// shard's outcome first and commits only if all reservations succeed, so a
+// user who won on two shards pays on both or on neither.
+func (l *Ledger) Reserve(round uint64, transfers []Transfer) (HoldID, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delta, err := l.deltasLocked(transfers)
+	if err != nil {
+		return 0, err
+	}
+	h := &hold{
+		round:     round,
+		transfers: append([]Transfer(nil), transfers...),
+		debits:    make(map[wire.NodeID]fixed.Fixed),
+		credits:   make(map[wire.NodeID]fixed.Fixed),
+	}
+	for id, d := range delta {
+		if d < 0 {
+			h.debits[id] = -d
+			l.balances[id] = l.balances[id].SatAdd(d)
+			l.held = l.held.SatSub(d)
+		} else if d > 0 {
+			h.credits[id] = d
+		}
+	}
+	l.nextHold++
+	l.holds[l.nextHold] = h
+	return l.nextHold, nil
+}
+
+// Commit finalises a hold: payees are credited and the batch is journaled,
+// exactly as if Settle(round, transfers) had run at this point.
+func (l *Ledger) Commit(id HoldID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, ok := l.holds[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownHold, id)
+	}
+	delete(l.holds, id)
+	for acct, amt := range h.credits {
+		l.balances[acct] = l.balances[acct].SatAdd(amt)
+	}
+	for _, amt := range h.debits {
+		l.held = l.held.SatSub(amt)
+	}
+	l.journalLocked(h.round, h.transfers)
+	return nil
+}
+
+// Release abandons a hold: the debits taken at Reserve are refunded and no
+// journal entry is written — as if the batch had never been submitted.
+func (l *Ledger) Release(id HoldID) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, ok := l.holds[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownHold, id)
+	}
+	delete(l.holds, id)
+	for acct, amt := range h.debits {
+		l.balances[acct] = l.balances[acct].SatAdd(amt)
+		l.held = l.held.SatSub(amt)
+	}
+	return nil
+}
+
+// Holds returns the number of pending (reserved, neither committed nor
+// released) holds.
+func (l *Ledger) Holds() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.holds)
+}
+
+// HeldFunds returns the total amount currently fenced off by pending holds.
+func (l *Ledger) HeldFunds() fixed.Fixed {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.held
 }
 
 // Journal returns a copy of the full journal.
@@ -135,11 +259,13 @@ func (l *Ledger) Journal() []Entry {
 	return append([]Entry(nil), l.journal...)
 }
 
-// TotalSupply returns the sum of all balances (conserved by Settle).
+// TotalSupply returns the sum of all balances plus all funds fenced off by
+// pending holds — conserved by Settle and by every Reserve/Commit/Release
+// path, so supply-conservation assertions hold even mid-two-phase.
 func (l *Ledger) TotalSupply() fixed.Fixed {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	var total fixed.Fixed
+	total := l.held
 	for _, b := range l.balances {
 		total = total.SatAdd(b)
 	}

@@ -45,16 +45,27 @@ func (b *Bidder) Self() wire.NodeID { return b.mux.Self() }
 // (LaneForName). The session options mirror core.OpenBidderSession's
 // (WithStartRound must match the providers' spec).
 func (b *Bidder) Join(name string, opts ...core.SessionOption) (*core.BidderSession, error) {
-	return b.join(name, LaneForName(name), opts...)
+	return b.join(name, LaneForName(name), b.providers, opts...)
 }
 
 // JoinLane is Join for an auction whose providers pinned an explicit lane
 // (ErrLaneCollision resolution).
 func (b *Bidder) JoinLane(name string, lane uint32, opts ...core.SessionOption) (*core.BidderSession, error) {
-	return b.join(name, lane, opts...)
+	return b.join(name, lane, b.providers, opts...)
 }
 
-func (b *Bidder) join(name string, lane uint32, opts ...core.SessionOption) (*core.BidderSession, error) {
+// JoinCommittee is Join for an auction run by a committee other than the
+// bidder's default provider fleet — the sharded-federation case, where lane
+// and committee come from the federation's placement. providers must match
+// the committee the auction was opened with.
+func (b *Bidder) JoinCommittee(name string, lane uint32, providers []wire.NodeID, opts ...core.SessionOption) (*core.BidderSession, error) {
+	if len(providers) == 0 {
+		return nil, fmt.Errorf("%w: auction needs a committee", core.ErrConfig)
+	}
+	return b.join(name, lane, providers, opts...)
+}
+
+func (b *Bidder) join(name string, lane uint32, providers []wire.NodeID, opts ...core.SessionOption) (*core.BidderSession, error) {
 	if name == "" {
 		return nil, fmt.Errorf("%w: auction needs a name", core.ErrConfig)
 	}
@@ -73,7 +84,7 @@ func (b *Bidder) join(name string, lane uint32, opts ...core.SessionOption) (*co
 	if err != nil {
 		return nil, err
 	}
-	s, err := core.OpenBidderSession(lc, b.providers, opts...)
+	s, err := core.OpenBidderSession(lc, providers, opts...)
 	if err != nil {
 		_ = lc.Close()
 		return nil, fmt.Errorf("market: join %q: %w", name, err)

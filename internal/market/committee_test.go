@@ -1,0 +1,148 @@
+package market_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/core"
+	"distauction/internal/market"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+	"distauction/internal/workload"
+)
+
+// TestPerAuctionCommittees runs two auctions on ONE four-provider market
+// deployment where each auction's session spans a different three-provider
+// committee — the "away from one Mux, one committee" refactor a federation
+// shard layout needs. Node 1 serves only "left", node 4 only "right",
+// nodes 2 and 3 serve both over the same attachment.
+func TestPerAuctionCommittees(t *testing.T) {
+	const rounds, n = 3, 3
+	fleet := []wire.NodeID{1, 2, 3, 4}
+	left := []wire.NodeID{1, 2, 3}
+	right := []wire.NodeID{2, 3, 4}
+
+	hub := transport.NewHub(transport.LatencyModel{}, 1)
+	t.Cleanup(func() { hub.Close() })
+	markets := make(map[wire.NodeID]*market.Market, len(fleet))
+	for _, id := range fleet {
+		conn, err := hub.Attach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk, err := market.Open(conn, fleet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mk.Close() })
+		markets[id] = mk
+	}
+
+	// A committee the local node is not part of is a configuration error.
+	if _, err := markets[4].OpenAuction(market.AuctionSpec{
+		Name: "left", Lane: 1, Users: userRange(1001, n), Providers: left,
+	}); !errors.Is(err, core.ErrConfig) {
+		t.Fatalf("open outside own committee: %v", err)
+	}
+
+	leftUsers, rightUsers := userRange(1001, n), userRange(2001, n)
+	leftInst := workload.NewDoubleAuction(1, n, len(left))
+	rightInst := workload.NewDoubleAuction(2, n, len(right))
+	open := func(name string, lane uint32, committee []wire.NodeID,
+		users []wire.NodeID, inst workload.DoubleAuctionInstance) {
+		for i, id := range committee {
+			_, err := markets[id].OpenAuction(market.AuctionSpec{
+				Name:      name,
+				Lane:      lane,
+				Users:     users,
+				Providers: committee,
+				Options: []core.SessionOption{
+					core.WithK(1),
+					core.WithMechanismName("double"),
+					core.WithBidWindow(10 * time.Second),
+					core.WithRoundTimeout(testTimeout),
+					core.WithRoundLimit(rounds),
+					core.WithOutcomeBuffer(rounds),
+					core.WithProviderBid(inst.Providers[i]),
+				},
+			})
+			if err != nil {
+				t.Fatalf("open %q on node %d: %v", name, id, err)
+			}
+		}
+	}
+	open("left", 1, left, leftUsers, leftInst)
+	open("right", 2, right, rightUsers, rightInst)
+
+	run := func(name string, lane uint32, committee, users []wire.NodeID,
+		inst workload.DoubleAuctionInstance) error {
+		var wg sync.WaitGroup
+		errs := make([]error, len(users))
+		for i, id := range users {
+			conn, err := hub.Attach(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb, err := market.NewBidder(conn, committee)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { mb.Close() })
+			s, err := mb.JoinCommittee(name, lane, committee,
+				core.WithRoundLimit(rounds),
+				core.WithOutcomeBuffer(rounds),
+				core.WithRoundTimeout(testTimeout))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(i int, s *core.BidderSession) {
+				defer wg.Done()
+				for r := 1; r <= rounds; r++ {
+					if err := s.Submit(uint64(r), inst.Users[i]); err != nil {
+						errs[i] = err
+						return
+					}
+				}
+				seen := 0
+				for out := range s.Outcomes() {
+					seen++
+					if out.Err != nil {
+						errs[i] = out.Err
+						return
+					}
+				}
+				if seen != rounds {
+					errs[i] = errors.New("missing rounds")
+				}
+			}(i, s)
+		}
+		wg.Wait()
+		return errors.Join(errs...)
+	}
+
+	var wg sync.WaitGroup
+	var leftErr, rightErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); leftErr = run("left", 1, left, leftUsers, leftInst) }()
+	go func() { defer wg.Done(); rightErr = run("right", 2, right, rightUsers, rightInst) }()
+	wg.Wait()
+	if leftErr != nil {
+		t.Fatalf("left: %v", leftErr)
+	}
+	if rightErr != nil {
+		t.Fatalf("right: %v", rightErr)
+	}
+
+	// The shared nodes' markets carry both auctions; the edge nodes one each.
+	waitForRounds(t, markets[2], 2*rounds)
+	if snap := markets[2].Stats(); snap.Open != 2 || snap.Accepted != 2*rounds {
+		t.Fatalf("node 2 stats: %+v", snap)
+	}
+	waitForRounds(t, markets[1], rounds)
+	if snap := markets[1].Stats(); snap.Open != 1 || snap.Accepted != rounds {
+		t.Fatalf("node 1 stats: %+v", snap)
+	}
+}

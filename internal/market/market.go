@@ -86,6 +86,14 @@ type AuctionSpec struct {
 	// Users are the auction's bidders (consensus-slot aligned, like
 	// core.Config.Users). Required.
 	Users []wire.NodeID
+	// Providers pins this auction's committee: the provider subset that
+	// runs its session. Empty means the market's default fleet. The
+	// market's own node must be a member, and — like Name/Lane/Users —
+	// every committee member must open the auction with the same committee.
+	// Distinct auctions of one market may run on distinct committees; this
+	// is what lets a federation place many provider committees behind one
+	// catalog.
+	Providers []wire.NodeID
 	// StartRound is the auction's first round (0 means 1). It is spelled
 	// here rather than in Options because the admission gate must know it.
 	StartRound uint64
@@ -153,15 +161,19 @@ func WithOnOutcome(f func(auction string, out core.RoundOutcome)) Option {
 // its own wire lane: rounds of different auctions pipeline independently
 // and a ⊥ in one auction never touches another.
 type Market struct {
-	mux         *Mux
-	providers   []wire.NodeID
-	providerSet map[wire.NodeID]struct{}
-	cfg         settings
-	started     time.Time
+	mux       *Mux
+	providers []wire.NodeID
+	cfg       settings
+	started   time.Time
 
-	// gates is the admission hot path's lane → gate index (copy-on-write,
-	// read per inbound bid without locks).
-	gates atomic.Pointer[map[uint32]*gate]
+	// lanes is the admission hot path's lane → (committee, gate) index
+	// (copy-on-write, read per inbound envelope without locks).
+	lanes atomic.Pointer[map[uint32]*laneEntry]
+	// universe is every provider ID this market may hear from on any lane:
+	// the default fleet plus every per-auction committee and every
+	// RegisterProviders addition. Traffic from the universe may park on a
+	// not-yet-open lane; anything else is dropped at the door.
+	universe atomic.Pointer[map[wire.NodeID]struct{}]
 
 	mu     sync.Mutex
 	byName map[string]*Auction
@@ -170,6 +182,14 @@ type Market struct {
 	wg     sync.WaitGroup
 
 	swept metrics.Counter // expired reservations reclaimed by sweep hooks
+}
+
+// laneEntry is one open lane's admission state: the committee whose
+// protocol traffic passes unconditionally, and the bid gate for everyone
+// else.
+type laneEntry struct {
+	committee map[wire.NodeID]struct{}
+	gate      *gate
 }
 
 // Open starts an empty market for a provider node over conn. conn must be
@@ -198,18 +218,52 @@ func Open(conn transport.Conn, providers []wire.NodeID, opts ...Option) (*Market
 		return nil, fmt.Errorf("%w: node %d is not a configured provider", core.ErrConfig, conn.Self())
 	}
 	m := &Market{
-		mux:         NewMux(conn),
-		providers:   append([]wire.NodeID(nil), providers...),
-		providerSet: set,
-		cfg:         cfg,
-		started:     time.Now(),
-		byName:      make(map[string]*Auction),
-		byLane:      make(map[uint32]*Auction),
+		mux:       NewMux(conn),
+		providers: append([]wire.NodeID(nil), providers...),
+		cfg:       cfg,
+		started:   time.Now(),
+		byName:    make(map[string]*Auction),
+		byLane:    make(map[uint32]*Auction),
 	}
-	empty := make(map[uint32]*gate)
-	m.gates.Store(&empty)
+	empty := make(map[uint32]*laneEntry)
+	m.lanes.Store(&empty)
+	m.universe.Store(&set)
 	m.mux.SetAdmission(m.admitEnvelope)
 	return m, nil
+}
+
+// RegisterProviders widens the market's provider universe: traffic from
+// these nodes may park on lanes whose auction is not open here yet (the
+// open race every deployment has). OpenAuction registers its committee
+// automatically; call this ahead of time when committee traffic can arrive
+// before the local OpenAuction — a federation does, for every committee its
+// node serves.
+func (m *Market) RegisterProviders(ids ...wire.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.registerProvidersLocked(ids)
+}
+
+// registerProvidersLocked copy-on-writes the universe. Caller holds m.mu.
+func (m *Market) registerProvidersLocked(ids []wire.NodeID) {
+	old := *m.universe.Load()
+	missing := 0
+	for _, id := range ids {
+		if _, ok := old[id]; !ok {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return
+	}
+	next := make(map[wire.NodeID]struct{}, len(old)+missing)
+	for k, v := range old {
+		next[k] = v
+	}
+	for _, id := range ids {
+		next[id] = struct{}{}
+	}
+	m.universe.Store(&next)
 }
 
 // Self returns the provider's node ID.
@@ -218,23 +272,26 @@ func (m *Market) Self() wire.NodeID { return m.mux.Self() }
 // Providers returns the market's provider fleet (shared; do not modify).
 func (m *Market) Providers() []wire.NodeID { return m.providers }
 
-// admitEnvelope is the mux's admission gate. Provider traffic (protocol
-// blocks, own-bid broadcasts, aborts) always passes; bidder traffic passes
-// only as a bid submission admitted by its auction's gate — so bidders
-// cannot inject protocol or control messages into market lanes, and bid
-// ingest beyond round capacity is dropped at the door.
+// admitEnvelope is the mux's admission gate. On an open lane, committee
+// traffic (protocol blocks, own-bid broadcasts, aborts) always passes and
+// bidder traffic passes only as a bid submission admitted by the auction's
+// gate — so bidders cannot inject protocol or control messages into market
+// lanes, bid ingest beyond round capacity is dropped at the door, and one
+// auction's committee cannot reach into another committee's lane. On a lane
+// not open here yet, traffic from the provider universe may park for the
+// imminent OpenAuction; everything else is dropped.
 func (m *Market) admitEnvelope(lane uint32, env wire.Envelope) bool {
-	if _, ok := m.providerSet[env.From]; ok {
-		return true
+	if e := (*m.lanes.Load())[lane]; e != nil {
+		if _, ok := e.committee[env.From]; ok {
+			return true
+		}
+		if env.Tag.Block != wire.BlockBidSubmit {
+			return false
+		}
+		return e.gate.admit(env.From, env.Tag.Round)
 	}
-	if env.Tag.Block != wire.BlockBidSubmit {
-		return false
-	}
-	g := (*m.gates.Load())[lane]
-	if g == nil {
-		return false // auction not open here (yet): the bid could not be used
-	}
-	return g.admit(env.From, env.Tag.Round)
+	_, ok := (*m.universe.Load())[env.From]
+	return ok
 }
 
 // OpenAuction adds an auction to the catalog and starts its session.
@@ -258,6 +315,25 @@ func (m *Market) OpenAuction(spec AuctionSpec) (*Auction, error) {
 	if window == 0 {
 		window = m.cfg.admissionWindow
 	}
+	committee := m.providers
+	if len(spec.Providers) > 0 {
+		committee = append([]wire.NodeID(nil), spec.Providers...)
+		member := false
+		for _, p := range committee {
+			if p == m.Self() {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return nil, fmt.Errorf("%w: auction %q: node %d is not in its committee",
+				core.ErrConfig, spec.Name, m.Self())
+		}
+	}
+	committeeSet := make(map[wire.NodeID]struct{}, len(committee))
+	for _, p := range committee {
+		committeeSet[p] = struct{}{}
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -272,6 +348,10 @@ func (m *Market) OpenAuction(spec AuctionSpec) (*Auction, error) {
 			ErrLaneCollision, other.name, spec.Name, lane)
 	}
 
+	// Make the committee parkable before the session exists: its peers'
+	// first envelopes can already be in flight.
+	m.registerProvidersLocked(committee)
+
 	lc, err := m.mux.Lane(lane)
 	if err != nil {
 		return nil, err
@@ -279,21 +359,22 @@ func (m *Market) OpenAuction(spec AuctionSpec) (*Auction, error) {
 	opts := make([]core.SessionOption, 0, len(spec.Options)+1)
 	opts = append(opts, spec.Options...)
 	opts = append(opts, core.WithStartRound(startRound))
-	sess, err := core.OpenSession(lc, m.providers, spec.Users, opts...)
+	sess, err := core.OpenSession(lc, committee, spec.Users, opts...)
 	if err != nil {
 		_ = lc.Close()
 		return nil, fmt.Errorf("market: auction %q: %w", spec.Name, err)
 	}
 
 	a := &Auction{
-		market:  m,
-		name:    spec.Name,
-		lane:    lane,
-		session: sess,
-		users:   append([]wire.NodeID(nil), spec.Users...),
-		gate:    newGate(spec.Users, startRound, window),
-		meter:   metrics.NewMeter(nil),
-		done:    make(chan struct{}),
+		market:    m,
+		name:      spec.Name,
+		lane:      lane,
+		session:   sess,
+		users:     append([]wire.NodeID(nil), spec.Users...),
+		providers: committee,
+		gate:      newGate(spec.Users, startRound, window),
+		meter:     metrics.NewMeter(nil),
+		done:      make(chan struct{}),
 	}
 	if spec.Enforce != nil {
 		a.enforcer = &gateway.Enforcer{
@@ -305,25 +386,25 @@ func (m *Market) OpenAuction(spec AuctionSpec) (*Auction, error) {
 	}
 	m.byName[a.name] = a
 	m.byLane[a.lane] = a
-	m.storeGateLocked(a.lane, a.gate)
+	m.storeLaneLocked(a.lane, &laneEntry{committee: committeeSet, gate: a.gate})
 	m.wg.Add(1)
 	go a.consume()
 	return a, nil
 }
 
-// storeGateLocked copy-on-writes the admission index. Caller holds m.mu.
-func (m *Market) storeGateLocked(lane uint32, g *gate) {
-	old := *m.gates.Load()
-	next := make(map[uint32]*gate, len(old)+1)
+// storeLaneLocked copy-on-writes the admission index. Caller holds m.mu.
+func (m *Market) storeLaneLocked(lane uint32, e *laneEntry) {
+	old := *m.lanes.Load()
+	next := make(map[uint32]*laneEntry, len(old)+1)
 	for k, v := range old {
 		next[k] = v
 	}
-	if g == nil {
+	if e == nil {
 		delete(next, lane)
 	} else {
-		next[lane] = g
+		next[lane] = e
 	}
-	m.gates.Store(&next)
+	m.lanes.Store(&next)
 }
 
 // Auction returns the named open auction.
@@ -367,7 +448,7 @@ func (m *Market) closeAuction(a *Auction) error {
 	if m.byName[a.name] == a {
 		delete(m.byName, a.name)
 		delete(m.byLane, a.lane)
-		m.storeGateLocked(a.lane, nil)
+		m.storeLaneLocked(a.lane, nil)
 	}
 	m.mu.Unlock()
 	return err
@@ -434,12 +515,13 @@ func (m *Market) Close() error {
 
 // Auction is one open auction of the catalog (the provider-side handle).
 type Auction struct {
-	market  *Market
-	name    string
-	lane    uint32
-	session *core.Session
-	users   []wire.NodeID
-	gate    *gate
+	market    *Market
+	name      string
+	lane      uint32
+	session   *core.Session
+	users     []wire.NodeID
+	providers []wire.NodeID // this auction's committee
+	gate      *gate
 
 	enforcer *gateway.Enforcer
 
@@ -458,6 +540,9 @@ func (a *Auction) Name() string { return a.name }
 
 // Lane returns the auction's wire lane.
 func (a *Auction) Lane() uint32 { return a.lane }
+
+// Providers returns the auction's committee (shared; do not modify).
+func (a *Auction) Providers() []wire.NodeID { return a.providers }
 
 // Session exposes the underlying session (own-bid updates via SetBid,
 // raw-message scripting via Session.Peer in tests).
@@ -478,7 +563,7 @@ func (a *Auction) consume() {
 		// running at the pipeline's natural lookahead.
 		a.gate.roundDone(out.Round)
 		if out.Err == nil && a.enforcer != nil {
-			if err := a.enforcer.Enforce(out.Round, out.Outcome, a.users, a.market.providers); err != nil {
+			if err := a.enforcer.Enforce(out.Round, out.Outcome, a.users, a.providers); err != nil {
 				a.enforceErrs.Inc()
 			}
 		}
