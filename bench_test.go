@@ -14,6 +14,7 @@ package distauction_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -591,6 +592,55 @@ func BenchmarkFederationThroughput(b *testing.B) {
 			b.ReportMetric(float64(totalRounds)/totalTime.Seconds(), "rounds/s")
 		})
 	}
+}
+
+// BenchmarkSteadyStateAllocs measures the steady-state memory discipline of
+// the pipelined market: allocations, heap bytes, and GC pause time per
+// round, plus net goroutine growth, across a 1000-round 4-auction run over
+// the zero-latency hub (protocol cost only — no idle link time to hide
+// allocation churn behind). Deployment and teardown are inside the window,
+// which 4000 rounds dilute to noise; the steady state dominates. CI's
+// allocation-regression smoke step holds allocs/round to the budget
+// recorded in BENCH_baseline.json (+20%).
+func BenchmarkSteadyStateAllocs(b *testing.B) {
+	const auctions, rounds = 4, 1000
+	var allocs, bytes, pauses, growth, total float64
+	for i := 0; i < b.N; i++ {
+		runtime.GC()
+		gBefore := runtime.NumGoroutine()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, err := harness.RunMarketDouble(auctions, rounds,
+			harness.WithProviders(3), harness.WithUsers(10), harness.WithK(1),
+			harness.WithSeed(uint64(i+1)),
+			harness.WithBidWindow(10*time.Second),
+			harness.WithPipelineDepth(4),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Accepted != auctions*rounds {
+			b.Fatalf("accepted %d of %d rounds", res.Accepted, auctions*rounds)
+		}
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		// Teardown unwinds asynchronously at the margins; give departing
+		// goroutines a moment before declaring growth.
+		gAfter := runtime.NumGoroutine()
+		for wait := 0; gAfter > gBefore && wait < 200; wait++ {
+			time.Sleep(5 * time.Millisecond)
+			gAfter = runtime.NumGoroutine()
+		}
+		allocs += float64(after.Mallocs - before.Mallocs)
+		bytes += float64(after.TotalAlloc - before.TotalAlloc)
+		pauses += float64(after.PauseTotalNs - before.PauseTotalNs)
+		growth += float64(gAfter - gBefore)
+		total += float64(res.Rounds)
+	}
+	b.ReportMetric(allocs/total, "allocs/round")
+	b.ReportMetric(bytes/total, "B/round")
+	b.ReportMetric(pauses/total, "gcpause-ns/round")
+	b.ReportMetric(growth/float64(b.N), "goroutine-growth")
 }
 
 // BenchmarkReplicatedVsParallel ablates the standard auction's task

@@ -28,6 +28,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -71,7 +73,13 @@ func main() {
 	cost := flag.String("cost", "1", "tcp mode: own unit cost (double auction)")
 	capacity := flag.String("capacity", "10", "tcp mode: own capacity (double auction)")
 	secret := flag.String("secret", "", "tcp mode: shared master secret for HMAC keys")
+
+	// Runtime observability knobs (both modes).
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+	statsEvery := flag.Duration("runtime-stats", 0, "print a runtime stats line (heap, goroutines, GC) at this interval (0 = off)")
 	flag.Parse()
+
+	startDiagnostics(*pprofAddr, *statsEvery)
 
 	specs, err := parseAuctions(*auctionsFlag)
 	if err == nil {
@@ -87,6 +95,31 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marketd:", err)
 		os.Exit(1)
+	}
+}
+
+// startDiagnostics wires the optional runtime observability: a pprof HTTP
+// endpoint (profiles pick up the session/taskgraph worker labels) and a
+// periodic one-line runtime stats print. Both run for the life of the
+// process — marketd exits by returning from main, so neither needs a stop
+// path.
+func startDiagnostics(pprofAddr string, statsEvery time.Duration) {
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "marketd: pprof:", err)
+			}
+		}()
+		fmt.Printf("marketd: pprof on http://%s/debug/pprof/\n", pprofAddr)
+	}
+	if statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(statsEvery)
+			defer tick.Stop()
+			for range tick.C {
+				fmt.Fprintln(os.Stderr, "marketd:", metrics.ReadRuntime().String())
+			}
+		}()
 	}
 }
 

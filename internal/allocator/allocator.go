@@ -25,6 +25,7 @@ package allocator
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"distauction/internal/proto"
 	"distauction/internal/taskgraph"
@@ -68,6 +69,68 @@ func RunWith(ctx context.Context, peer *proto.Peer, round uint64, input []byte, 
 		Gate:  gate,
 	})
 	<-vdone // join the validator on every path
+	if err != nil {
+		return nil, err
+	}
+	if verr != nil {
+		// Normally subsumed by the scheduler's gate; kept as a backstop.
+		return nil, verr
+	}
+	if out == nil {
+		return nil, peer.FailRound(round, fmt.Sprintf("allocator: empty output in round %d", round))
+	}
+	return out, nil
+}
+
+// valGate is the pooled per-round state of the overlapped input validation:
+// a WaitGroup join plus the validator's verdict. Its two closures are built
+// once and recycled with it, so a steady-state round pays one pool hit for
+// the whole validation plumbing instead of a channel, two closures and
+// their captures.
+type valGate struct {
+	wg    sync.WaitGroup
+	err   error
+	ctx   context.Context
+	peer  *proto.Peer
+	round uint64
+	input []byte
+	run   func()       // runs validate.Run with the fields above, then Done
+	wait  func() error // the publish gate: joins, then reports the verdict
+}
+
+var gatePool = sync.Pool{New: func() any {
+	vg := &valGate{}
+	vg.run = func() {
+		vg.err = validate.Run(vg.ctx, vg.peer, vg.round, vg.input)
+		vg.wg.Done()
+	}
+	vg.wait = func() error {
+		vg.wg.Wait()
+		return vg.err
+	}
+	return vg
+}}
+
+// RunExecutor is the allocator over a persistent taskgraph.Executor: the
+// session's steady-state path, where the graph and its schedule plan were
+// compiled once and env carries the round's agreed bids to the compiled
+// task bodies. Validation overlaps execution exactly as in RunWith, through
+// a pooled gate.
+func RunExecutor(ctx context.Context, peer *proto.Peer, round uint64, input []byte, ex *taskgraph.Executor, env any, coins taskgraph.CoinSource) ([]byte, error) {
+	vg := gatePool.Get().(*valGate)
+	vg.ctx, vg.peer, vg.round, vg.input = ctx, peer, round, input
+	vg.err = nil
+	vg.wg.Add(1)
+	go vg.run()
+
+	out, err := ex.Run(ctx, round, env, taskgraph.Options{
+		Coins: coins,
+		Gate:  vg.wait,
+	})
+	vg.wg.Wait() // join the validator on every path
+	verr := vg.err
+	vg.ctx, vg.peer, vg.input = nil, nil, nil
+	gatePool.Put(vg)
 	if err != nil {
 		return nil, err
 	}

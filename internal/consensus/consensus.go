@@ -46,6 +46,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"distauction/internal/commit"
 	"distauction/internal/prng"
@@ -88,6 +89,26 @@ type digestProposal struct {
 }
 
 const digestProposalSize = 8 + sha256.Size
+
+// scratch is one Propose call's working set — gather buffer, parsed
+// commitments and digests, salt and commit-value bytes — recycled across
+// calls. The gather buffer holds views into the round's buffered payloads
+// and is cleared before pooling; everything else is pointer-free.
+type scratch struct {
+	gather  [][]byte
+	commits []commit.Commitment
+	digests []digestProposal
+	salt    [commit.SaltSize]byte
+	dp      [digestProposalSize]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+func putScratch(sc *scratch) {
+	clear(sc.gather) // unpin the round's payload views
+	sc.gather = sc.gather[:0]
+	scratchPool.Put(sc)
+}
 
 func encodeDigestProposal(p digestProposal) []byte {
 	out := make([]byte, digestProposalSize)
@@ -202,27 +223,37 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 	}
 	providers := peer.Providers()
 	dom := domain(round, instance)
+	sc := scratchPool.Get().(*scratch)
+	defer putScratch(sc)
 
+	if _, err := rand.Read(sc.salt[:]); err != nil {
+		return nil, peer.FailRound(round, fmt.Sprintf("consensus: entropy: %v", err))
+	}
 	var shareBytes [8]byte
 	if _, err := rand.Read(shareBytes[:]); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: entropy: %v", err))
 	}
 	local := digestProposal{share: binary.BigEndian.Uint64(shareBytes[:]), digest: vectorDigest(inputs)}
-	com, op, err := commit.New(dom, peer.Self(), encodeDigestProposal(local))
-	if err != nil {
-		return nil, peer.FailRound(round, fmt.Sprintf("consensus: commit: %v", err))
-	}
+	binary.BigEndian.PutUint64(sc.dp[:], local.share)
+	copy(sc.dp[8:], local.digest[:])
+	// The opening's salt and value alias the scratch; both are consumed —
+	// hashed, then copied by EncodeOpening — before this call returns.
+	com, op := commit.NewWithSalt(dom, peer.Self(), sc.salt[:], sc.dp[:])
 
 	// Phase 1: commit.
 	commitTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepCommit}
 	if err := peer.BroadcastProviders(commitTag, com[:]); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast commit: %v", err))
 	}
-	commitPayloads, err := peer.GatherOrdered(ctx, commitTag, providers)
+	commitPayloads, err := peer.GatherAppend(ctx, commitTag, providers, sc.gather[:0])
+	sc.gather = commitPayloads
 	if err != nil {
 		return nil, failUnlessAborted(peer, round, "consensus: gather commits", err)
 	}
-	commits := make([]commit.Commitment, len(providers))
+	if cap(sc.commits) < len(providers) {
+		sc.commits = make([]commit.Commitment, len(providers))
+	}
+	commits := sc.commits[:len(providers)]
 	for i, payload := range commitPayloads {
 		if len(payload) != commit.Size {
 			return nil, peer.FailRound(round, fmt.Sprintf("consensus: provider %d sent malformed commitment", providers[i]))
@@ -237,7 +268,8 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 	if err := peer.BroadcastProviders(echoTag, echo[:]); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast echo: %v", err))
 	}
-	echoes, err := peer.GatherOrdered(ctx, echoTag, providers)
+	echoes, err := peer.GatherAppend(ctx, echoTag, providers, sc.gather[:0])
+	sc.gather = echoes
 	if err != nil {
 		return nil, failUnlessAborted(peer, round, "consensus: gather echoes", err)
 	}
@@ -257,12 +289,16 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 	if err := peer.BroadcastProviders(revealTag, commit.EncodeOpening(op)); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast reveal: %v", err))
 	}
-	reveals, err := peer.GatherOrdered(ctx, revealTag, providers)
+	reveals, err := peer.GatherAppend(ctx, revealTag, providers, sc.gather[:0])
+	sc.gather = reveals
 	if err != nil {
 		return nil, failUnlessAborted(peer, round, "consensus: gather reveals", err)
 	}
 
-	digests := make([]digestProposal, len(providers))
+	if cap(sc.digests) < len(providers) {
+		sc.digests = make([]digestProposal, len(providers))
+	}
+	digests := sc.digests[:len(providers)]
 	var seed uint64
 	unanimous := true
 	for i, id := range providers {
@@ -303,7 +339,8 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 	if err := peer.BroadcastProviders(vectorTag, full); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast vector: %v", err))
 	}
-	vectors, err := peer.GatherOrdered(ctx, vectorTag, providers)
+	vectors, err := peer.GatherAppend(ctx, vectorTag, providers, sc.gather[:0])
+	sc.gather = vectors
 	if err != nil {
 		return nil, failUnlessAborted(peer, round, "consensus: gather vectors", err)
 	}

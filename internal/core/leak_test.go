@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/testleak"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+)
+
+// TestSessionLifecycleNoGoroutineLeak opens a full session cluster, runs it
+// to its round limit, closes everything and requires the goroutine census
+// to settle back to the snapshot: the persistent round workers, the
+// executor's task workers and the emitter must all join on Close, and no
+// per-round timer or watchdog may survive the session.
+func TestSessionLifecycleNoGoroutineLeak(t *testing.T) {
+	providers := []wire.NodeID{1, 2, 3}
+	users := []wire.NodeID{101, 102}
+	testleak.Check(t, func() {
+		hub := transport.NewHub(transport.LatencyModel{}, 1)
+		defer hub.Close()
+		var sessions []*Session
+		for _, id := range providers {
+			conn, err := hub.Attach(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := OpenSession(conn, providers, users,
+				WithMechanismName("double"),
+				WithBidWindow(5*time.Millisecond),
+				WithRoundLimit(3),
+				WithRoundTimeout(10*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions = append(sessions, s)
+		}
+		var wg sync.WaitGroup
+		for _, s := range sessions {
+			wg.Add(1)
+			go func(s *Session) {
+				defer wg.Done()
+				for out := range s.Outcomes() {
+					if out.Err != nil {
+						t.Errorf("round %d: %v", out.Round, out.Err)
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		for _, s := range sessions {
+			if err := s.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}
+	})
+}
+
+// TestSessionAbortiveCloseNoGoroutineLeak closes sessions mid-flight (no
+// round limit, rounds in progress) and requires the same clean join: the
+// in-flight rounds abort loudly, the workers drain, nothing leaks.
+func TestSessionAbortiveCloseNoGoroutineLeak(t *testing.T) {
+	providers := []wire.NodeID{1, 2, 3}
+	users := []wire.NodeID{101, 102}
+	testleak.Check(t, func() {
+		hub := transport.NewHub(transport.LatencyModel{}, 1)
+		defer hub.Close()
+		var sessions []*Session
+		for _, id := range providers {
+			conn, err := hub.Attach(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := OpenSession(conn, providers, users,
+				WithMechanismName("double"),
+				WithBidWindow(time.Millisecond),
+				WithRoundTimeout(10*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sessions = append(sessions, s)
+		}
+		var wg sync.WaitGroup
+		for _, s := range sessions {
+			wg.Add(1)
+			go func(s *Session) {
+				defer wg.Done()
+				for range s.Outcomes() {
+				}
+			}(s)
+		}
+		// Let a few rounds get in flight, then tear down mid-stride.
+		time.Sleep(20 * time.Millisecond)
+		for _, s := range sessions {
+			if err := s.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}
+		wg.Wait()
+	})
+}

@@ -57,6 +57,29 @@ type Mechanism interface {
 	BuildGraph(cfg GraphConfig, bids auction.BidVector) (*taskgraph.Graph, error)
 }
 
+// GraphCompiler is an optional Mechanism extension for round-generic task
+// graphs: CompileGraph returns a graph whose task bodies read the agreed
+// bids from TaskContext.Env (an *auction.BidVector) instead of closing
+// over them, so the structure is a pure function of the deployment facts.
+// The round engine compiles such a graph — and its schedule plan — once
+// per session and reuses it every round through a persistent
+// taskgraph.Executor; mechanisms without this extension fall back to
+// BuildGraph per round. The compiled graph must decompose A identically to
+// BuildGraph for every bid vector.
+type GraphCompiler interface {
+	CompileGraph(cfg GraphConfig) (*taskgraph.Graph, error)
+}
+
+// envBids extracts the per-round bid vector a compiled graph's task runs
+// under (TaskContext.Env as set by the round engine).
+func envBids(tc *taskgraph.TaskContext) (auction.BidVector, error) {
+	bids, ok := tc.Env.(*auction.BidVector)
+	if !ok || bids == nil {
+		return auction.BidVector{}, errors.New("core: compiled graph executed without a bid environment")
+	}
+	return *bids, nil
+}
+
 // DoubleAuction is the double-auction mechanism of §5.2.1. Its algorithm is
 // sorting-dominated, so the task graph is a single replicated task: every
 // provider runs the full algorithm and the group digest-check
@@ -64,7 +87,10 @@ type Mechanism interface {
 // exactly as the paper prescribes).
 type DoubleAuction struct{}
 
-var _ Mechanism = DoubleAuction{}
+var (
+	_ Mechanism     = DoubleAuction{}
+	_ GraphCompiler = DoubleAuction{}
+)
 
 // Name implements Mechanism.
 func (DoubleAuction) Name() string { return "double" }
@@ -79,7 +105,21 @@ func (DoubleAuction) Solve(bids auction.BidVector, _ uint64) (auction.Outcome, e
 
 // BuildGraph implements Mechanism with the single replicated task.
 func (m DoubleAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*taskgraph.Graph, error) {
+	return m.graph(cfg, func(*taskgraph.TaskContext) (auction.BidVector, error) { return bids, nil })
+}
+
+// CompileGraph implements GraphCompiler: the same single replicated task,
+// reading each round's bids from the executor environment.
+func (m DoubleAuction) CompileGraph(cfg GraphConfig) (*taskgraph.Graph, error) {
+	return m.graph(cfg, envBids)
+}
+
+func (m DoubleAuction) graph(cfg GraphConfig, src func(*taskgraph.TaskContext) (auction.BidVector, error)) (*taskgraph.Graph, error) {
 	run := func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+		bids, err := src(tc)
+		if err != nil {
+			return nil, err
+		}
 		out, err := doubleauction.Solve(bids)
 		if err != nil {
 			return nil, err
@@ -108,8 +148,9 @@ type StandardAuction struct {
 }
 
 var (
-	_ Mechanism   = StandardAuction{}
-	_ CoinPlanner = StandardAuction{}
+	_ Mechanism     = StandardAuction{}
+	_ CoinPlanner   = StandardAuction{}
+	_ GraphCompiler = StandardAuction{}
 )
 
 // Name implements Mechanism.
@@ -132,17 +173,30 @@ func (m StandardAuction) Solve(bids auction.BidVector, seed uint64) (auction.Out
 // BuildGraph implements Mechanism with the three-stage decomposition of
 // Algorithm 1 (or a single replicated task when Replicated is set).
 func (m StandardAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*taskgraph.Graph, error) {
+	return m.graph(cfg, func(*taskgraph.TaskContext) (auction.BidVector, error) { return bids, nil })
+}
+
+// CompileGraph implements GraphCompiler: the identical decomposition with
+// each round's bids read from the executor environment.
+func (m StandardAuction) CompileGraph(cfg GraphConfig) (*taskgraph.Graph, error) {
+	return m.graph(cfg, envBids)
+}
+
+func (m StandardAuction) graph(cfg GraphConfig, src func(*taskgraph.TaskContext) (auction.BidVector, error)) (*taskgraph.Graph, error) {
+	params := m.Params
 	if m.Replicated {
-		users := bids.Users
-		params := m.Params
 		return taskgraph.New(cfg.Providers, cfg.K, []taskgraph.Task{{
 			ID: 1, Name: "standard-replicated", Group: cfg.Providers, UsesCoin: true, CoinDraws: 1,
 			Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+				bids, err := src(tc)
+				if err != nil {
+					return nil, err
+				}
 				seed, err := tc.Coin()
 				if err != nil {
 					return nil, err
 				}
-				out, err := standardauction.Solve(users, params, seed)
+				out, err := standardauction.Solve(bids.Users, params, seed)
 				if err != nil {
 					return nil, err
 				}
@@ -154,19 +208,21 @@ func (m StandardAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*t
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("core: cannot form any group of %d providers from %d", cfg.K+1, len(cfg.Providers))
 	}
-	users := bids.Users
-	params := m.Params
 	c := len(groups)
 
 	tasks := make([]taskgraph.Task, 0, c+2)
 	tasks = append(tasks, taskgraph.Task{
 		ID: 1, Name: "allocate", Group: cfg.Providers, UsesCoin: true, CoinDraws: 1,
 		Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+			bids, err := src(tc)
+			if err != nil {
+				return nil, err
+			}
 			seed, err := tc.Coin()
 			if err != nil {
 				return nil, err
 			}
-			assign, err := standardauction.SolveAllocation(users, params, seed)
+			assign, err := standardauction.SolveAllocation(bids.Users, params, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -179,6 +235,11 @@ func (m StandardAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*t
 		tasks = append(tasks, taskgraph.Task{
 			ID: uint32(2 + gi), Name: fmt.Sprintf("payments-%d", gi), Deps: []uint32{1}, Group: groups[gi],
 			Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+				bids, err := src(tc)
+				if err != nil {
+					return nil, err
+				}
+				users := bids.Users
 				seed, assign, err := decodeAllocResult(tc.Inputs[1], len(users))
 				if err != nil {
 					return nil, err
@@ -194,9 +255,11 @@ func (m StandardAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*t
 					}
 				}
 				if params.ModelDelay > 0 && share > 0 {
+					t := time.NewTimer(time.Duration(share) * params.ModelDelay)
 					select {
-					case <-time.After(time.Duration(share) * params.ModelDelay):
+					case <-t.C:
 					case <-ctx.Done():
+						t.Stop()
 						return nil, ctx.Err()
 					}
 				}
@@ -226,6 +289,11 @@ func (m StandardAuction) BuildGraph(cfg GraphConfig, bids auction.BidVector) (*t
 	tasks = append(tasks, taskgraph.Task{
 		ID: uint32(2 + c), Name: "gather", Deps: deps, Group: cfg.Providers,
 		Run: func(ctx context.Context, tc *taskgraph.TaskContext) ([]byte, error) {
+			bids, err := src(tc)
+			if err != nil {
+				return nil, err
+			}
+			users := bids.Users
 			_, assign, err := decodeAllocResult(tc.Inputs[1], len(users))
 			if err != nil {
 				return nil, err

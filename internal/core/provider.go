@@ -98,9 +98,55 @@ type engine struct {
 	// context.WithTimeout allocation on the hot path.
 	bidTimer *time.Timer
 
+	// graph and exec are the session-persistent execution plan, compiled
+	// once when the mechanism implements GraphCompiler: the same
+	// round-generic graph runs every round on a persistent worker set, with
+	// the round's bids passed through the executor environment. Nil for
+	// mechanisms without the extension (per-round BuildGraph fallback).
+	graph *taskgraph.Graph
+	exec  *taskgraph.Executor
+
+	// bidsPool recycles the decoded per-round bid vectors the compiled path
+	// hands to the executor; a vector returns to the pool when its round's
+	// allocator run has fully joined.
+	bidsPool sync.Pool
+
 	mu        sync.Mutex
 	delivered map[uint64]bool // live rounds whose result already went to bidders
 	ended     uint64          // all rounds <= ended are reclaimed (and were delivered)
+	// slotsFree recycles collectBids' per-round slot slices; a round's slots
+	// are handed from openRound to finishRound and return here when the
+	// round finishes (on every path).
+	slotsFree [][][]byte
+}
+
+// compile builds the session-persistent plan when the mechanism supports
+// it. depth is the pipeline depth (concurrent rounds); a compile error
+// falls back to the per-round BuildGraph path, which reports it per round
+// exactly as before.
+func (e *engine) compile(depth int) {
+	gc, ok := e.cfg.Mechanism.(GraphCompiler)
+	if !ok {
+		return
+	}
+	g, err := gc.CompileGraph(GraphConfig{Providers: e.peer.Providers(), K: e.cfg.K})
+	if err != nil {
+		return
+	}
+	e.graph = g
+	e.exec = taskgraph.NewExecutor(e.peer, g, depth)
+}
+
+// close releases the engine's persistent resources (the executor's worker
+// set and the bid-window timer). The peer is closed separately by the
+// owning session or shim.
+func (e *engine) close() {
+	if e.exec != nil {
+		e.exec.Close()
+	}
+	if e.bidTimer != nil {
+		e.bidTimer.Stop()
+	}
 }
 
 // newEngine validates cfg and wraps conn (which must belong to one of
@@ -145,17 +191,30 @@ func (e *engine) broadcastOwnBid(ctx context.Context, round uint64, ownBid *auct
 	}
 	tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
 	deadline := time.Now().Add(e.cfg.BidWindow)
+	var retry *time.Timer // one reusable timer for the whole retry loop
 	for {
 		err := e.peer.BroadcastProviders(tag, bid.Encode())
 		if err == nil {
+			if retry != nil {
+				retry.Stop()
+			}
 			return nil
 		}
 		if ctx.Err() != nil || time.Now().After(deadline) {
+			if retry != nil {
+				retry.Stop()
+			}
 			return e.peer.FailRound(round, fmt.Sprintf("broadcast own bid: %v", err))
+		}
+		if retry == nil {
+			retry = time.NewTimer(10 * time.Millisecond)
+		} else {
+			retry.Reset(10 * time.Millisecond)
 		}
 		select {
 		case <-ctx.Done():
-		case <-time.After(10 * time.Millisecond):
+			retry.Stop()
+		case <-retry.C:
 		}
 	}
 }
@@ -192,7 +251,7 @@ func (e *engine) collectBids(ctx context.Context, round uint64) ([][]byte, error
 	window := e.bidTimer.C
 	expired := false
 
-	slots := make([][]byte, cfg.slotCount())
+	slots := e.getSlots()
 	tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
 	recvSlot := func(slot int, from wire.NodeID) error {
 		raw, err := e.peer.ReceiveTimeout(ctx, tag, from, window)
@@ -238,10 +297,75 @@ func (e *engine) collectBids(ctx context.Context, round uint64) ([][]byte, error
 	return slots, nil
 }
 
+// getSlots pops a recycled slot slice for collectBids (or allocates the
+// first pipeline-depth-many); putSlots returns it once the round is done
+// with the collected inputs.
+func (e *engine) getSlots() [][]byte {
+	n := e.cfg.slotCount()
+	var s [][]byte
+	e.mu.Lock()
+	if k := len(e.slotsFree); k > 0 {
+		s = e.slotsFree[k-1]
+		e.slotsFree[k-1] = nil
+		e.slotsFree = e.slotsFree[:k-1]
+	}
+	e.mu.Unlock()
+	if cap(s) < n {
+		return make([][]byte, n)
+	}
+	return s[:n]
+}
+
+func (e *engine) putSlots(s [][]byte) {
+	if s == nil {
+		return
+	}
+	clear(s) // drop the payload views before recycling
+	e.mu.Lock()
+	if len(e.slotsFree) < 8 {
+		e.slotsFree = append(e.slotsFree, s)
+	}
+	e.mu.Unlock()
+}
+
+// getBids pops a recycled bid vector sized for the deployment. Every live
+// slot is overwritten by finishRound's sanitize pass, so no cross-round
+// values survive a pool cycle.
+func (e *engine) getBids() *auction.BidVector {
+	bv, _ := e.bidsPool.Get().(*auction.BidVector)
+	if bv == nil {
+		bv = &auction.BidVector{}
+	}
+	n := len(e.cfg.Users)
+	if cap(bv.Users) < n {
+		bv.Users = make([]auction.UserBid, n)
+	} else {
+		bv.Users = bv.Users[:n]
+	}
+	if e.cfg.Mechanism.DoubleSided() {
+		m := len(e.cfg.Providers)
+		if cap(bv.Providers) < m {
+			bv.Providers = make([]auction.ProviderBid, m)
+		} else {
+			bv.Providers = bv.Providers[:m]
+		}
+	} else {
+		bv.Providers = nil
+	}
+	return bv
+}
+
+// putBids recycles a bid vector once its round's allocator run has fully
+// joined — nothing may retain the vector (or its slices) past that point.
+func (e *engine) putBids(bv *auction.BidVector) { e.bidsPool.Put(bv) }
+
 // finishRound runs phases 2–5 on the collected inputs: bid agreement, the
-// allocator (validate + task graph), and outcome delivery to bidders.
+// allocator (validate + task graph), and outcome delivery to bidders. It
+// owns inputs from here on: the slice returns to the slot pool when the
+// round finishes, on every path.
 func (e *engine) finishRound(ctx context.Context, round uint64, inputs [][]byte) (auction.Outcome, error) {
 	cfg := e.cfg
+	defer e.putSlots(inputs)
 
 	// Coin prefetch: when the mechanism's draw schedule is static, start
 	// the commit/echo phases of every instance now so they overlap bid
@@ -273,29 +397,38 @@ func (e *engine) finishRound(ctx context.Context, round uint64, inputs [][]byte)
 	}
 
 	// Phase 3: decode the agreed vector, substituting neutral bids for
-	// anything invalid (identical at every provider: the inputs agree).
-	bids := auction.BidVector{Users: make([]auction.UserBid, len(cfg.Users))}
+	// anything invalid (identical at every provider: the inputs agree). The
+	// vector is pooled: it feeds the round's allocator run and returns when
+	// that run has fully joined.
+	bids := e.getBids()
+	defer e.putBids(bids)
 	for i := range cfg.Users {
 		bids.Users[i] = auction.SanitizeUserBid(agreed[i])
 	}
 	if cfg.Mechanism.DoubleSided() {
-		bids.Providers = make([]auction.ProviderBid, len(cfg.Providers))
 		for j := range cfg.Providers {
 			bids.Providers[j] = auction.SanitizeProviderBid(agreed[len(cfg.Users)+j])
 		}
 	}
 
 	// Phase 4: the allocator (Property 2) — input validation, then the
-	// task-graph simulation of A.
-	graph, err := cfg.Mechanism.BuildGraph(GraphConfig{Providers: e.peer.Providers(), K: cfg.K}, bids)
-	if err != nil {
-		return e.deliverAbort(round, e.peer.FailRound(round, fmt.Sprintf("build graph: %v", err)))
-	}
+	// task-graph simulation of A. The compiled plan runs on the persistent
+	// executor; mechanisms without one get a per-round graph as before.
 	var coinSrc taskgraph.CoinSource
 	if coins != nil {
 		coinSrc = coins
 	}
-	rawOutcome, err := allocator.RunWith(ctx, e.peer, round, bids.Encode(), graph, coinSrc)
+	var rawOutcome []byte
+	if e.exec != nil {
+		rawOutcome, err = allocator.RunExecutor(ctx, e.peer, round, bids.Encode(), e.exec, bids, coinSrc)
+	} else {
+		var graph *taskgraph.Graph
+		graph, err = cfg.Mechanism.BuildGraph(GraphConfig{Providers: e.peer.Providers(), K: cfg.K}, *bids)
+		if err != nil {
+			return e.deliverAbort(round, e.peer.FailRound(round, fmt.Sprintf("build graph: %v", err)))
+		}
+		rawOutcome, err = allocator.RunWith(ctx, e.peer, round, bids.Encode(), graph, coinSrc)
+	}
 	if err != nil {
 		return e.deliverAbort(round, err)
 	}
@@ -387,6 +520,7 @@ func NewProvider(conn transport.Conn, cfg Config) (*Provider, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng.compile(1) // manual rounds run one at a time
 	return &Provider{eng: eng}, nil
 }
 
@@ -394,8 +528,13 @@ func NewProvider(conn transport.Conn, cfg Config) (*Provider, error) {
 // through it).
 func (p *Provider) Peer() *proto.Peer { return p.eng.peer }
 
-// Close releases the provider's network resources.
-func (p *Provider) Close() error { return p.eng.peer.Close() }
+// Close releases the provider's network resources and joins the engine's
+// persistent workers.
+func (p *Provider) Close() error {
+	err := p.eng.peer.Close()
+	p.eng.close()
+	return err
+}
 
 // RunRound executes one complete auction round on the shared round engine.
 // ownBid is this provider's bid for double-sided mechanisms (ignored

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -237,6 +238,10 @@ func OpenSession(conn transport.Conn, providers, users []wire.NodeID, opts ...Se
 	if err != nil {
 		return nil, err
 	}
+	// Compile the mechanism's graph and schedule plan once for the whole
+	// session; the executor's depth matches the round pipeline so every
+	// in-flight round has an arena.
+	eng.compile(settings.maxConcurrent)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Session{
 		eng:      eng,
@@ -302,6 +307,9 @@ func (s *Session) Close() error {
 			s.eng.deliverResult(r, false, nil)
 		}
 		s.wg.Wait()
+		// All round workers have returned, so no executor Run is in flight
+		// and the engine's worker set can drain without blocking.
+		s.eng.close()
 		s.closeOutcomes()
 	})
 	return s.eng.peer.Close()
@@ -352,15 +360,31 @@ func (s *Session) failRound(r uint64, err error) {
 	s.eng.deliverResult(r, false, nil)
 }
 
+// roundWork is one collected round handed from the scheduler to a round
+// worker: phases 0–1 are done, phases 2–5 remain.
+type roundWork struct {
+	r      uint64
+	inputs [][]byte
+}
+
 // schedule is the round scheduler: it serialises phase 0–1 (own-bid
 // broadcast and bid collection) across rounds — so bid windows are paced —
-// and spawns a worker for phases 2–5 of each collected round, overlapping
-// the next round's collection with the previous rounds' allocators.
+// and hands each collected round to one of maxConcurrent persistent round
+// workers for phases 2–5, overlapping the next round's collection with the
+// previous rounds' allocators. The workers live for the whole session
+// instead of being spawned per round, so a steady-state round costs a
+// channel handoff, not a goroutine start.
 func (s *Session) schedule() {
 	defer s.wg.Done()
 	slots := make(chan struct{}, s.settings.maxConcurrent)
+	work := make(chan roundWork)
 	var workers sync.WaitGroup
+	workers.Add(s.settings.maxConcurrent)
+	for i := 0; i < s.settings.maxConcurrent; i++ {
+		go s.roundWorker(work, slots, &workers)
+	}
 	defer func() {
+		close(work)
 		workers.Wait()
 		// All rounds done. A finite session closes its results stream so the
 		// emitter can flush and close Outcomes.
@@ -389,22 +413,42 @@ func (s *Session) schedule() {
 			continue
 		}
 
-		workers.Add(1)
-		go func(r uint64, inputs [][]byte) {
-			defer workers.Done()
-			defer func() { <-slots }()
-			rctx := s.ctx
-			if s.settings.roundTimeout > 0 {
-				var cancel context.CancelFunc
-				rctx, cancel = context.WithTimeout(s.ctx, s.settings.roundTimeout)
-				defer cancel()
-			}
-			out, err := s.eng.finishRound(rctx, r, inputs)
-			if err != nil {
-				s.failRound(r, err)
-			}
-			s.report(RoundOutcome{Round: r, Outcome: out, Err: err})
-		}(r, inputs)
+		select {
+		case work <- roundWork{r: r, inputs: inputs}:
+		case <-s.closing:
+			// The round made trackRound before close(closing), so Close's
+			// in-flight snapshot aborts it loudly; report it here so the
+			// results stream still accounts for every tracked round.
+			s.report(RoundOutcome{Round: r, Err: fmt.Errorf("%w: session closed", proto.ErrAborted)})
+			<-slots
+			return
+		}
+	}
+}
+
+// roundWorker is one of the session's persistent round workers: it runs
+// phases 2–5 of each round handed to it and releases the round's pipeline
+// slot after reporting. A worker holds no per-round state of its own — the
+// engine's executor and pools carry everything — so the set is fixed at
+// maxConcurrent for the session's whole life.
+func (s *Session) roundWorker(work <-chan roundWork, slots <-chan struct{}, workers *sync.WaitGroup) {
+	defer workers.Done()
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels("distauction", "session-round-worker")))
+	for rw := range work {
+		rctx := s.ctx
+		var cancel context.CancelFunc
+		if s.settings.roundTimeout > 0 {
+			rctx, cancel = context.WithTimeout(s.ctx, s.settings.roundTimeout)
+		}
+		out, err := s.eng.finishRound(rctx, rw.r, rw.inputs)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			s.failRound(rw.r, err)
+		}
+		s.report(RoundOutcome{Round: rw.r, Outcome: out, Err: err})
+		<-slots
 	}
 }
 

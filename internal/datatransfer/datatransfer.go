@@ -41,30 +41,38 @@ func Send(peer *proto.Peer, round uint64, instance uint32, receiving []wire.Node
 // from every member of S and requires unanimity; any conflict aborts the
 // round (⊥).
 func Recv(ctx context.Context, peer *proto.Peer, round uint64, instance uint32, sending []wire.NodeID) ([]byte, error) {
+	v, _, err := RecvInto(ctx, peer, round, instance, sending, nil)
+	return v, err
+}
+
+// RecvInto is Recv gathering into buf: callers on the per-round hot path
+// hand in a recycled scratch slice so the gather allocates nothing. It
+// returns the agreed value and the (possibly grown) scratch for reuse; the
+// scratch's payload views must be dropped before the round's protocol state
+// is reclaimed.
+func RecvInto(ctx context.Context, peer *proto.Peer, round uint64, instance uint32, sending []wire.NodeID, buf [][]byte) ([]byte, [][]byte, error) {
 	if err := peer.AbortErr(round); err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	tag := wire.Tag{Round: round, Block: wire.BlockTransfer, Instance: instance, Step: stepValue}
-	values, err := peer.Gather(ctx, tag, sending)
+	values, err := peer.GatherAppend(ctx, tag, sending, buf[:0])
 	if err != nil {
 		if abortErr := peer.AbortErr(round); abortErr != nil {
-			return nil, abortErr
+			return nil, values, abortErr
 		}
-		return nil, peer.FailRound(round, fmt.Sprintf("transfer %d: gather: %v", instance, err))
+		return nil, values, peer.FailRound(round, fmt.Sprintf("transfer %d: gather: %v", instance, err))
 	}
 	var agreed []byte
-	first := true
-	for _, s := range sending {
-		v := values[s]
-		if first {
-			agreed, first = v, false
+	for i, v := range values {
+		if i == 0 {
+			agreed = v
 			continue
 		}
 		if !bytes.Equal(agreed, v) {
-			return nil, peer.FailRound(round, fmt.Sprintf("transfer %d: conflicting values from senders", instance))
+			return nil, values, peer.FailRound(round, fmt.Sprintf("transfer %d: conflicting values from senders", instance))
 		}
 	}
-	return agreed, nil
+	return agreed, values, nil
 }
 
 // Pending is an in-flight receive started by RecvAsync.

@@ -1,0 +1,94 @@
+package federation_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/core"
+	"distauction/internal/federation"
+	"distauction/internal/testleak"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+	"distauction/internal/workload"
+)
+
+// TestFederationLifecycleNoGoroutineLeak opens a two-shard federation, runs
+// one auction to its round limit with real bidders, closes every bidder,
+// the federation and the hub, and requires the goroutine census to settle
+// back: per-shard markets, session workers, the settle loop and mux readers
+// must all join on Close. Everything is opened AND closed inside the check
+// closure — no t.Cleanup, which would run after the settle loop.
+func TestFederationLifecycleNoGoroutineLeak(t *testing.T) {
+	specs := []federation.ShardSpec{
+		{Index: 1, Providers: []wire.NodeID{1, 2, 3}},
+		{Index: 2, Providers: []wire.NodeID{4, 5, 6}},
+	}
+	users := userRange(1001, 3)
+	inst := workload.NewDoubleAuction(1, 3, 3)
+	const rounds = 2
+	testleak.Check(t, func() {
+		hub := transport.NewHub(transport.LatencyModel{}, 1)
+		defer hub.Close()
+		fed, err := federation.Open(hub, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = fed.OpenAuction(federation.AuctionSpec{
+			Name:  "leakcheck",
+			Users: users,
+			Options: []core.SessionOption{
+				core.WithK(1),
+				core.WithMechanismName("double"),
+				core.WithBidWindow(10 * time.Second),
+				core.WithRoundTimeout(testTimeout),
+				core.WithRoundLimit(rounds),
+				core.WithOutcomeBuffer(rounds),
+			},
+			MemberOptions: func(i int, _ wire.NodeID) []core.SessionOption {
+				return []core.SessionOption{core.WithProviderBid(inst.Providers[i])}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i, id := range users {
+			conn, err := hub.Attach(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := federation.NewBidder(conn, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := fb.Join("leakcheck",
+				core.WithRoundLimit(rounds),
+				core.WithOutcomeBuffer(rounds),
+				core.WithRoundTimeout(testTimeout))
+			if err != nil {
+				t.Fatalf("join: %v", err)
+			}
+			wg.Add(1)
+			go func(i int, fb *federation.Bidder, s *core.BidderSession) {
+				defer wg.Done()
+				defer fb.Close()
+				for r := 1; r <= rounds; r++ {
+					if err := s.Submit(uint64(r), inst.Users[i]); err != nil {
+						t.Errorf("bidder %d submit: %v", i, err)
+						return
+					}
+				}
+				for out := range s.Outcomes() {
+					if out.Err != nil {
+						t.Errorf("bidder %d round %d: %v", i, out.Round, out.Err)
+					}
+				}
+			}(i, fb, s)
+		}
+		wg.Wait()
+		if err := fed.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+}

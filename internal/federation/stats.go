@@ -3,6 +3,7 @@ package federation
 import (
 	"sort"
 
+	"distauction/internal/metrics"
 	"distauction/internal/wire"
 )
 
@@ -76,6 +77,11 @@ type Snapshot struct {
 	SettleAborts  int64 // cross-shard rounds aborted and released
 	SettleErrs    int64 // settle rounds that returned an error
 
+	// Runtime is the process-wide heap/GC/goroutine view at snapshot time
+	// (one process hosts every node in-process, so it is reported once at
+	// the federation level, not per node).
+	Runtime metrics.RuntimeStats
+
 	PerShard []ShardSnapshot
 	PerNode  []NodeSnapshot
 }
@@ -114,6 +120,7 @@ func (f *Market) Stats() Snapshot {
 		SettleCommits: f.settler.Commits(),
 		SettleAborts:  f.settler.Aborts(),
 		SettleErrs:    f.settleErrs.Load(),
+		Runtime:       metrics.ReadRuntime(),
 	}
 	for _, ref := range shards {
 		ss := ShardSnapshot{

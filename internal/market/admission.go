@@ -35,6 +35,7 @@ type gate struct {
 	maxAdmitted uint64 // highest round any bid was admitted for
 	draining    bool
 	seen        map[uint64]map[wire.NodeID]struct{}
+	free        []map[wire.NodeID]struct{} // retired sender sets, cleared for reuse
 	pending     int
 
 	admitted metrics.Counter
@@ -69,7 +70,13 @@ func (g *gate) admit(from wire.NodeID, round uint64) bool {
 	}
 	senders := g.seen[round]
 	if senders == nil {
-		senders = make(map[wire.NodeID]struct{}, len(g.users))
+		if n := len(g.free); n > 0 {
+			senders = g.free[n-1]
+			g.free[n-1] = nil
+			g.free = g.free[:n-1]
+		} else {
+			senders = make(map[wire.NodeID]struct{}, len(g.users))
+		}
 		g.seen[round] = senders
 	}
 	if _, dup := senders[from]; dup {
@@ -99,6 +106,13 @@ func (g *gate) roundDone(round uint64) {
 		if senders, ok := g.seen[r]; ok {
 			g.pending -= len(senders)
 			delete(g.seen, r)
+			// Recycle the sender set — one set retires per round completed,
+			// so the steady state never allocates one. The cap matches the
+			// admission window, the most sets ever live at once.
+			if uint64(len(g.free)) < g.window {
+				clear(senders)
+				g.free = append(g.free, senders)
+			}
 		}
 	}
 	g.next = round + 1

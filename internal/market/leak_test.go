@@ -1,0 +1,100 @@
+package market_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/core"
+	"distauction/internal/market"
+	"distauction/internal/testleak"
+	"distauction/internal/transport"
+	"distauction/internal/wire"
+	"distauction/internal/workload"
+)
+
+// TestMarketLifecycleNoGoroutineLeak opens a multi-provider market, runs an
+// auction to its round limit with real bidders, closes every bidder, market
+// and the hub, and requires the goroutine census to settle back: session
+// round workers, mux readers, sweepers and admission plumbing must all join
+// on Close. Everything is opened AND closed inside the check closure — no
+// t.Cleanup, which would run after the settle loop.
+func TestMarketLifecycleNoGoroutineLeak(t *testing.T) {
+	providers := []wire.NodeID{1, 2, 3}
+	users := userRange(1001, 3)
+	inst := workload.NewDoubleAuction(1, 3, 3)
+	const rounds = 2
+	testleak.Check(t, func() {
+		hub := transport.NewHub(transport.LatencyModel{}, 1)
+		defer hub.Close()
+		var markets []*market.Market
+		for i, id := range providers {
+			conn, err := hub.Attach(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk, err := market.Open(conn, providers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			markets = append(markets, mk)
+			spec := market.AuctionSpec{
+				Name:  "leakcheck",
+				Users: users,
+				Options: []core.SessionOption{
+					core.WithK(1),
+					core.WithMechanismName("double"),
+					core.WithBidWindow(10 * time.Second),
+					core.WithRoundTimeout(testTimeout),
+					core.WithRoundLimit(rounds),
+					core.WithOutcomeBuffer(rounds),
+					core.WithProviderBid(inst.Providers[i]),
+				},
+			}
+			if _, err := mk.OpenAuction(spec); err != nil {
+				t.Fatalf("open auction on provider %d: %v", id, err)
+			}
+		}
+		var wg sync.WaitGroup
+		for i, id := range users {
+			conn, err := hub.Attach(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mb, err := market.NewBidder(conn, providers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := mb.Join("leakcheck",
+				core.WithRoundLimit(rounds),
+				core.WithOutcomeBuffer(rounds),
+				core.WithRoundTimeout(testTimeout))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(i int, mb *market.Bidder, s *core.BidderSession) {
+				defer wg.Done()
+				defer mb.Close()
+				for r := 1; r <= rounds; r++ {
+					if err := s.Submit(uint64(r), inst.Users[i]); err != nil {
+						t.Errorf("bidder %d submit: %v", i, err)
+						return
+					}
+				}
+				for out := range s.Outcomes() {
+					if out.Err != nil {
+						t.Errorf("bidder %d round %d: %v", i, out.Round, out.Err)
+					}
+				}
+			}(i, mb, s)
+		}
+		wg.Wait()
+		waitForRounds(t, markets[0], rounds)
+		for _, mk := range markets {
+			if err := mk.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}
+	})
+}

@@ -469,6 +469,8 @@ func (m *Market) DrainAuction(ctx context.Context, name string) error {
 	}
 	target := a.gate.drain()
 	var waitErr error
+	poll := time.NewTicker(5 * time.Millisecond)
+	defer poll.Stop()
 wait:
 	for a.lastEmitted.Load() < target {
 		select {
@@ -477,7 +479,7 @@ wait:
 		case <-ctx.Done():
 			waitErr = ctx.Err()
 			break wait
-		case <-time.After(5 * time.Millisecond):
+		case <-poll.C:
 		}
 	}
 	if err := m.closeAuction(a); err != nil && waitErr == nil {
@@ -631,6 +633,11 @@ type Snapshot struct {
 	// amortisation factor superframe batching is buying (1.0 = no win).
 	BatchOccupancy float64
 
+	// Runtime is the process-wide heap/GC/goroutine view at snapshot time.
+	// The steady-state discipline shows up here: flat Goroutines across
+	// rounds, and TotalAlloc growing by the pooled-path budget only.
+	Runtime metrics.RuntimeStats
+
 	Auctions []AuctionSnapshot
 }
 
@@ -661,7 +668,7 @@ func (m *Market) Stats() Snapshot {
 	}
 	m.mu.Unlock()
 	sort.Slice(auctions, func(i, j int) bool { return auctions[i].name < auctions[j].name })
-	snap := Snapshot{Open: len(auctions), Swept: m.swept.Load()}
+	snap := Snapshot{Open: len(auctions), Swept: m.swept.Load(), Runtime: metrics.ReadRuntime()}
 	mux := m.mux.Stats()
 	snap.ParkedDropped = mux.ParkedDropped
 	snap.FramesSent = mux.Out.Frames

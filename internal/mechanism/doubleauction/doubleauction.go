@@ -21,6 +21,7 @@ package doubleauction
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"distauction/internal/auction"
 	"distauction/internal/fixed"
@@ -33,6 +34,18 @@ type fill struct {
 	units      fixed.Fixed
 }
 
+// scratch is the solver's working set — order indices, remaining
+// capacities, fill log — recycled across Solve calls. Only index and
+// fixed-point values live here, never caller data, so a recycled scratch
+// carries nothing between rounds.
+type scratch struct {
+	users, provs []int
+	remCap       []fixed.Fixed
+	fills        []fill
+}
+
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
 // Solve runs the double auction on the agreed bid vector and returns the
 // outcome. Neutral and invalid bids take no part. Solve is deterministic:
 // every provider replaying it on the same vector obtains identical bytes.
@@ -43,14 +56,18 @@ func Solve(bids auction.BidVector) (auction.Outcome, error) {
 		Pay:   auction.NewPayments(n, m),
 	}
 
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
 	// Order the sides. Ties break on index so the order is total and
 	// identical at every provider.
-	users := make([]int, 0, n)
+	users := sc.users[:0]
 	for i, b := range bids.Users {
 		if b.Validate() == nil && !b.IsNeutral() {
 			users = append(users, i)
 		}
 	}
+	sc.users = users
 	slices.SortFunc(users, func(a, b int) int {
 		va, vb := bids.Users[a].Value, bids.Users[b].Value
 		if va != vb {
@@ -61,12 +78,13 @@ func Solve(bids auction.BidVector) (auction.Outcome, error) {
 		}
 		return a - b
 	})
-	provs := make([]int, 0, m)
+	provs := sc.provs[:0]
 	for j, b := range bids.Providers {
 		if b.Validate() == nil && !b.IsNeutral() {
 			provs = append(provs, j)
 		}
 	}
+	sc.provs = provs
 	slices.SortFunc(provs, func(a, b int) int {
 		ca, cb := bids.Providers[a].Cost, bids.Providers[b].Cost
 		if ca != cb {
@@ -82,11 +100,17 @@ func Solve(bids auction.BidVector) (auction.Outcome, error) {
 	}
 
 	// Water-filling.
-	remCap := make([]fixed.Fixed, m)
+	if cap(sc.remCap) < m {
+		sc.remCap = make([]fixed.Fixed, m)
+	} else {
+		sc.remCap = sc.remCap[:m]
+		clear(sc.remCap)
+	}
+	remCap := sc.remCap
 	for _, j := range provs {
 		remCap[j] = bids.Providers[j].Capacity
 	}
-	var fills []fill
+	fills := sc.fills[:0]
 	lastUserPos := -1 // position in users[] of the last user that traded
 	pi := 0
 fillLoop:
@@ -111,6 +135,7 @@ fillLoop:
 			take := fixed.Min2(rem, remCap[j])
 			out.Alloc.Add(u, j, take)
 			fills = append(fills, fill{user: u, prov: j, units: take})
+			sc.fills = fills
 			rem -= take
 			remCap[j] -= take
 			traded = true

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// RuntimeStats is a point-in-time view of the Go runtime's memory and
+// scheduler state, cheap enough to sample inside Stats calls and periodic
+// log lines. The steady-state hot path is judged by exactly these numbers —
+// allocation rate, GC pause budget, goroutine census — so they surface
+// through the same snapshots as the protocol counters.
+type RuntimeStats struct {
+	// HeapAlloc is the live heap in bytes; HeapObjects the live object count.
+	HeapAlloc   uint64
+	HeapObjects uint64
+	// TotalAlloc is the cumulative bytes allocated since process start —
+	// the difference between two snapshots is the allocation churn of the
+	// interval, which is what the per-round pools exist to suppress.
+	TotalAlloc uint64
+	// Goroutines is the current goroutine count. A session at steady state
+	// holds this flat: persistent workers replace per-round spawning, so
+	// growth here means a leak.
+	Goroutines int
+	// NumGC is the completed GC cycle count; PauseTotalNs the cumulative
+	// stop-the-world pause time.
+	NumGC        uint32
+	PauseTotalNs uint64
+}
+
+// ReadRuntime samples the runtime. It uses runtime.ReadMemStats, which
+// stops the world briefly — fine at Stats/logging cadence, not per round.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		HeapAlloc:    ms.HeapAlloc,
+		HeapObjects:  ms.HeapObjects,
+		TotalAlloc:   ms.TotalAlloc,
+		Goroutines:   runtime.NumGoroutine(),
+		NumGC:        ms.NumGC,
+		PauseTotalNs: ms.PauseTotalNs,
+	}
+}
+
+// String formats the gauges as one log-friendly line.
+func (r RuntimeStats) String() string {
+	return fmt.Sprintf("heap=%dKB objects=%d goroutines=%d gc=%d pause=%dµs",
+		r.HeapAlloc>>10, r.HeapObjects, r.Goroutines, r.NumGC, r.PauseTotalNs/1000)
+}

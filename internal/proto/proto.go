@@ -107,11 +107,27 @@ func keyOf(tag wire.Tag, from wire.NodeID) msgKey {
 // roundState is one round's complete routing state: its buffered messages
 // and pending waiters (the per-round index EndRound reclaims in one delete)
 // plus the abort latch.
+//
+// abortCh is lazily created: the delivery path never touches it, so a round
+// whose receives are all satisfied from the buffer (the common push-mode
+// case) never allocates it. Blocking receives and AbortChan materialise it
+// on demand; markAborted closes it only if it exists.
 type roundState struct {
 	buffered map[msgKey][]byte
-	waiters  map[msgKey][]chan []byte
-	abortCh  chan struct{}
-	abortErr *AbortError // set before abortCh closes
+	waiters  map[msgKey]*waiterNode
+	abortCh  chan struct{} // nil until first subscriber
+	abortErr *AbortError   // set before abortCh closes
+	abortFns []func()      // OnAbort callbacks; run once outside the lock
+}
+
+// waiterNode is one blocked receive: its rendezvous channel plus an
+// intrusive link, so registering any number of waiters on a key costs no
+// slice allocation. Nodes (channel included) recycle through
+// Peer.waiterPool; a node is pooled only when provably unreachable by any
+// sender — consumed its one value, or unlinked under the shard lock.
+type waiterNode struct {
+	ch   chan []byte
+	next *waiterNode
 }
 
 // shard is one stripe of the router: the rounds that hash onto it, guarded
@@ -140,10 +156,9 @@ func (s *shard) roundLocked(round uint64) *roundState {
 		} else {
 			rs = &roundState{
 				buffered: make(map[msgKey][]byte),
-				waiters:  make(map[msgKey][]chan []byte),
+				waiters:  make(map[msgKey]*waiterNode),
 			}
 		}
-		rs.abortCh = make(chan struct{})
 		if s.rounds == nil {
 			s.rounds = make(map[uint64]*roundState)
 		}
@@ -156,8 +171,10 @@ func (s *shard) roundLocked(round uint64) *roundState {
 // Caller holds s.mu.
 func (s *shard) retireLocked(round uint64, rs *roundState) {
 	for _, ws := range rs.waiters {
-		for _, ch := range ws {
-			close(ch)
+		for n := ws; n != nil; {
+			next := n.next // the receiver abandons n once the close lands
+			close(n.ch)
+			n = next
 		}
 	}
 	delete(s.rounds, round)
@@ -168,6 +185,8 @@ func (s *shard) retireLocked(round uint64, rs *roundState) {
 	clear(rs.waiters)
 	rs.abortCh = nil
 	rs.abortErr = nil
+	clear(rs.abortFns)
+	rs.abortFns = rs.abortFns[:0]
 	s.free = append(s.free, rs)
 }
 
@@ -181,10 +200,12 @@ type Peer struct {
 	minRound atomic.Uint64 // rounds below this are retired; their messages drop
 	closed   atomic.Bool
 
-	// waiterPool recycles Receive's rendezvous channels. A channel is pooled
-	// only after its one value was consumed — at that point it is empty,
-	// unregistered and cannot be closed by anyone.
+	// waiterPool recycles Receive's waiter nodes (rendezvous channel plus
+	// link). A node is pooled only when no sender can reach it: its one
+	// value was consumed, or dropWaiter unlinked it under the shard lock.
 	waiterPool sync.Pool
+	// ingestPool recycles ingestRun's deferred-reaction scratch.
+	ingestPool sync.Pool
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -256,11 +277,13 @@ func (p *Peer) Close() error {
 			sh.mu.Lock()
 			for _, rs := range sh.rounds {
 				for _, ws := range rs.waiters {
-					for _, ch := range ws {
-						close(ch)
+					for n := ws; n != nil; {
+						next := n.next
+						close(n.ch)
+						n = next
 					}
 				}
-				rs.waiters = make(map[msgKey][]chan []byte)
+				clear(rs.waiters)
 			}
 			sh.mu.Unlock()
 		}
@@ -322,10 +345,14 @@ func (p *Peer) handle(from wire.NodeID, tag wire.Tag, payload []byte) {
 	}
 	rs.buffered[key] = payload
 	ws := rs.waiters[key]
-	delete(rs.waiters, key)
+	if ws != nil {
+		delete(rs.waiters, key)
+	}
 	sh.mu.Unlock()
-	for _, ch := range ws {
-		ch <- payload // buffered channel of size 1; never blocks
+	for n := ws; n != nil; {
+		next := n.next // the receiver may recycle n the moment the send lands
+		n.ch <- payload // buffered channel of size 1; never blocks
+		n = next
 	}
 }
 
@@ -374,6 +401,14 @@ type batchEquiv struct {
 	reason string
 }
 
+// ingestScratch is the deferred-reaction scratch of one ingestRun call,
+// recycled through Peer.ingestPool so steady-state superframe ingest
+// allocates no wake slices. Payload references are cleared before pooling.
+type ingestScratch struct {
+	wakes  []batchWake
+	equivs []batchEquiv
+}
+
 // ingestRun buffers a run of same-shard messages under one lock hold,
 // performing exactly the per-message work of handle; wakeups and
 // equivocation reactions run after the lock drops (handle's own ordering).
@@ -381,8 +416,11 @@ func (p *Peer) ingestRun(sh *shard, run []wire.Envelope) {
 	if p.closed.Load() {
 		return
 	}
-	var wakes []batchWake
-	var equivs []batchEquiv
+	sc, _ := p.ingestPool.Get().(*ingestScratch)
+	if sc == nil {
+		sc = &ingestScratch{}
+	}
+	wakes, equivs := sc.wakes, sc.equivs
 	sh.mu.Lock()
 	if p.closed.Load() {
 		sh.mu.Unlock()
@@ -407,10 +445,12 @@ func (p *Peer) ingestRun(sh *shard, run []wire.Envelope) {
 			continue
 		}
 		rs.buffered[key] = e.Payload
-		if ws := rs.waiters[key]; len(ws) > 0 {
+		if ws := rs.waiters[key]; ws != nil {
 			delete(rs.waiters, key)
-			for _, ch := range ws {
-				wakes = append(wakes, batchWake{ch: ch, payload: e.Payload})
+			for n := ws; n != nil; n = n.next {
+				// next is read under the lock; the receiver cannot recycle n
+				// before the deferred wake below actually sends.
+				wakes = append(wakes, batchWake{ch: n.ch, payload: e.Payload})
 			}
 		}
 	}
@@ -422,21 +462,66 @@ func (p *Peer) ingestRun(sh *shard, run []wire.Envelope) {
 		p.markAborted(q.round, p.self, q.reason)
 		_ = p.broadcastAbort(q.round, q.reason)
 	}
+	clear(wakes) // unpin channels and payloads before recycling
+	clear(equivs)
+	sc.wakes, sc.equivs = wakes[:0], equivs[:0]
+	p.ingestPool.Put(sc)
 }
 
 func (p *Peer) markAborted(round uint64, from wire.NodeID, reason string) {
 	sh := p.shardFor(round)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if round < p.minRound.Load() {
+		sh.mu.Unlock()
 		return
 	}
 	rs := sh.roundLocked(round)
 	if rs.abortErr != nil {
+		sh.mu.Unlock()
 		return // already aborted
 	}
 	rs.abortErr = &AbortError{Round: round, From: from, Reason: reason}
-	close(rs.abortCh)
+	if rs.abortCh != nil {
+		close(rs.abortCh)
+	}
+	// Snapshot the callbacks so they run outside the shard lock (they may
+	// re-enter the peer); the registered slice keeps its capacity for the
+	// recycled round state.
+	var stack [4]func()
+	fns := append(stack[:0], rs.abortFns...)
+	clear(rs.abortFns)
+	rs.abortFns = rs.abortFns[:0]
+	sh.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// OnAbort registers fn to run when round aborts (⊥). fn runs at most once,
+// outside the router's locks, in the goroutine that signalled the abort. If
+// the round is already aborted — or already retired or the peer closed,
+// which a subscriber must treat the same way — fn runs synchronously before
+// OnAbort returns. Schedulers use it to cancel in-flight speculative work
+// the moment the round dies, without parking a watchdog goroutine per
+// round. Registrations are dropped when the round retires; a callback that
+// never fires is simply forgotten, so fn must be safe to abandon (a
+// context.CancelFunc is the intended shape).
+func (p *Peer) OnAbort(round uint64, fn func()) {
+	sh := p.shardFor(round)
+	sh.mu.Lock()
+	if round < p.minRound.Load() || p.closed.Load() {
+		sh.mu.Unlock()
+		fn()
+		return
+	}
+	rs := sh.roundLocked(round)
+	if rs.abortErr != nil {
+		sh.mu.Unlock()
+		fn()
+		return
+	}
+	rs.abortFns = append(rs.abortFns, fn)
+	sh.mu.Unlock()
 }
 
 func (p *Peer) broadcastAbort(round uint64, reason string) error {
@@ -488,7 +573,14 @@ func (p *Peer) AbortChan(round uint64) <-chan struct{} {
 	if round < p.minRound.Load() || p.closed.Load() {
 		return closedChan
 	}
-	return sh.roundLocked(round).abortCh
+	rs := sh.roundLocked(round)
+	if rs.abortCh == nil {
+		rs.abortCh = make(chan struct{})
+		if rs.abortErr != nil {
+			close(rs.abortCh)
+		}
+	}
+	return rs.abortCh
 }
 
 // closedChan is the shared already-closed channel AbortChan hands out for
@@ -608,57 +700,77 @@ func (p *Peer) ReceiveTimeout(ctx context.Context, tag wire.Tag, from wire.NodeI
 		sh.mu.Unlock()
 		return payload, nil
 	}
-	var ch chan []byte
-	if pooled, ok := p.waiterPool.Get().(chan []byte); ok {
-		ch = pooled
-	} else {
-		ch = make(chan []byte, 1)
+	n, _ := p.waiterPool.Get().(*waiterNode)
+	if n == nil {
+		n = &waiterNode{ch: make(chan []byte, 1)}
 	}
-	rs.waiters[key] = append(rs.waiters[key], ch)
+	n.next = rs.waiters[key]
+	rs.waiters[key] = n
+	if rs.abortCh == nil {
+		rs.abortCh = make(chan struct{})
+	}
 	abortCh := rs.abortCh
 	sh.mu.Unlock()
 
 	select {
-	case payload, ok := <-ch:
+	case payload, ok := <-n.ch:
 		if !ok {
 			return nil, ErrPeerClosed
 		}
-		// The sender removed ch from the index before sending, so nothing
-		// else can send on or close it: recycle.
-		p.waiterPool.Put(ch)
+		// The sender removed n from the index before sending, so nothing
+		// else can send on or close its channel: recycle.
+		n.next = nil
+		p.waiterPool.Put(n)
 		return payload, nil
 	case <-abortCh:
 		// Prefer a message that raced in over the abort? No: once the round
 		// is ⊥ every block must output ⊥ (§3.2).
 		return nil, p.AbortErr(tag.Round)
 	case <-timeoutC:
-		p.dropWaiter(tag.Round, key, ch)
+		p.dropWaiter(tag.Round, key, n)
 		return nil, context.DeadlineExceeded
 	case <-ctx.Done():
-		p.dropWaiter(tag.Round, key, ch)
+		p.dropWaiter(tag.Round, key, n)
 		return nil, ctx.Err()
 	case <-p.done:
 		return nil, ErrPeerClosed
 	}
 }
 
-func (p *Peer) dropWaiter(round uint64, key msgKey, ch chan []byte) {
+// dropWaiter unregisters a waiter that gave up. If the node is still linked
+// it is recycled — unlinked under the shard lock, no sender can reach it
+// and its channel never received. A node already claimed by a racing
+// delivery is abandoned to the GC instead: the in-flight send may still
+// land in its buffer.
+func (p *Peer) dropWaiter(round uint64, key msgKey, n *waiterNode) {
 	sh := p.shardFor(round)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	rs, ok := sh.rounds[round]
 	if !ok {
+		sh.mu.Unlock()
 		return
 	}
-	ws := rs.waiters[key]
-	for i, w := range ws {
-		if w == ch {
-			rs.waiters[key] = append(ws[:i], ws[i+1:]...)
-			break
+	removed := false
+	if rs.waiters[key] == n {
+		if n.next == nil {
+			delete(rs.waiters, key)
+		} else {
+			rs.waiters[key] = n.next
+		}
+		removed = true
+	} else {
+		for prev := rs.waiters[key]; prev != nil; prev = prev.next {
+			if prev.next == n {
+				prev.next = n.next
+				removed = true
+				break
+			}
 		}
 	}
-	if len(rs.waiters[key]) == 0 {
-		delete(rs.waiters, key)
+	sh.mu.Unlock()
+	if removed {
+		n.next = nil
+		p.waiterPool.Put(n)
 	}
 }
 
@@ -695,4 +807,22 @@ func (p *Peer) GatherOrdered(ctx context.Context, tag wire.Tag, set []wire.NodeI
 		out[i] = payload
 	}
 	return out, nil
+}
+
+// GatherAppend is GatherOrdered appending into buf: the payloads for set, in
+// set's order, are appended and the extended slice returned (also on error,
+// so the caller keeps its scratch). Hot paths with a pooled per-round
+// scratch reuse its backing array across rounds instead of allocating a
+// fresh result slice per gather; the appended payloads are views into the
+// round's buffered messages and must be dropped (or copied) before the
+// scratch is recycled.
+func (p *Peer) GatherAppend(ctx context.Context, tag wire.Tag, set []wire.NodeID, buf [][]byte) ([][]byte, error) {
+	for _, id := range set {
+		payload, err := p.Receive(ctx, tag, id)
+		if err != nil {
+			return buf, err
+		}
+		buf = append(buf, payload)
+	}
+	return buf, nil
 }

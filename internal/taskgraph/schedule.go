@@ -1,16 +1,9 @@
 package taskgraph
 
 import (
-	"bytes"
 	"context"
-	"crypto/sha256"
-	"fmt"
-	"sync"
 
-	"distauction/internal/coin"
-	"distauction/internal/datatransfer"
 	"distauction/internal/proto"
-	"distauction/internal/wire"
 )
 
 // CoinSource supplies common-coin seeds for statically numbered instances.
@@ -26,7 +19,7 @@ type CoinSource interface {
 	Close()
 }
 
-// Options tunes ExecuteOpts.
+// Options tunes ExecuteOpts and Executor.Run.
 type Options struct {
 	// Coins supplies the common coin. Nil lets Execute build its own
 	// reservoir; the round engine passes a pre-warmed gated reservoir whose
@@ -39,44 +32,11 @@ type Options struct {
 	Gate func() error
 }
 
-// taskState is one task's lifecycle at the local provider.
-//
-// computed closes when the locally computed (still speculative) result is
-// available — dependents may start from it immediately. validated closes
-// when the task is *committed*: its digest gather confirmed agreement, every
-// transitively relied-upon local task validated, every consumed in-edge
-// receive confirmed, and the publish gate passed. Only then are outbound
-// transfers sent.
-type taskState struct {
-	local bool // self is a member of the task's group
-
-	computed   chan struct{}
-	result     []byte
-	computeErr error
-
-	validated chan struct{}
-	validErr  error
-	ok        bool // set before validated closes on the success path
-}
-
-// scheduler executes one graph at one provider: a worker goroutine per
-// local task plus a receive goroutine per consumed in-edge.
-type scheduler struct {
-	peer  *proto.Peer
-	round uint64
-	g     *Graph
-	self  wire.NodeID
-	coins CoinSource
-	gate  func() error
-
-	states []taskState
-	recvs  []*datatransfer.Pending // indexed by edge instance; nil if not consumed locally
-}
-
-// ExecuteOpts runs the graph as a concurrent DAG schedule: every task whose
-// dependencies are satisfied starts immediately, so tasks with disjoint
-// dependency chains run concurrently at providers that belong to both, and
-// each task's digest cross-validation gather overlaps downstream compute.
+// ExecuteOpts runs the graph once as a concurrent DAG schedule: every task
+// whose dependencies are satisfied starts immediately, so tasks with
+// disjoint dependency chains run concurrently at providers that belong to
+// both, and each task's digest cross-validation gather overlaps downstream
+// compute.
 //
 // Speculation never crosses a trust boundary: a provider starts dependents
 // from its own locally computed outputs before their digest gathers
@@ -85,319 +45,12 @@ type scheduler struct {
 // confirmed agreement (and the Options.Gate, if any, passed). A mismatch
 // anywhere therefore still yields ⊥ for the round before any bad value can
 // propagate, exactly as under sequential execution.
+//
+// ExecuteOpts builds a one-shot Executor per call; round engines that run
+// the same graph every round hold a persistent Executor instead, which
+// reuses the compiled plan, the worker set and the pooled round arenas.
 func ExecuteOpts(ctx context.Context, peer *proto.Peer, round uint64, g *Graph, opts Options) ([]byte, error) {
-	coins := opts.Coins
-	if coins != nil {
-		// Joining the coin source before returning — on every path,
-		// including the abort fast-exit below — keeps every toss inside the
-		// round's lifetime (the caller may EndRound right after).
-		defer coins.Close()
-	}
-	if err := peer.AbortErr(round); err != nil {
-		return nil, err
-	}
-	if coins == nil && g.needsCoin {
-		coins = coin.NewReservoir(peer, round, false)
-		defer coins.Close()
-	}
-	if coins != nil {
-		coins.Prefetch(ctx, g.coinInstances...)
-	}
-
-	// In-flight task bodies should stop promptly when the round dies under
-	// them: derive a context cancelled on round abort, so a long Run in a
-	// task whose round already returned ⊥ elsewhere unwinds instead of
-	// computing into the void.
-	rctx, cancel := context.WithCancel(ctx)
-	watchdogDone := make(chan struct{})
-	go func() {
-		defer close(watchdogDone)
-		select {
-		case <-peer.AbortChan(round):
-			cancel()
-		case <-rctx.Done():
-		}
-	}()
-
-	s := &scheduler{
-		peer:   peer,
-		round:  round,
-		g:      g,
-		self:   peer.Self(),
-		coins:  coins,
-		gate:   opts.Gate,
-		states: make([]taskState, len(g.tasks)),
-		recvs:  make([]*datatransfer.Pending, len(g.edges)),
-	}
-
-	// Start every consumed in-edge receive up front: all of a task's
-	// in-edges (and all tasks' in-edges) are gathered concurrently, one
-	// goroutine per edge, instead of one RTT at a time.
-	for ei := range g.edges {
-		e := &g.edges[ei]
-		if !proto.ContainsNode(g.tasks[e.to].Group, s.self) {
-			continue
-		}
-		s.recvs[e.instance] = datatransfer.RecvAsync(rctx, peer, round, e.instance, g.tasks[e.from].Group)
-	}
-
-	var tasksWG sync.WaitGroup
-	for ti := range g.tasks {
-		st := &s.states[ti]
-		st.local = proto.ContainsNode(g.tasks[ti].Group, s.self)
-		if !st.local {
-			continue
-		}
-		st.computed = make(chan struct{})
-		st.validated = make(chan struct{})
-		tasksWG.Add(1)
-		go func(ti int) {
-			defer tasksWG.Done()
-			s.runTask(rctx, ti)
-		}(ti)
-	}
-	tasksWG.Wait()
-	// Join the edge receivers (abort/cancel wakes any that a failed task
-	// abandoned), then stop the watchdog.
-	for _, p := range s.recvs {
-		if p != nil {
-			p.Join()
-		}
-	}
-	cancel()
-	<-watchdogDone
-
-	if err := peer.AbortErr(round); err != nil {
-		return nil, err
-	}
-	for ti := range s.states {
-		st := &s.states[ti]
-		if !st.local {
-			continue
-		}
-		if st.validErr != nil {
-			// Every failure path aborts the round, so this is normally
-			// shadowed by the AbortErr above; keep it as a backstop.
-			return nil, st.validErr
-		}
-	}
-	final := &s.states[len(s.states)-1]
-	if !final.ok {
-		// Unreachable: the final task runs at all providers and a clean
-		// validErr was ruled out above.
-		return nil, peer.FailRound(round, "taskgraph: final result missing")
-	}
-	return final.result, nil
-}
-
-// runTask drives one local task through compute, cross-validation,
-// transitive confirmation and publication. It closes both lifecycle
-// channels on every path.
-func (s *scheduler) runTask(ctx context.Context, ti int) {
-	st := &s.states[ti]
-	t := &s.g.tasks[ti]
-
-	computedClosed := false
-	fail := func(err error) {
-		if !computedClosed {
-			st.computeErr = err
-			close(st.computed)
-			computedClosed = true
-		}
-		st.validErr = err
-		close(st.validated)
-	}
-
-	inputs, err := s.collectInputs(ctx, ti)
-	if err != nil {
-		fail(err)
-		return
-	}
-
-	tc := &TaskContext{Round: s.round, Inputs: inputs}
-	if t.UsesCoin && s.coins != nil {
-		tc.coinFn = s.coinFn(ctx, t)
-	}
-	out, err := t.Run(ctx, tc)
-	if err != nil {
-		fail(s.peer.FailRound(s.round, fmt.Sprintf(
-			"taskgraph: task %d (%s) failed: %v", t.ID, t.Name, err)))
-		return
-	}
-	st.result = out
-	close(st.computed) // dependents start speculatively from here
-	computedClosed = true
-
-	// Cross-validate the redundant computation within the group: every
-	// member broadcasts a digest of its result; any mismatch means some
-	// member deviated (or the task is nondeterministic) and the round
-	// aborts. Publishing a digest commits nothing — the value itself stays
-	// local until the gathers below confirm.
-	digest := sha256.Sum256(out)
-	tag := wire.Tag{Round: s.round, Block: wire.BlockTask, Instance: t.ID, Step: stepTaskDigest}
-	for _, member := range t.Group {
-		if err := s.peer.Send(member, tag, digest[:]); err != nil {
-			fail(s.peer.FailRound(s.round, fmt.Sprintf("taskgraph: task %d digest send: %v", t.ID, err)))
-			return
-		}
-	}
-	digests, err := s.peer.Gather(ctx, tag, t.Group)
-	if err != nil {
-		if abortErr := s.peer.AbortErr(s.round); abortErr != nil {
-			fail(abortErr)
-			return
-		}
-		fail(s.peer.FailRound(s.round, fmt.Sprintf("taskgraph: task %d digest gather: %v", t.ID, err)))
-		return
-	}
-	for id, d := range digests {
-		if !bytes.Equal(d, digest[:]) {
-			fail(s.peer.FailRound(s.round, fmt.Sprintf(
-				"taskgraph: task %d result mismatch with provider %d", t.ID, id)))
-			return
-		}
-	}
-
-	// Commit point: everything this result transitively relies on must be
-	// confirmed before the value leaves the group (or the final task
-	// returns) — speculative compute, withheld publication.
-	if err := s.awaitUpstream(ctx, ti); err != nil {
-		fail(err)
-		return
-	}
-
-	for _, e := range s.g.outEdges[ti] {
-		dst := &s.g.tasks[e.to]
-		if err := datatransfer.Send(s.peer, s.round, e.instance, dst.Group, out); err != nil {
-			fail(err)
-			return
-		}
-	}
-	st.ok = true
-	close(st.validated)
-}
-
-// collectInputs waits for the task's inputs and returns them keyed by task
-// ID. Same-group dependencies and cross-group edges whose source group the
-// local provider belongs to are taken speculatively from the local result;
-// all other edges wait for their (already validated) transfer.
-func (s *scheduler) collectInputs(ctx context.Context, ti int) (map[uint32][]byte, error) {
-	t := &s.g.tasks[ti]
-	inputs := make(map[uint32][]byte, len(t.Deps))
-	for _, d := range t.Deps {
-		di, ok := s.taskIndex(d)
-		if !ok {
-			return nil, s.peer.FailRound(s.round, fmt.Sprintf(
-				"taskgraph: task %d (%s) missing input %d", t.ID, t.Name, d))
-		}
-		src := &s.states[di]
-		if src.local {
-			select {
-			case <-src.computed:
-			case <-ctx.Done():
-				return nil, s.failCtx(ctx, t, d)
-			}
-			if src.computeErr != nil {
-				return nil, src.computeErr
-			}
-			inputs[d] = src.result
-			continue
-		}
-		e := s.inEdgeFrom(ti, di)
-		if e == nil {
-			// Unreachable: a non-local dependency in a different group
-			// always has an edge.
-			return nil, s.peer.FailRound(s.round, fmt.Sprintf(
-				"taskgraph: task %d input %d has no transfer edge", t.ID, d))
-		}
-		v, err := s.recvs[e.instance].Join()
-		if err != nil {
-			return nil, err
-		}
-		inputs[d] = v
-	}
-	return inputs, nil
-}
-
-// awaitUpstream blocks until everything the task's result transitively
-// relies on is confirmed: validation of every locally supplied dependency,
-// the receive unanimity check of every consumed in-edge (which for
-// speculatively used local values also proves the local copy matched the
-// senders'), and the external publish gate.
-func (s *scheduler) awaitUpstream(ctx context.Context, ti int) error {
-	t := &s.g.tasks[ti]
-	for _, d := range t.Deps {
-		di, ok := s.taskIndex(d)
-		if !ok {
-			// Unreachable: collectInputs already resolved every dependency.
-			return s.peer.FailRound(s.round, fmt.Sprintf(
-				"taskgraph: task %d dependency %d vanished", t.ID, d))
-		}
-		src := &s.states[di]
-		if !src.local {
-			continue
-		}
-		select {
-		case <-src.validated:
-		case <-ctx.Done():
-			return s.failCtx(ctx, t, d)
-		}
-		if src.validErr != nil {
-			return src.validErr
-		}
-	}
-	for _, e := range s.g.inEdges[ti] {
-		if _, err := s.recvs[e.instance].Join(); err != nil {
-			return err
-		}
-	}
-	if s.gate != nil {
-		if err := s.gate(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// coinFn builds the task's draw function: statically numbered instances,
-// served from the shared coin source, bounded by the declared schedule.
-func (s *scheduler) coinFn(ctx context.Context, t *Task) func() (uint64, error) {
-	var draw int
-	return func() (uint64, error) {
-		if t.CoinDraws > 0 && draw >= t.CoinDraws {
-			return 0, fmt.Errorf("%w: task %d declared %d draws", ErrCoinOverdraw, t.ID, t.CoinDraws)
-		}
-		if draw >= maxCoinDraws {
-			return 0, fmt.Errorf("%w: task %d exceeded %d draws", ErrCoinOverdraw, t.ID, maxCoinDraws)
-		}
-		inst := CoinInstance(t.ID, draw)
-		draw++
-		return s.coins.Seed(ctx, inst)
-	}
-}
-
-// taskIndex maps a task ID to its index (the lookup New built).
-func (s *scheduler) taskIndex(id uint32) (int, bool) {
-	i, ok := s.g.byID[id]
-	return i, ok
-}
-
-// inEdgeFrom finds the in-edge of task ti sourced at task di.
-func (s *scheduler) inEdgeFrom(ti, di int) *edge {
-	for i := range s.g.inEdges[ti] {
-		if s.g.inEdges[ti][i].from == di {
-			return &s.g.inEdges[ti][i]
-		}
-	}
-	return nil
-}
-
-// failCtx converts a context expiry while waiting for dependency d into the
-// round's abort error (preferring an abort that raced in).
-func (s *scheduler) failCtx(ctx context.Context, t *Task, d uint32) error {
-	if abortErr := s.peer.AbortErr(s.round); abortErr != nil {
-		return abortErr
-	}
-	return s.peer.FailRound(s.round, fmt.Sprintf(
-		"taskgraph: task %d (%s) waiting for input %d: %v", t.ID, t.Name, d, ctx.Err()))
+	ex := NewExecutor(peer, g, 1)
+	defer ex.Close()
+	return ex.Run(ctx, round, nil, opts)
 }

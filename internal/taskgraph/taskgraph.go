@@ -63,11 +63,21 @@ func CoinInstance(taskID uint32, draw int) uint32 {
 }
 
 // TaskContext carries a task's inputs and services into its Run function.
+//
+// The context and its Inputs map are owned by the scheduler and recycled
+// across rounds: a Run function must not retain either past its return
+// (copy anything it needs to keep). Input values themselves are views into
+// the round's protocol buffers and follow the same rule.
 type TaskContext struct {
 	// Round is the auction round being simulated.
 	Round uint64
 	// Inputs holds the outputs of the task's dependencies, keyed by task ID.
 	Inputs map[uint32][]byte
+	// Env is the round environment the executor was invoked with (see
+	// Executor.Run): per-round data — such as the agreed bid vector — for
+	// graphs compiled once and reused across rounds. Nil under plain
+	// Execute/ExecuteOpts.
+	Env any
 
 	coinFn func() (uint64, error)
 }

@@ -1,0 +1,44 @@
+// Package testleak is a hand-rolled goroutine-leak assertion for lifecycle
+// tests: snapshot the goroutine census, run the lifecycle under test —
+// open, work, close — and require the census to settle back to where it
+// started. No external leak detector; the check is a plain count with a
+// settle loop, which is exactly what the steady-state discipline promises
+// (persistent workers join on Close, timers are stopped, nothing per-round
+// survives the session).
+package testleak
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long Check waits for the runtime to reap
+// finished goroutines after fn returns.
+const settleTimeout = 5 * time.Second
+
+// Check runs fn — which must open AND close everything it creates — and
+// fails the test if the goroutine count has not settled back to the
+// pre-fn snapshot afterwards. The settle loop tolerates the runtime's
+// lazy reaping; a true leak (a worker that never joined, an unstopped
+// timer's goroutine) holds the count up past the deadline and fails with
+// a full stack dump.
+func Check(t *testing.T, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(settleTimeout)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

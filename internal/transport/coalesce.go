@@ -72,21 +72,32 @@ type Coalescer struct {
 // peerCoalescer is one destination's open batch. queued counts senders
 // committed to appending (incremented before taking mu), so the appender
 // that brings it back to zero knows no concurrent companion follows and
-// ships the batch.
+// ships the batch. free recycles retired batches — their envelope slices
+// and join state — so a steady-state burst allocates nothing per frame.
 type peerCoalescer struct {
 	queued atomic.Int64
 	mu     sync.Mutex
 	open   *pendingBatch
+	free   []*pendingBatch
 }
 
-// pendingBatch accumulates envelopes until shipped; done closes once the
-// ship's outcome is in err, so every appender observes the fate of the
-// frame that carried its envelope.
+// maxFreeBatches caps a destination's recycled-batch list; batches beyond
+// it fall to the GC (batches only pile up when the cap detached several in
+// one burst, which steady traffic never does).
+const maxFreeBatches = 4
+
+// pendingBatch accumulates envelopes until shipped; wg reaches zero once
+// the ship's outcome is in err, so every appender observes the fate of the
+// frame that carried its envelope. refs counts appenders still to read
+// err; the last one recycles the batch into its peer's free list, which is
+// also why wg is reusable — a new cycle's Add happens only after every
+// Wait of the previous cycle returned.
 type pendingBatch struct {
 	envs  []wire.Envelope
 	bytes int // accumulated payload bytes, bounded by maxCoalesceBytes
-	done  chan struct{}
+	wg    sync.WaitGroup
 	err   error
+	refs  atomic.Int32
 }
 
 var (
@@ -199,55 +210,92 @@ func (c *Coalescer) Send(env wire.Envelope) error {
 	}
 	pb := pc.open
 	if pb == nil {
-		pb = &pendingBatch{done: make(chan struct{})}
+		pb = pc.getBatchLocked()
 		pc.open = pb
 	}
 	pb.envs = append(pb.envs, env)
 	pb.bytes += len(env.Payload)
+	pb.refs.Add(1)
 	pending := pc.queued.Add(-1) > 0
 	pc.mu.Unlock()
 	if full != nil {
-		full.err = c.ship(full.envs)
-		close(full.done)
+		// The detacher's own envelope is in the fresh batch, not full: it
+		// ships full for its appenders and never touches it after Done.
+		c.ship(full)
 	}
 	if pending {
 		// A committed successor (queued was > 0) will take the lock and
 		// either ship pb or wait behind yet another successor; induction
 		// bottoms out at a successor that finds no further company, and the
 		// cap bounds how long a batch can keep growing.
-		<-pb.done
-		return pb.err
+		pb.wg.Wait()
+		return release(pc, pb)
 	}
 	runtime.Gosched()
 	pc.mu.Lock()
-	if pc.open != pb {
-		// Someone who appended during the yield already sealed the batch
-		// (or detached it at the cap): its ship covers our envelope.
+	if pc.open != pb || pc.queued.Load() > 0 {
+		// Someone who appended during the yield already sealed the batch (or
+		// detached it at the cap), or new senders are committed to appending
+		// and the seal is theirs: either way the batch's ship covers our
+		// envelope.
 		pc.mu.Unlock()
-		<-pb.done
-		return pb.err
-	}
-	if pc.queued.Load() > 0 {
-		// New senders are committed to appending; hand the seal to them.
-		pc.mu.Unlock()
-		<-pb.done
-		return pb.err
+		pb.wg.Wait()
+		return release(pc, pb)
 	}
 	pc.open = nil
 	pc.mu.Unlock()
-	pb.err = c.ship(pb.envs)
-	close(pb.done)
-	return pb.err
+	c.ship(pb)
+	return release(pc, pb)
 }
 
-// ship transmits one detached batch: a singleton as a plain envelope (the
-// per-envelope MAC fallback), anything larger as one superframe.
-func (c *Coalescer) ship(envs []wire.Envelope) error {
+// getBatchLocked pops a recycled batch (or builds the peer's first few) and
+// arms its join; the caller holds pc.mu.
+func (pc *peerCoalescer) getBatchLocked() *pendingBatch {
+	var pb *pendingBatch
+	if n := len(pc.free); n > 0 {
+		pb = pc.free[n-1]
+		pc.free[n-1] = nil
+		pc.free = pc.free[:n-1]
+	} else {
+		pb = &pendingBatch{}
+	}
+	pb.wg.Add(1)
+	return pb
+}
+
+// release reports the batch's fate to one appender; the last appender to
+// leave recycles the batch. The error is read before the decrement — after
+// it, the batch may already be rearmed for another cycle.
+func release(pc *peerCoalescer, pb *pendingBatch) error {
+	err := pb.err
+	if pb.refs.Add(-1) == 0 {
+		clear(pb.envs) // unpin the shipped payloads
+		pb.envs = pb.envs[:0]
+		pb.bytes = 0
+		pb.err = nil
+		pc.mu.Lock()
+		if len(pc.free) < maxFreeBatches {
+			pc.free = append(pc.free, pb)
+		}
+		pc.mu.Unlock()
+	}
+	return err
+}
+
+// ship transmits one sealed batch and releases its joiners: a singleton as
+// a plain envelope (the per-envelope MAC fallback), anything larger as one
+// superframe. SendBatch must not retain the slice past return (the
+// BatchConn contract), so the batch — slice included — recycles once every
+// appender released it.
+func (c *Coalescer) ship(pb *pendingBatch) {
+	envs := pb.envs
 	c.frames.Add(1)
 	c.envelopes.Add(int64(len(envs)))
 	if len(envs) == 1 {
-		return c.conn.Send(envs[0])
+		pb.err = c.conn.Send(envs[0])
+	} else {
+		c.superframes.Add(1)
+		pb.err = c.conn.SendBatch(envs)
 	}
-	c.superframes.Add(1)
-	return c.conn.SendBatch(envs)
+	pb.wg.Done()
 }

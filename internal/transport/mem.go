@@ -193,10 +193,14 @@ func (h *Hub) deliverBatch(envs []wire.Envelope) error {
 		dst.pushBatch(envs)
 		return nil
 	}
+	// Deferred delivery outlives the SendBatch call, and the contract lets
+	// the caller recycle the slice the moment it returns — so the modelled
+	// hop carries its own copy (the analogue of serialising onto the wire).
+	queued := append([]wire.Envelope(nil), envs...)
 	h.timers.Add(1)
 	time.AfterFunc(delay, func() {
 		defer h.timers.Done()
-		dst.pushBatch(envs)
+		dst.pushBatch(queued)
 	})
 	return nil
 }

@@ -433,19 +433,32 @@ func (n *TCPNode) conn(id wire.NodeID, redial bool) (*tcpOut, error) {
 	deadline := time.Now().Add(n.cfg.DialTimeout)
 	var c net.Conn
 	var err error
+	var retry *time.Timer // one reusable timer for the whole retry loop
 	for {
 		c, err = net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
 		if err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
+			if retry != nil {
+				retry.Stop()
+			}
 			return nil, fmt.Errorf("transport: dial %d (%s): %w", id, addr, err)
+		}
+		if retry == nil {
+			retry = time.NewTimer(50 * time.Millisecond)
+		} else {
+			retry.Reset(50 * time.Millisecond)
 		}
 		select {
 		case <-n.done:
+			retry.Stop()
 			return nil, ErrClosed
-		case <-time.After(50 * time.Millisecond):
+		case <-retry.C:
 		}
+	}
+	if retry != nil {
+		retry.Stop()
 	}
 	out := newTCPOut(c)
 	n.mu.Lock()

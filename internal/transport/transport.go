@@ -60,9 +60,12 @@ type PushConn interface {
 // to ONE destination peer as a single superframe: one wire frame, one MAC,
 // one latency-model event. Every envelope must carry the same To (and the
 // local From); batching is transport-level only — each envelope inside the
-// superframe is byte-for-byte what it would be alone. SendBatch takes
-// ownership of the slice. Use a Coalescer to gather concurrent sends into
-// batches; SendBatch itself ships immediately.
+// superframe is byte-for-byte what it would be alone. SendBatch may read
+// the slice during the call but must not retain it after return (a
+// latency-modelling transport copies before deferring delivery) — the
+// caller recycles the slice across batches. Payload bytes are not copied
+// and must stay immutable once sent. Use a Coalescer to gather concurrent
+// sends into batches; SendBatch itself ships immediately.
 type BatchConn interface {
 	Conn
 	SendBatch(envs []wire.Envelope) error
@@ -71,7 +74,10 @@ type BatchConn interface {
 // BatchHandler consumes one inbound superframe's envelopes in a single
 // call — one dispatch hop per batch, with any fan-out done inside by the
 // receiver. Like Handler it runs on the producing goroutine and must be
-// safe for concurrent calls. The handler takes ownership of the slice.
+// safe for concurrent calls. The handler may mutate the slice during the
+// call but must not retain it past return (on a zero-latency transport it
+// is the sender's recycled batch); payload bytes stay valid and may be
+// retained as views.
 type BatchHandler func(envs []wire.Envelope)
 
 // PushBatchConn is implemented by push transports that can deliver a whole
