@@ -14,6 +14,7 @@ package distauction_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"testing"
@@ -26,7 +27,9 @@ import (
 	"distauction/internal/harness"
 	"distauction/internal/mechanism/doubleauction"
 	"distauction/internal/mechanism/standardauction"
+	"distauction/internal/metrics"
 	"distauction/internal/proto"
+	"distauction/internal/trace"
 	"distauction/internal/transport"
 	"distauction/internal/wire"
 	"distauction/internal/workload"
@@ -494,6 +497,13 @@ func BenchmarkSessionThroughput(b *testing.B) {
 // every lane.
 func BenchmarkMarketThroughput(b *testing.B) {
 	const rounds = 40
+	// DISTAUCTION_TRACE=1 runs the same workload with span tracing on — the
+	// observability overhead acceptance (traced aggregate rounds/s within 5%
+	// of untraced) is measured by comparing the two invocations.
+	if os.Getenv("DISTAUCTION_TRACE") == "1" {
+		trace.SetEnabled(true)
+		defer trace.Reset()
+	}
 	lat := transport.CommunityNetModel()
 	for _, auctions := range []int{1, 4, 16, 64} {
 		auctions := auctions
@@ -501,6 +511,7 @@ func BenchmarkMarketThroughput(b *testing.B) {
 			var totalRounds int
 			var totalTime time.Duration
 			var frames, envs int64
+			var latency metrics.HistogramSnapshot
 			for i := 0; i < b.N; i++ {
 				res, err := harness.RunMarketDouble(auctions, rounds,
 					harness.WithProviders(3), harness.WithUsers(10), harness.WithK(1),
@@ -528,10 +539,15 @@ func BenchmarkMarketThroughput(b *testing.B) {
 				totalTime += res.Duration
 				frames += res.FramesSent
 				envs += res.EnvelopesSent
+				latency.Merge(res.Latency)
 			}
 			b.ReportMetric(float64(totalRounds)/totalTime.Seconds(), "rounds/s")
 			if frames > 0 {
 				b.ReportMetric(float64(envs)/float64(frames), "envs/frame")
+			}
+			if latency.Count > 0 {
+				b.ReportMetric(latency.QuantileDuration(0.50).Seconds()*1e3, "p50-ms")
+				b.ReportMetric(latency.QuantileDuration(0.99).Seconds()*1e3, "p99-ms")
 			}
 		})
 	}
@@ -602,7 +618,25 @@ func BenchmarkFederationThroughput(b *testing.B) {
 // which 4000 rounds dilute to noise; the steady state dominates. CI's
 // allocation-regression smoke step holds allocs/round to the budget
 // recorded in BENCH_baseline.json (+20%).
-func BenchmarkSteadyStateAllocs(b *testing.B) {
+//
+// The trace hooks are compiled into every phase this run exercises; with
+// tracing off (the default here) they must add zero allocations — the CI
+// budget not moving across the observability PR is the proof.
+func BenchmarkSteadyStateAllocs(b *testing.B) { steadyStateAllocs(b) }
+
+// BenchmarkSteadyStateAllocsTraced is the same run with tracing enabled:
+// every span lands in the rings and phase histograms. Events are recorded
+// by value into fixed buffers, so the per-round allocation count should
+// stay at the untraced budget — compare the two allocs/round figures to
+// see the enabled-path cost.
+func BenchmarkSteadyStateAllocsTraced(b *testing.B) {
+	trace.SetEnabled(true)
+	defer trace.Reset()
+	steadyStateAllocs(b)
+}
+
+func steadyStateAllocs(b *testing.B) {
+	b.Helper()
 	const auctions, rounds = 4, 1000
 	var allocs, bytes, pauses, growth, total float64
 	for i := 0; i < b.N; i++ {

@@ -26,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -45,6 +46,7 @@ import (
 	"distauction/internal/fixed"
 	"distauction/internal/market"
 	"distauction/internal/metrics"
+	"distauction/internal/trace"
 	"distauction/internal/transport"
 	"distauction/internal/wire"
 	"distauction/internal/workload"
@@ -77,25 +79,44 @@ func main() {
 	// Runtime observability knobs (both modes).
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	statsEvery := flag.Duration("runtime-stats", 0, "print a runtime stats line (heap, goroutines, GC) at this interval (0 = off)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and /debug/trace on this address (empty = off)")
+	traceOn := flag.Bool("trace", true, "record round-pipeline spans and the flight recorder")
+	slowRound := flag.Duration("slow-round", 0, "flight-dump rounds slower than this (0 = aborts only)")
 	flag.Parse()
 
 	startDiagnostics(*pprofAddr, *statsEvery)
+	trace.SetEnabled(*traceOn)
+	trace.SetSlowRound(*slowRound)
 
 	specs, err := parseAuctions(*auctionsFlag)
 	if err == nil {
 		if *hubMode && *shards > 1 {
-			err = runHubFederated(specs, *shards, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout)
+			err = runHubFederated(specs, *shards, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout, *metricsAddr)
 		} else if *hubMode {
-			err = runHub(specs, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout)
+			err = runHub(specs, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout, *metricsAddr)
 		} else {
 			err = runTCP(specs, uint32(*id), *listen, *providersFlag, *usersFlag, *k, *pipeline,
-				*rounds, *cost, *capacity, *bidWindow, *roundTimeout, *secret)
+				*rounds, *cost, *capacity, *bidWindow, *roundTimeout, *secret, *metricsAddr)
 		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "marketd:", err)
 		os.Exit(1)
 	}
+}
+
+// holdForScrape keeps a finished hub demo alive until interrupted when an
+// export plane is being served, so scrapers (and the CI smoke) can read the
+// final /metrics and /debug/trace of the completed run.
+func holdForScrape(metricsAddr string) {
+	if metricsAddr == "" {
+		return
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	fmt.Println("marketd: run complete; serving metrics until interrupted")
+	s := <-sigs
+	fmt.Printf("marketd: %v: shutting down\n", s)
 }
 
 // startDiagnostics wires the optional runtime observability: a pprof HTTP
@@ -170,7 +191,7 @@ func sessionOpts(k, pipeline int, rounds uint64, bidWindow, roundTimeout time.Du
 // runHub is the self-contained demo: everything in one process over the
 // in-memory Hub with the community-network latency model.
 func runHub(specs []namedLane, m, n, k, pipeline int, rounds, seed uint64,
-	bidWindow, roundTimeout time.Duration) error {
+	bidWindow, roundTimeout time.Duration, metricsAddr string) error {
 	if rounds == 0 {
 		return fmt.Errorf("hub mode needs -rounds > 0")
 	}
@@ -220,6 +241,13 @@ func runHub(specs []namedLane, m, n, k, pipeline int, rounds, seed uint64,
 	}
 	fmt.Printf("marketd: hub demo — %d auctions × %d providers × %d bidders, %d rounds each\n",
 		len(specs), m, n, rounds)
+	if metricsAddr != "" {
+		stop, err := startExporter(metricsAddr, exporter{market: markets[0].Stats})
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, n*len(specs))
@@ -276,6 +304,8 @@ func runHub(specs []namedLane, m, n, k, pipeline int, rounds, seed uint64,
 		time.Sleep(time.Millisecond)
 	}
 	printStats(markets[0].Stats())
+	printFlightDumps()
+	holdForScrape(metricsAddr)
 	return nil
 }
 
@@ -283,7 +313,7 @@ func runHub(specs []namedLane, m, n, k, pipeline int, rounds, seed uint64,
 // `shards` disjoint provider committees of m nodes each behind one
 // federated façade, bidders joined through one attachment apiece.
 func runHubFederated(specs []namedLane, shards, m, n, k, pipeline int, rounds, seed uint64,
-	bidWindow, roundTimeout time.Duration) error {
+	bidWindow, roundTimeout time.Duration, metricsAddr string) error {
 	if rounds == 0 {
 		return fmt.Errorf("hub mode needs -rounds > 0")
 	}
@@ -344,6 +374,13 @@ func runHubFederated(specs []namedLane, shards, m, n, k, pipeline int, rounds, s
 	}
 	fmt.Printf("marketd: federated hub demo — %d auctions over %d shards × %d providers, %d bidders, %d rounds each\n",
 		len(specs), shards, m, n, rounds)
+	if metricsAddr != "" {
+		stop, err := startExporter(metricsAddr, exporter{fed: fed.Stats})
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, n*len(specs))
@@ -412,6 +449,8 @@ func runHubFederated(specs []namedLane, shards, m, n, k, pipeline int, rounds, s
 		time.Sleep(time.Millisecond)
 	}
 	printFederationStats(fed.Stats())
+	printFlightDumps()
+	holdForScrape(metricsAddr)
 	return nil
 }
 
@@ -494,7 +533,7 @@ func printStats(snap market.Snapshot) {
 // runTCP is one provider's market daemon over real sockets.
 func runTCP(specs []namedLane, id uint32, listen, providersFlag, usersFlag string,
 	k, pipeline int, rounds uint64, cost, capacity string,
-	bidWindow, roundTimeout time.Duration, secret string) error {
+	bidWindow, roundTimeout time.Duration, secret, metricsAddr string) error {
 
 	peerAddrs, providerIDs, err := cliutil.ParseAddrMap(providersFlag)
 	if err != nil {
@@ -546,6 +585,13 @@ func runTCP(specs []namedLane, id uint32, listen, providersFlag, usersFlag strin
 	}
 	fmt.Printf("marketd: provider %d serving %d auctions (m=%d, k=%d): %s\n",
 		id, len(specs), len(providerIDs), k, strings.Join(names(specs), ", "))
+	if metricsAddr != "" {
+		stop, err := startExporter(metricsAddr, exporter{market: mk.Stats})
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
@@ -558,18 +604,35 @@ func runTCP(specs []namedLane, id uint32, listen, providersFlag, usersFlag strin
 		for mk.Stats().Rounds < want {
 			select {
 			case s := <-sigs:
-				fmt.Printf("marketd: %v: closing market\n", s)
-				printStats(mk.Stats())
-				return nil
+				return shutdownMarket(mk, specs, s, roundTimeout)
 			case <-tick.C:
 			}
 		}
 		printStats(mk.Stats())
+		printFlightDumps()
 		return nil
 	}
-	s := <-sigs
-	fmt.Printf("marketd: %v: closing market\n", s)
-	printStats(mk.Stats())
+	return shutdownMarket(mk, specs, <-sigs, roundTimeout)
+}
+
+// shutdownMarket is the graceful SIGINT/SIGTERM path: stop admitting, let
+// every auction's in-flight rounds complete (bounded by the round timeout),
+// then report the final stats and whatever the flight recorder holds. The
+// deferred Close in runTCP tears the transport down afterwards.
+func shutdownMarket(mk *market.Market, specs []namedLane, s os.Signal, roundTimeout time.Duration) error {
+	fmt.Printf("marketd: %v: draining %d auction(s)\n", s, len(specs))
+	// Snapshot before draining: DrainAuction removes each auction from the
+	// market, and removed auctions no longer contribute to Stats().
+	snap := mk.Stats()
+	ctx, cancel := context.WithTimeout(context.Background(), roundTimeout)
+	defer cancel()
+	for _, nl := range specs {
+		if err := mk.DrainAuction(ctx, nl.name); err != nil {
+			fmt.Printf("marketd: drain %s: %v\n", nl.name, err)
+		}
+	}
+	printStats(snap)
+	printFlightDumps()
 	return nil
 }
 

@@ -51,6 +51,7 @@ import (
 	"distauction/internal/commit"
 	"distauction/internal/prng"
 	"distauction/internal/proto"
+	"distauction/internal/trace"
 	"distauction/internal/wire"
 )
 
@@ -241,6 +242,7 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 	com, op := commit.NewWithSalt(dom, peer.Self(), sc.salt[:], sc.dp[:])
 
 	// Phase 1: commit.
+	span := trace.Begin()
 	commitTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepCommit}
 	if err := peer.BroadcastProviders(commitTag, com[:]); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast commit: %v", err))
@@ -250,6 +252,7 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 	if err != nil {
 		return nil, failUnlessAborted(peer, round, "consensus: gather commits", err)
 	}
+	trace.Span(span, trace.PhaseAgreeCommit, round, peer.Lane(), peer.Self(), trace.NoPeer, int32(instance))
 	if cap(sc.commits) < len(providers) {
 		sc.commits = make([]commit.Commitment, len(providers))
 	}
@@ -263,6 +266,7 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 
 	// Phase 2: echo the commitment set so equivocated commitments abort the
 	// round while all proposals are still hidden.
+	span = trace.Begin()
 	echo := commitSetDigestOrdered(providers, commits)
 	echoTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepEcho}
 	if err := peer.BroadcastProviders(echoTag, echo[:]); err != nil {
@@ -278,6 +282,7 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 			return nil, peer.FailRound(round, fmt.Sprintf("consensus: commitment set mismatch with provider %d", providers[i]))
 		}
 	}
+	trace.Span(span, trace.PhaseAgreeEcho, round, peer.Lane(), peer.Self(), trace.NoPeer, int32(instance))
 	if onBound != nil {
 		onBound()
 	}
@@ -285,6 +290,7 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 	// Phase 3: reveal shares and vector digests. The commitments are now
 	// immutable everywhere (echo), so opening them fixes the leader seed and
 	// binds every provider to one vector before any vector is sent.
+	span = trace.Begin()
 	revealTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepReveal}
 	if err := peer.BroadcastProviders(revealTag, commit.EncodeOpening(op)); err != nil {
 		return nil, peer.FailRound(round, fmt.Sprintf("consensus: broadcast reveal: %v", err))
@@ -321,6 +327,7 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 			unanimous = false
 		}
 	}
+	trace.Span(span, trace.PhaseAgreeReveal, round, peer.Lane(), peer.Self(), trace.NoPeer, int32(instance))
 
 	// Fast path: every digest equals the local one, so by collision
 	// resistance every provider proposed this exact vector — every slot is
@@ -334,6 +341,7 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 	// Fallback: digests disagree — at least one slot is disputed (or a
 	// provider deviated). Exchange the full vectors, bind each to its
 	// committed digest, and let the per-slot leaders decide.
+	span = trace.Begin()
 	vectorTag := wire.Tag{Round: round, Block: wire.BlockBidAgree, Instance: instance, Step: stepVector}
 	full := encodeProposal(proposal{share: local.share, values: inputs})
 	if err := peer.BroadcastProviders(vectorTag, full); err != nil {
@@ -365,6 +373,7 @@ func ProposeObserved(ctx context.Context, peer *proto.Peer, round uint64, instan
 		}
 		proposals[i] = prop
 	}
+	trace.Span(span, trace.PhaseAgreeVector, round, peer.Lane(), peer.Self(), trace.NoPeer, int32(instance))
 
 	// Decide every slot by its leader.
 	base := prng.New(seed)

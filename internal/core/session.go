@@ -11,6 +11,7 @@ import (
 
 	"distauction/internal/auction"
 	"distauction/internal/proto"
+	"distauction/internal/trace"
 	"distauction/internal/transport"
 	"distauction/internal/wire"
 )
@@ -23,6 +24,10 @@ type RoundOutcome struct {
 	Round   uint64
 	Outcome auction.Outcome
 	Err     error
+	// Latency is the round's wall-clock time on this provider, bid
+	// collection through outcome delivery (0 for rounds failed before
+	// collection started). Markets feed it into their latency histograms.
+	Latency time.Duration
 }
 
 // sessionSettings is the target of the functional options. The zero-ish
@@ -365,6 +370,7 @@ func (s *Session) failRound(r uint64, err error) {
 type roundWork struct {
 	r      uint64
 	inputs [][]byte
+	began  time.Time // when phase 0 started; stamps the round's latency
 }
 
 // schedule is the round scheduler: it serialises phase 0–1 (own-bid
@@ -402,19 +408,24 @@ func (s *Session) schedule() {
 			return
 		}
 
+		began := time.Now()
+		span := trace.Begin()
 		inputs, err := s.eng.openRound(s.ctx, r, s.ownBid.Load())
 		if err != nil {
+			lat := time.Since(began)
 			s.failRound(r, err)
-			s.report(RoundOutcome{Round: r, Err: err})
+			trace.RoundDone(r, s.eng.peer.Lane(), s.eng.peer.Self(), lat, true, int32(proto.AbortCodeOf(err)))
+			s.report(RoundOutcome{Round: r, Err: err, Latency: lat})
 			<-slots
 			if s.ctx.Err() != nil {
 				return
 			}
 			continue
 		}
+		trace.Span(span, trace.PhaseBidCollect, r, s.eng.peer.Lane(), s.eng.peer.Self(), trace.NoPeer, 0)
 
 		select {
-		case work <- roundWork{r: r, inputs: inputs}:
+		case work <- roundWork{r: r, inputs: inputs, began: began}:
 		case <-s.closing:
 			// The round made trackRound before close(closing), so Close's
 			// in-flight snapshot aborts it loudly; report it here so the
@@ -444,10 +455,12 @@ func (s *Session) roundWorker(work <-chan roundWork, slots <-chan struct{}, work
 		if cancel != nil {
 			cancel()
 		}
+		lat := time.Since(rw.began)
 		if err != nil {
 			s.failRound(rw.r, err)
 		}
-		s.report(RoundOutcome{Round: rw.r, Outcome: out, Err: err})
+		trace.RoundDone(rw.r, s.eng.peer.Lane(), s.eng.peer.Self(), lat, err != nil, int32(proto.AbortCodeOf(err)))
+		s.report(RoundOutcome{Round: rw.r, Outcome: out, Err: err, Latency: lat})
 		<-slots
 	}
 }

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"time"
 
 	"distauction/internal/core"
 	"distauction/internal/gateway"
 	"distauction/internal/market"
 	"distauction/internal/metrics"
+	"distauction/internal/trace"
 	"distauction/internal/wire"
 )
 
@@ -32,12 +34,16 @@ type Settler struct {
 
 	commits metrics.Counter // rounds fully committed
 	aborts  metrics.Counter // rounds aborted and released on every shard
+
+	// latency is the always-on settle-latency histogram: barrier release to
+	// two-phase completion, in nanoseconds, per settled round.
+	latency metrics.Histogram
 }
 
 // settleGroup is one named atomic-settlement domain.
 type settleGroup struct {
-	members map[string]*settleMember  // by auction name
-	pending map[uint64]*pendingRound  // by round
+	members map[string]*settleMember // by auction name
+	pending map[uint64]*pendingRound // by round
 }
 
 // settleMember is one auction's enforcement leg within a group.
@@ -146,24 +152,34 @@ func (s *Settler) Observe(group, auction string, out core.RoundOutcome) error {
 	// stable for replay-equality assertions.
 	sort.Slice(legs, func(i, j int) bool { return legs[i].name < legs[j].name })
 
+	began := time.Now()
+	span := trace.Begin()
 	prepared := make([]*gateway.Prepared, 0, len(legs))
 	for _, l := range legs {
 		p, err := l.member.enforcer.Prepare(out.Round, l.out.Outcome, l.member.users, l.member.providers)
 		if err != nil {
+			trace.Span(span, trace.PhaseSettleReserve, out.Round, 0, 0, trace.NoPeer, int32(len(prepared)))
+			span = trace.Begin()
 			for _, staged := range prepared {
 				_ = staged.Abort()
 			}
+			trace.Span(span, trace.PhaseSettleRelease, out.Round, 0, 0, trace.NoPeer, int32(len(prepared)))
 			s.aborts.Inc()
+			s.latency.RecordDuration(time.Since(began))
 			return err
 		}
 		prepared = append(prepared, p)
 	}
+	trace.Span(span, trace.PhaseSettleReserve, out.Round, 0, 0, trace.NoPeer, int32(len(prepared)))
+	span = trace.Begin()
 	var errs []error
 	for _, staged := range prepared {
 		if err := staged.Commit(); err != nil {
 			errs = append(errs, err)
 		}
 	}
+	trace.Span(span, trace.PhaseSettleCommit, out.Round, 0, 0, trace.NoPeer, int32(len(prepared)))
+	s.latency.RecordDuration(time.Since(began))
 	if len(errs) > 0 {
 		return errors.Join(errs...)
 	}
@@ -176,3 +192,7 @@ func (s *Settler) Commits() int64 { return s.commits.Load() }
 
 // Aborts returns the number of rounds aborted (all staged legs released).
 func (s *Settler) Aborts() int64 { return s.aborts.Load() }
+
+// Latency returns the settle-latency histogram: nanoseconds from the
+// round's barrier release to two-phase completion, commit or abort alike.
+func (s *Settler) Latency() metrics.HistogramSnapshot { return s.latency.Snapshot() }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"distauction/internal/metrics"
+	"distauction/internal/proto"
 	"distauction/internal/wire"
 )
 
@@ -32,6 +33,14 @@ type ShardSnapshot struct {
 	Saturation float64
 	// Healthy is false when the shard is draining or ⊥ rounds dominate.
 	Healthy bool
+
+	// Latency merges the shard's per-auction outcome-latency histograms
+	// (nanoseconds, bid collection through outcome delivery) — ask it for
+	// p50/p99/p999 via Quantile.
+	Latency metrics.HistogramSnapshot
+	// AbortCodes breaks the shard's ⊥ rounds down by typed cause, indexed
+	// by proto.AbortCode.
+	AbortCodes [proto.NumAbortCodes]int64
 }
 
 // NodeSnapshot is one provider node's transport-level view. Mux counters
@@ -77,6 +86,14 @@ type Snapshot struct {
 	SettleAborts  int64 // cross-shard rounds aborted and released
 	SettleErrs    int64 // settle rounds that returned an error
 
+	// Latency is the federation-wide outcome-latency histogram (the merge
+	// of every shard's) and AbortCodes the federation-wide abort-cause
+	// breakdown. SettleLatency covers the two-phase settlement leg alone:
+	// barrier release to commit/abort completion.
+	Latency       metrics.HistogramSnapshot
+	AbortCodes    [proto.NumAbortCodes]int64
+	SettleLatency metrics.HistogramSnapshot
+
 	// Runtime is the process-wide heap/GC/goroutine view at snapshot time
 	// (one process hosts every node in-process, so it is reported once at
 	// the federation level, not per node).
@@ -120,6 +137,7 @@ func (f *Market) Stats() Snapshot {
 		SettleCommits: f.settler.Commits(),
 		SettleAborts:  f.settler.Aborts(),
 		SettleErrs:    f.settleErrs.Load(),
+		SettleLatency: f.settler.Latency(),
 		Runtime:       metrics.ReadRuntime(),
 	}
 	for _, ref := range shards {
@@ -142,6 +160,10 @@ func (f *Market) Stats() Snapshot {
 				ss.BidsDropped += as.BidsDropped
 				ss.QueueDepth += as.QueueDepth
 				ss.EnforceErrs += as.EnforceErrs
+				ss.Latency.Merge(as.Latency)
+				for i, n := range as.AbortCodes {
+					ss.AbortCodes[i] += n
+				}
 			}
 		}
 		if total := ss.BidsAdmitted + ss.BidsDropped; total > 0 {
@@ -159,6 +181,10 @@ func (f *Market) Stats() Snapshot {
 		snap.BidsDropped += ss.BidsDropped
 		snap.QueueDepth += ss.QueueDepth
 		snap.EnforceErrs += ss.EnforceErrs
+		snap.Latency.Merge(ss.Latency)
+		for i, n := range ss.AbortCodes {
+			snap.AbortCodes[i] += n
+		}
 	}
 	sort.Slice(snap.PerShard, func(i, j int) bool { return snap.PerShard[i].Shard < snap.PerShard[j].Shard })
 

@@ -9,6 +9,8 @@ import (
 	"distauction/internal/auction"
 	"distauction/internal/core"
 	"distauction/internal/market"
+	"distauction/internal/metrics"
+	"distauction/internal/proto"
 	"distauction/internal/workload"
 )
 
@@ -39,6 +41,12 @@ type MarketResult struct {
 	FramesSent      int64
 	SuperframesSent int64
 	EnvelopesSent   int64
+	// Latency is the outcome-latency histogram (nanoseconds, bid collection
+	// through outcome delivery) merged across the first provider's auctions
+	// — one market's view, so each round is counted once. AbortCodes breaks
+	// the ⊥ rounds down by typed cause (proto.AbortCode index).
+	Latency    metrics.HistogramSnapshot
+	AbortCodes [proto.NumAbortCodes]int64
 }
 
 // RoundsPerSec is the aggregate throughput across all auctions.
@@ -47,6 +55,25 @@ func (r MarketResult) RoundsPerSec() float64 {
 		return 0
 	}
 	return float64(r.Rounds) / r.Duration.Seconds()
+}
+
+// LatencyTable renders the run's outcome-latency percentiles as an aligned
+// table (the EXPERIMENTS.md reporting format). Quantiles come from the
+// log-bucket histogram, so each figure is the lower bound of its bucket —
+// conservative within the buckets' 1/16 relative width.
+func (r MarketResult) LatencyTable() string {
+	h := r.Latency
+	row := metrics.Row{Label: "outcome", Cols: []string{
+		fmt.Sprintf("%d", h.Count),
+		h.QuantileDuration(0.50).Round(time.Microsecond).String(),
+		h.QuantileDuration(0.99).Round(time.Microsecond).String(),
+		h.QuantileDuration(0.999).Round(time.Microsecond).String(),
+		time.Duration(h.Max).Round(time.Microsecond).String(),
+	}}
+	return metrics.Table(
+		metrics.Row{Label: "latency", Cols: []string{"count", "p50", "p99", "p999", "max"}},
+		[]metrics.Row{row},
+	)
 }
 
 // RunMarketDouble measures aggregate marketplace throughput: `auctions`
@@ -238,6 +265,9 @@ func RunMarketDouble(auctions, rounds int, opts ...Option) (MarketResult, error)
 			res.ResidualRounds += rds
 		}
 	}
-	res.Rounds = int(markets[0].Stats().Rounds)
+	first := markets[0].Stats()
+	res.Rounds = int(first.Rounds)
+	res.Latency = first.Latency
+	res.AbortCodes = first.AbortCodes
 	return res, nil
 }

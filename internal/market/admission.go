@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"distauction/internal/metrics"
+	"distauction/internal/trace"
 	"distauction/internal/wire"
 )
 
@@ -29,6 +30,8 @@ import (
 type gate struct {
 	users  map[wire.NodeID]struct{}
 	window uint64
+	lane   uint32      // the auction's lane (trace labels)
+	self   wire.NodeID // the observing provider (trace labels)
 
 	mu          sync.Mutex
 	next        uint64 // lowest round not yet completed
@@ -42,7 +45,7 @@ type gate struct {
 	dropped  metrics.Counter
 }
 
-func newGate(users []wire.NodeID, startRound uint64, window int) *gate {
+func newGate(users []wire.NodeID, startRound uint64, window int, lane uint32, self wire.NodeID) *gate {
 	set := make(map[wire.NodeID]struct{}, len(users))
 	for _, u := range users {
 		set[u] = struct{}{}
@@ -50,22 +53,32 @@ func newGate(users []wire.NodeID, startRound uint64, window int) *gate {
 	return &gate{
 		users:  set,
 		window: uint64(window),
+		lane:   lane,
+		self:   self,
 		next:   startRound,
 		seen:   make(map[uint64]map[wire.NodeID]struct{}),
 	}
 }
+
+// Admission-drop trace codes (Event.Code on PhaseAdmissionDrop events).
+const (
+	dropStranger = 1 // sender is not one of the auction's users
+	dropWindow   = 2 // round outside the admission window, or draining
+)
 
 // admit decides one bid submission. It runs on the transport's producer
 // goroutines; the critical section is a couple of map operations.
 func (g *gate) admit(from wire.NodeID, round uint64) bool {
 	if _, ok := g.users[from]; !ok {
 		g.dropped.Inc()
+		trace.Emit(trace.PhaseAdmissionDrop, round, g.lane, g.self, from, dropStranger)
 		return false
 	}
 	g.mu.Lock()
 	if g.draining || round < g.next || round >= g.next+g.window {
 		g.mu.Unlock()
 		g.dropped.Inc()
+		trace.Emit(trace.PhaseAdmissionDrop, round, g.lane, g.self, from, dropWindow)
 		return false
 	}
 	senders := g.seen[round]

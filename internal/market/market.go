@@ -14,6 +14,7 @@ import (
 	"distauction/internal/gateway"
 	"distauction/internal/ledger"
 	"distauction/internal/metrics"
+	"distauction/internal/proto"
 	"distauction/internal/transport"
 	"distauction/internal/wire"
 )
@@ -372,7 +373,7 @@ func (m *Market) OpenAuction(spec AuctionSpec) (*Auction, error) {
 		session:   sess,
 		users:     append([]wire.NodeID(nil), spec.Users...),
 		providers: committee,
-		gate:      newGate(spec.Users, startRound, window),
+		gate:      newGate(spec.Users, startRound, window, lane, m.Self()),
 		meter:     metrics.NewMeter(nil),
 		done:      make(chan struct{}),
 	}
@@ -534,6 +535,13 @@ type Auction struct {
 	meter       *metrics.Meter
 	lastEmitted atomic.Uint64
 
+	// latency is the always-on outcome-latency histogram (nanoseconds,
+	// bid collection through delivery); abortCodes break ⊥ rounds down by
+	// typed cause. Both are lock-free and recorded on the outcome path
+	// regardless of the trace flag.
+	latency    metrics.Histogram
+	abortCodes [proto.NumAbortCodes]metrics.Counter
+
 	done chan struct{}
 }
 
@@ -581,8 +589,10 @@ func (a *Auction) consume() {
 		}
 		// Counters move last, rounds last of all: once Stats reports a round
 		// counted, its enforcement, sweep and callback have all completed.
+		a.latency.RecordDuration(out.Latency)
 		if out.Err != nil {
 			a.aborted.Inc()
+			a.abortCodes[proto.AbortCodeOf(out.Err)].Inc()
 		} else {
 			a.accepted.Inc()
 		}
@@ -604,6 +614,13 @@ type AuctionSnapshot struct {
 	BidsDropped  int64
 	QueueDepth   int // admitted bids not yet resolved by a completed round
 	EnforceErrs  int64
+
+	// Latency is the auction's outcome-latency histogram (nanoseconds);
+	// query p50/p99/p999 via QuantileDuration.
+	Latency metrics.HistogramSnapshot
+	// AbortCodes breaks Aborted down by typed cause, indexed by
+	// proto.AbortCode.
+	AbortCodes [proto.NumAbortCodes]int64
 }
 
 // Snapshot aggregates the whole market plus its per-auction breakdown.
@@ -638,12 +655,17 @@ type Snapshot struct {
 	// rounds, and TotalAlloc growing by the pooled-path budget only.
 	Runtime metrics.RuntimeStats
 
+	// Latency merges every auction's outcome-latency histogram; AbortCodes
+	// merges their per-cause ⊥ breakdowns (indexed by proto.AbortCode).
+	Latency    metrics.HistogramSnapshot
+	AbortCodes [proto.NumAbortCodes]int64
+
 	Auctions []AuctionSnapshot
 }
 
 // snapshot captures one auction.
 func (a *Auction) snapshot() AuctionSnapshot {
-	return AuctionSnapshot{
+	as := AuctionSnapshot{
 		Name:         a.name,
 		Lane:         a.lane,
 		Rounds:       a.rounds.Load(),
@@ -655,7 +677,12 @@ func (a *Auction) snapshot() AuctionSnapshot {
 		BidsDropped:  a.gate.dropped.Load(),
 		QueueDepth:   a.gate.depth(),
 		EnforceErrs:  a.enforceErrs.Load(),
+		Latency:      a.latency.Snapshot(),
 	}
+	for c := range as.AbortCodes {
+		as.AbortCodes[c] = a.abortCodes[c].Load()
+	}
+	return as
 }
 
 // Stats returns the market-wide counters and the per-auction breakdown
@@ -685,6 +712,10 @@ func (m *Market) Stats() Snapshot {
 		snap.BidsDropped += as.BidsDropped
 		snap.QueueDepth += as.QueueDepth
 		snap.EnforceErrs += as.EnforceErrs
+		snap.Latency.Merge(as.Latency)
+		for c := range as.AbortCodes {
+			snap.AbortCodes[c] += as.AbortCodes[c]
+		}
 	}
 	if elapsed := time.Since(m.started).Seconds(); elapsed > 0 {
 		snap.RoundsPerSec = float64(snap.Rounds) / elapsed

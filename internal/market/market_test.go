@@ -766,4 +766,3 @@ func TestMarketCloseIsClean(t *testing.T) {
 		t.Fatalf("want ErrMarketClosed, got %v", err)
 	}
 }
-

@@ -376,6 +376,11 @@ var (
 // Self returns the node ID shared by all lanes of the mux.
 func (c *laneConn) Self() wire.NodeID { return c.mux.self }
 
+// Lane returns the wire lane this virtual connection carries. proto.NewPeer
+// detects it so every trace event of the lane's session is labelled with
+// the auction it belongs to.
+func (c *laneConn) Lane() uint32 { return c.lane }
+
 // Send stamps the lane into env's tag and transmits it on the shared
 // connection — through the mux's per-peer coalescer when the transport can
 // batch, so concurrent sends from any lanes to the same peer leave as one

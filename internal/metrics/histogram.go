@@ -1,0 +1,249 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: values 0..15 land in exact buckets; larger
+// values split each power-of-two major bucket into 16 log-linear
+// sub-buckets, bounding relative quantile error at 1/16 ≈ 6.25%. With
+// 64-bit values that is (64-4) majors × 16 subs + 16 exact = 976 buckets.
+const (
+	histSubBits = 4
+	histSubs    = 1 << histSubBits
+	numBuckets  = (64-histSubBits)*histSubs + histSubs
+)
+
+// Histogram is a fixed-size log-bucket histogram safe for concurrent,
+// lock-free recording. The zero value is ready. Buckets are atomic
+// counters; Record is one atomic add per value plus the count/sum/min/max
+// summary updates — no locks, no allocation. Quantile estimates carry
+// ≤6.25% relative error from bucketing. Negative values clamp to zero.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	// min holds v+1 so the zero value means "no observations yet".
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < histSubs {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 1 // ≥ histSubBits here
+	sub := (u >> (uint(exp) - histSubBits)) & (histSubs - 1)
+	return (exp-histSubBits)*histSubs + histSubs + int(sub)
+}
+
+// bucketLow returns the smallest value mapping to bucket i — the
+// conservative (under-) estimate reported by Quantile.
+func bucketLow(i int) int64 {
+	if i < histSubs {
+		return int64(i)
+	}
+	i -= histSubs
+	exp := uint(i/histSubs) + histSubBits
+	sub := uint64(i % histSubs)
+	return int64(1<<exp | sub<<(exp-histSubBits))
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.observeMin(v + 1)
+	h.observeMax(v)
+}
+
+func (h *Histogram) observeMin(encoded int64) {
+	for {
+		cur := h.min.Load()
+		if cur != 0 && encoded >= cur {
+			return
+		}
+		if h.min.CompareAndSwap(cur, encoded) {
+			return
+		}
+	}
+}
+
+func (h *Histogram) observeMax(v int64) {
+	for {
+		cur := h.max.Load()
+		if v <= cur {
+			return
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// RecordDuration adds one duration observation in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Reset zeroes the histogram. Not safe against concurrent Record; meant
+// for test setup and between-run reuse, not the hot path.
+func (h *Histogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(0)
+	h.max.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() int64 {
+	if enc := h.min.Load(); enc != 0 {
+		return enc - 1
+	}
+	return 0
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Merge folds src's observations into h. Safe against concurrent Record
+// on either side; the result is a consistent-enough view for reporting
+// (counts may trail sums by in-flight records). The merged sum uses
+// bucket lower bounds, keeping it consistent with merged quantiles.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil {
+		return
+	}
+	var n, sum int64
+	for i := range src.buckets {
+		c := src.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		h.buckets[i].Add(c)
+		n += int64(c)
+		sum += int64(c) * bucketLow(i)
+	}
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(sum)
+	if enc := src.min.Load(); enc != 0 {
+		h.observeMin(enc)
+	}
+	h.observeMax(src.max.Load())
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) as the lower bound of
+// the bucket holding that rank — a conservative estimate within 6.25% of
+// the true value. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int64 {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Snapshot returns a point-in-time copy for offline queries and export.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Min = h.Min()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram, usable from a
+// single goroutine without synchronisation.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Min     int64
+	Max     int64
+	Buckets [numBuckets]uint64
+}
+
+// Merge folds src into s.
+func (s *HistogramSnapshot) Merge(src HistogramSnapshot) {
+	if src.Count == 0 {
+		return
+	}
+	if s.Count == 0 || src.Min < s.Min {
+		s.Min = src.Min
+	}
+	if src.Max > s.Max {
+		s.Max = src.Max
+	}
+	s.Count += src.Count
+	s.Sum += src.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += src.Buckets[i]
+	}
+}
+
+// Quantile mirrors Histogram.Quantile on the snapshot.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range s.Buckets {
+		seen += int64(s.Buckets[i])
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the snapshot's mean observation.
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// QuantileDuration reads a quantile of a nanosecond-valued snapshot as a
+// Duration — the common case for latency histograms.
+func (s *HistogramSnapshot) QuantileDuration(q float64) time.Duration {
+	return time.Duration(s.Quantile(q))
+}

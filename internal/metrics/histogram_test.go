@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and indices
+	// must be monotone in the value.
+	for i := 0; i < numBuckets; i++ {
+		lo := bucketLow(i)
+		if got := bucketIndex(lo); got != i {
+			t.Fatalf("bucketIndex(bucketLow(%d)=%d) = %d", i, lo, got)
+		}
+	}
+	prev := -1
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1 << 40, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx <= prev && v != 0 {
+			t.Fatalf("bucketIndex(%d) = %d not monotone (prev %d)", v, idx, prev)
+		}
+		if lo := bucketLow(idx); lo > v {
+			t.Fatalf("bucketLow(%d) = %d exceeds value %d", idx, lo, v)
+		}
+		prev = idx
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should read all zeros")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("sum = %d, want 5050", h.Sum())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %d/%d, want 1/100", h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 50.5", m)
+	}
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative record should clamp to 0, min = %d", h.Min())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	xs := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, like latencies.
+		v := int64(math.Exp(rng.Float64() * 14))
+		xs = append(xs, v)
+		h.Record(v)
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		rank := int(math.Ceil(q*float64(len(xs)))) - 1
+		exact := xs[rank]
+		got := h.Quantile(q)
+		// Bucketing reports the bucket's lower bound: got ≤ exact and
+		// within one sub-bucket (6.25%) of it.
+		if got > exact {
+			t.Fatalf("q%v: estimate %d above exact %d", q, got, exact)
+		}
+		if float64(exact-got) > float64(exact)/float64(histSubs)+1 {
+			t.Fatalf("q%v: estimate %d too far below exact %d", q, got, exact)
+		}
+	}
+	if h.Quantile(0) != xs[0] && h.Quantile(0) > xs[0] {
+		t.Fatalf("q0 = %d, want ≤ %d", h.Quantile(0), xs[0])
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, m Histogram
+	for i := int64(0); i < 1000; i++ {
+		a.Record(i)
+		b.Record(i + 5000)
+	}
+	m.Merge(&a)
+	m.Merge(&b)
+	m.Merge(nil) // no-op
+	if m.Count() != 2000 {
+		t.Fatalf("merged count = %d, want 2000", m.Count())
+	}
+	if m.Min() != 0 || m.Max() != 5999 {
+		t.Fatalf("merged min/max = %d/%d, want 0/5999", m.Min(), m.Max())
+	}
+	// Median of the merged stream sits at the top of a's range.
+	med := m.Quantile(0.5)
+	if med < 900 || med > 1000 {
+		t.Fatalf("merged median = %d, want ~999", med)
+	}
+
+	var sa, sb HistogramSnapshot
+	sa = a.Snapshot()
+	sb = b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 2000 || sa.Min != 0 || sa.Max != 5999 {
+		t.Fatalf("snapshot merge: count/min/max = %d/%d/%d", sa.Count, sa.Min, sa.Max)
+	}
+	if sa.Quantile(0.5) != med {
+		t.Fatalf("snapshot median %d != histogram median %d", sa.Quantile(0.5), med)
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	var h Histogram
+	h.RecordDuration(3 * time.Millisecond)
+	s := h.Snapshot()
+	d := s.QuantileDuration(1)
+	if d < 2800*time.Microsecond || d > 3*time.Millisecond {
+		t.Fatalf("duration quantile = %v, want ≈3ms (lower bound)", d)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	// Hammer Record/Merge/Quantile from many goroutines; -race is the
+	// assertion, plus exact count/sum conservation at the end.
+	var h Histogram
+	const (
+		workers = 8
+		each    = 5000
+	)
+	var aux Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < each; i++ {
+				h.Record(int64(rng.Intn(1 << 20)))
+				if i%512 == 0 {
+					_ = h.Quantile(0.99)
+					aux.Merge(&h)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*each)
+	}
+	var total int64
+	s := h.Snapshot()
+	for _, c := range s.Buckets {
+		total += int64(c)
+	}
+	if total != workers*each {
+		t.Fatalf("bucket total = %d, want %d", total, workers*each)
+	}
+}

@@ -1,0 +1,101 @@
+package proto
+
+import (
+	"context"
+	"errors"
+	"strings"
+)
+
+// AbortCode classifies why a round went to ⊥. The marketplace's counters,
+// the trace flight recorder and the Prometheus export all key on these
+// codes — one taxonomy for every layer, instead of each surface grepping
+// reason strings its own way. Codes travel on the abort control message
+// next to the human-readable reason, so remote peers count the same kind
+// the aborter decided, not a re-classification.
+type AbortCode uint8
+
+const (
+	// AbortUnknown is an abort whose cause could not be classified.
+	AbortUnknown AbortCode = iota
+	// AbortTimeout is a deadline expiry: a peer stayed silent past the
+	// receive timeout (the paper's fair-schedule escape hatch).
+	AbortTimeout
+	// AbortEquivocation is two different payloads from one sender under
+	// one tag — the ⊥-inducing deviation of §3.2.
+	AbortEquivocation
+	// AbortMAC is an authentication failure: a frame or superframe whose
+	// MAC did not verify.
+	AbortMAC
+	// AbortSettlement is a federation 2PC abort: a cross-shard settle
+	// round that prepared on some shards and had to release.
+	AbortSettlement
+	// AbortClosed is a shutdown abort: the peer or session closed while
+	// the round was in flight.
+	AbortClosed
+	// AbortProtocol is a malformed or mis-sequenced message: decode
+	// failures, mis-opened commitments, vector mismatches.
+	AbortProtocol
+
+	// NumAbortCodes bounds per-code counter arrays.
+	NumAbortCodes
+)
+
+var abortCodeNames = [NumAbortCodes]string{
+	"unknown", "timeout", "equivocation", "mac", "settlement", "closed", "protocol",
+}
+
+// String returns the code's stable metric label.
+func (c AbortCode) String() string {
+	if c < NumAbortCodes {
+		return abortCodeNames[c]
+	}
+	return "unknown"
+}
+
+// ClassifyReason maps a human-readable abort reason onto a code. Callers
+// that know the cause pass an explicit code instead; this is the fallback
+// for reasons produced by layers that predate the taxonomy (and for
+// remote aborts from peers running without the code field).
+func ClassifyReason(reason string) AbortCode {
+	r := strings.ToLower(reason)
+	switch {
+	case strings.Contains(r, "equivocation"):
+		return AbortEquivocation
+	case strings.Contains(r, "deadline"), strings.Contains(r, "timeout"), strings.Contains(r, "timed out"):
+		return AbortTimeout
+	case strings.Contains(r, "mac"), strings.Contains(r, "auth"):
+		return AbortMAC
+	case strings.Contains(r, "settle"):
+		return AbortSettlement
+	case strings.Contains(r, "closed"), strings.Contains(r, "closing"), strings.Contains(r, "shutdown"):
+		return AbortClosed
+	case strings.Contains(r, "malformed"), strings.Contains(r, "mis-opened"),
+		strings.Contains(r, "decode"), strings.Contains(r, "mismatch"),
+		strings.Contains(r, "invalid"):
+		return AbortProtocol
+	}
+	return AbortUnknown
+}
+
+// AbortCodeOf extracts the abort code from any error shape the pipeline
+// produces: a typed *AbortError carries its code; bare deadline/cancel
+// errors classify as timeout/closed; anything else is unknown.
+func AbortCodeOf(err error) AbortCode {
+	if err == nil {
+		return AbortUnknown
+	}
+	var ae *AbortError
+	if errors.As(err, &ae) {
+		if ae.Code != AbortUnknown {
+			return ae.Code
+		}
+		return ClassifyReason(ae.Reason)
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return AbortTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrPeerClosed), errors.Is(err, ErrRoundEnded):
+		return AbortClosed
+	}
+	return ClassifyReason(err.Error())
+}

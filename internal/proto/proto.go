@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distauction/internal/trace"
 	"distauction/internal/transport"
 	"distauction/internal/wire"
 )
@@ -60,14 +61,16 @@ var ErrAborted = errors.New("proto: round aborted (⊥)")
 
 // AbortError describes why a round aborted.
 type AbortError struct {
-	Round  uint64
-	From   wire.NodeID // provider that signalled the abort (self included)
-	Reason string
+	Round   uint64
+	From    wire.NodeID // provider that signalled the abort (self included)
+	Reason  string
+	Code    AbortCode   // typed cause (timeout, equivocation, MAC, …)
+	Culprit wire.NodeID // deviant peer when attribution is known, else wire.Broadcast
 }
 
 // Error implements error.
 func (e *AbortError) Error() string {
-	return fmt.Sprintf("proto: round %d aborted (⊥) by %d: %s", e.Round, e.From, e.Reason)
+	return fmt.Sprintf("proto: round %d aborted (⊥) by %d [%s]: %s", e.Round, e.From, e.Code, e.Reason)
 }
 
 // Is reports that an AbortError matches ErrAborted.
@@ -195,6 +198,7 @@ type Peer struct {
 	conn      transport.Conn
 	self      wire.NodeID
 	providers []wire.NodeID // sorted, may or may not include self
+	lane      uint32        // marketplace lane, when conn carries one (trace labels)
 
 	shards   [numShards]shard
 	minRound atomic.Uint64 // rounds below this are retired; their messages drop
@@ -231,6 +235,9 @@ func NewPeer(conn transport.Conn, providers []wire.NodeID) *Peer {
 		done:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
 	}
+	if lc, ok := conn.(interface{ Lane() uint32 }); ok {
+		p.lane = lc.Lane()
+	}
 	if pc, ok := conn.(transport.PushConn); ok {
 		close(p.loopDone) // no routing loop to wait for
 		pc.SetHandler(func(env wire.Envelope) { p.handle(env.From, env.Tag, env.Payload) })
@@ -247,6 +254,11 @@ func NewPeer(conn transport.Conn, providers []wire.NodeID) *Peer {
 
 // Self returns the local node ID.
 func (p *Peer) Self() wire.NodeID { return p.self }
+
+// Lane returns the marketplace lane this peer's connection is attached to
+// (0 when the transport carries no lane). Trace events use it to label
+// spans per auction.
+func (p *Peer) Lane() uint32 { return p.lane }
 
 // Providers returns the provider set, sorted ascending. The slice is shared;
 // callers must not modify it.
@@ -308,11 +320,25 @@ func (p *Peer) runLoop() {
 func (p *Peer) handle(from wire.NodeID, tag wire.Tag, payload []byte) {
 	if tag.Block == wire.BlockControl && tag.Step == StepAbort {
 		reason := "unspecified"
+		code := AbortUnknown
+		culprit := wire.Broadcast
 		d := wire.NewDecoder(payload)
 		if s := d.String(); d.Err() == nil {
 			reason = s
+			// The code and culprit fields were appended to the abort payload
+			// after the reason; tolerate their absence (older peers).
+			if d.Remaining() > 0 {
+				if c := AbortCode(d.Uint8()); d.Err() == nil && c < NumAbortCodes {
+					code = c
+				}
+			}
+			if d.Remaining() > 0 {
+				if id := d.Uint32(); d.Err() == nil {
+					culprit = wire.NodeID(id)
+				}
+			}
 		}
-		p.markAborted(tag.Round, from, reason)
+		p.markAborted(tag.Round, from, reason, code, culprit)
 		return
 	}
 
@@ -338,8 +364,8 @@ func (p *Peer) handle(from wire.NodeID, tag wire.Tag, payload []byte) {
 			// This is the ⊥-inducing deviation of §3.2; poison the round
 			// and tell everyone so nobody blocks.
 			reason := fmt.Sprintf("equivocation by %d on %v", from, tag)
-			p.markAborted(tag.Round, p.self, reason)
-			_ = p.broadcastAbort(tag.Round, reason)
+			p.markAborted(tag.Round, p.self, reason, AbortEquivocation, from)
+			_ = p.broadcastAbort(tag.Round, reason, AbortEquivocation, from)
 		}
 		return
 	}
@@ -350,7 +376,7 @@ func (p *Peer) handle(from wire.NodeID, tag wire.Tag, payload []byte) {
 	}
 	sh.mu.Unlock()
 	for n := ws; n != nil; {
-		next := n.next // the receiver may recycle n the moment the send lands
+		next := n.next  // the receiver may recycle n the moment the send lands
 		n.ch <- payload // buffered channel of size 1; never blocks
 		n = next
 	}
@@ -459,8 +485,8 @@ func (p *Peer) ingestRun(sh *shard, run []wire.Envelope) {
 		w.ch <- w.payload // buffered channel of size 1; never blocks
 	}
 	for _, q := range equivs {
-		p.markAborted(q.round, p.self, q.reason)
-		_ = p.broadcastAbort(q.round, q.reason)
+		p.markAborted(q.round, p.self, q.reason, AbortEquivocation, q.from)
+		_ = p.broadcastAbort(q.round, q.reason, AbortEquivocation, q.from)
 	}
 	clear(wakes) // unpin channels and payloads before recycling
 	clear(equivs)
@@ -468,7 +494,10 @@ func (p *Peer) ingestRun(sh *shard, run []wire.Envelope) {
 	p.ingestPool.Put(sc)
 }
 
-func (p *Peer) markAborted(round uint64, from wire.NodeID, reason string) {
+func (p *Peer) markAborted(round uint64, from wire.NodeID, reason string, code AbortCode, culprit wire.NodeID) {
+	if code == AbortUnknown {
+		code = ClassifyReason(reason)
+	}
 	sh := p.shardFor(round)
 	sh.mu.Lock()
 	if round < p.minRound.Load() {
@@ -480,7 +509,7 @@ func (p *Peer) markAborted(round uint64, from wire.NodeID, reason string) {
 		sh.mu.Unlock()
 		return // already aborted
 	}
-	rs.abortErr = &AbortError{Round: round, From: from, Reason: reason}
+	rs.abortErr = &AbortError{Round: round, From: from, Reason: reason, Code: code, Culprit: culprit}
 	if rs.abortCh != nil {
 		close(rs.abortCh)
 	}
@@ -492,6 +521,9 @@ func (p *Peer) markAborted(round uint64, from wire.NodeID, reason string) {
 	clear(rs.abortFns)
 	rs.abortFns = rs.abortFns[:0]
 	sh.mu.Unlock()
+	// The abort event carries the attribution the flight recorder dumps:
+	// which peer, which code — recorded once, by the node that latched ⊥.
+	trace.Emit(trace.PhaseAbort, round, p.lane, p.self, culprit, int32(code))
 	for _, fn := range fns {
 		fn()
 	}
@@ -524,9 +556,11 @@ func (p *Peer) OnAbort(round uint64, fn func()) {
 	sh.mu.Unlock()
 }
 
-func (p *Peer) broadcastAbort(round uint64, reason string) error {
-	enc := wire.NewEncoder(len(reason) + 4)
+func (p *Peer) broadcastAbort(round uint64, reason string, code AbortCode, culprit wire.NodeID) error {
+	enc := wire.NewEncoder(len(reason) + 9)
 	enc.String(reason)
+	enc.Uint8(uint8(code))
+	enc.Uint32(uint32(culprit))
 	payload := enc.Buffer()
 	tag := wire.Tag{Round: round, Block: wire.BlockControl, Step: StepAbort}
 	var firstErr error
@@ -543,10 +577,18 @@ func (p *Peer) broadcastAbort(round uint64, reason string) error {
 }
 
 // Abort declares ⊥ for round: it poisons the local round state and notifies
-// all other providers. It is idempotent.
+// all other providers. It is idempotent. The cause is classified from the
+// reason string; callers that know the typed cause use AbortWith.
 func (p *Peer) Abort(round uint64, reason string) error {
-	p.markAborted(round, p.self, reason)
-	return p.broadcastAbort(round, reason)
+	return p.AbortWith(round, reason, ClassifyReason(reason), wire.Broadcast)
+}
+
+// AbortWith is Abort with an explicit typed cause and (where known) the
+// deviant peer, both of which travel on the abort control message so every
+// provider counts the same cause.
+func (p *Peer) AbortWith(round uint64, reason string, code AbortCode, culprit wire.NodeID) error {
+	p.markAborted(round, p.self, reason, code, culprit)
+	return p.broadcastAbort(round, reason, code, culprit)
 }
 
 // FailRound declares ⊥ for round with the given reason and returns the
@@ -558,7 +600,7 @@ func (p *Peer) FailRound(round uint64, reason string) error {
 	if err := p.AbortErr(round); err != nil {
 		return err
 	}
-	return &AbortError{Round: round, From: p.self, Reason: reason}
+	return &AbortError{Round: round, From: p.self, Reason: reason, Code: ClassifyReason(reason), Culprit: wire.Broadcast}
 }
 
 // AbortChan returns a channel that closes when round aborts (⊥). For a

@@ -12,6 +12,7 @@ import (
 	"distauction/internal/coin"
 	"distauction/internal/datatransfer"
 	"distauction/internal/proto"
+	"distauction/internal/trace"
 	"distauction/internal/wire"
 )
 
@@ -186,7 +187,10 @@ func (ex *Executor) worker() {
 	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
 		pprof.Labels("distauction", "taskgraph-worker")))
 	for it := range ex.work {
+		span := trace.Begin()
 		it.er.runTask(it.ti)
+		trace.Span(span, trace.PhaseTask, it.er.round, ex.peer.Lane(), ex.peer.Self(),
+			trace.NoPeer, int32(ex.g.tasks[it.ti].ID))
 		it.er.pending.Done()
 	}
 }

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"distauction/internal/wire"
+)
+
+// The flight recorder keeps the last ~ringShards×ringSize events in
+// fixed mutex-sharded rings. Shards are chosen by event sequence, so
+// writers from different goroutines rarely contend on the same lock and
+// the union of shards holds a contiguous-ish suffix of the stream. A
+// pure lock-free ring would race readers against wrapping writers under
+// the Go memory model; a sharded mutex ring is safe under -race and the
+// lock is uncontended in the common case.
+const (
+	ringShards = 8
+	ringSize   = 512 // events per shard → 4096 total
+	maxDumps   = 16
+)
+
+type ringShard struct {
+	mu  sync.Mutex
+	buf [ringSize]Event
+	pos uint64 // next write slot; wraps
+}
+
+var rings [ringShards]ringShard
+
+func record(e Event) {
+	sh := &rings[e.Seq%ringShards]
+	sh.mu.Lock()
+	sh.buf[sh.pos%ringSize] = e
+	sh.pos++
+	sh.mu.Unlock()
+}
+
+// Events returns the flight recorder's current contents, oldest first.
+func Events() []Event {
+	out := make([]Event, 0, ringShards*ringSize)
+	for i := range rings {
+		sh := &rings[i]
+		sh.mu.Lock()
+		n := sh.pos
+		if n > ringSize {
+			n = ringSize
+		}
+		for j := uint64(0); j < n; j++ {
+			out = append(out, sh.buf[j])
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump is one flight-recorder capture: the recorded events for a round
+// that aborted or ran slow, plus the causal attribution derived from
+// them — which peer, in which phase, with which abort code.
+type Dump struct {
+	When    time.Time
+	Round   uint64
+	Lane    uint32
+	Node    wire.NodeID
+	Dur     time.Duration
+	Aborted bool
+	Slow    bool
+
+	// Code is the proto abort code (AbortCode numeric value) for aborted
+	// rounds; Culprit the deviant peer when attribution is known (NoPeer
+	// otherwise); Phase the last pipeline phase in flight before the
+	// abort — together: "round R went to ⊥ in phase P because of peer C".
+	Code    int32
+	Culprit wire.NodeID
+	Phase   Phase
+
+	Events []Event // this round's events on this lane, oldest first
+}
+
+var (
+	dumpMu  sync.Mutex
+	dumps   []Dump
+	dumpFns []func(Dump)
+)
+
+// dump captures the named round's events and attribution. Called with no
+// locks held; rare by construction (aborts and slow rounds).
+func dump(round uint64, lane uint32, node wire.NodeID, dur time.Duration, aborted, slow bool, code int32) {
+	all := Events()
+	d := Dump{
+		When: time.Now(), Round: round, Lane: lane, Node: node, Dur: dur,
+		Aborted: aborted, Slow: slow, Code: code, Culprit: NoPeer, Phase: PhaseRound,
+	}
+	var lastPhase Phase
+	var lastPhaseSeq, abortSeq uint64
+	for _, e := range all {
+		if e.Round != round || e.Lane != lane {
+			continue
+		}
+		d.Events = append(d.Events, e)
+		switch e.Phase {
+		case PhaseAbort:
+			if abortSeq == 0 || e.Seq < abortSeq {
+				abortSeq = e.Seq
+				d.Culprit = e.Peer
+				d.Code = e.Code
+			}
+		case PhaseRound:
+			// the round summary itself is not a causal phase
+		default:
+			if abortSeq == 0 && e.Seq > lastPhaseSeq {
+				lastPhaseSeq = e.Seq
+				lastPhase = e.Phase
+			}
+		}
+	}
+	if lastPhaseSeq > 0 {
+		d.Phase = lastPhase
+	}
+
+	dumpMu.Lock()
+	dumps = append(dumps, d)
+	if len(dumps) > maxDumps {
+		dumps = dumps[len(dumps)-maxDumps:]
+	}
+	fns := dumpFns
+	dumpMu.Unlock()
+	for _, fn := range fns {
+		fn(d)
+	}
+}
+
+// Dumps returns the retained flight-recorder dumps, oldest first.
+func Dumps() []Dump {
+	dumpMu.Lock()
+	defer dumpMu.Unlock()
+	out := make([]Dump, len(dumps))
+	copy(out, dumps)
+	return out
+}
+
+// OnDump registers fn to run (synchronously, on the dumping goroutine)
+// after each capture. Callbacks cannot be unregistered; register once at
+// process start.
+func OnDump(fn func(Dump)) {
+	dumpMu.Lock()
+	dumpFns = append(dumpFns, fn)
+	dumpMu.Unlock()
+}
+
+// Reset clears the rings, dumps, callbacks and per-phase histograms, and
+// disables tracing. Test helper; not safe against concurrent recording.
+func Reset() {
+	enabled.Store(false)
+	slowRound.Store(0)
+	seq.Store(0)
+	for i := range rings {
+		sh := &rings[i]
+		sh.mu.Lock()
+		sh.pos = 0
+		sh.buf = [ringSize]Event{}
+		sh.mu.Unlock()
+	}
+	dumpMu.Lock()
+	dumps = nil
+	dumpFns = nil
+	dumpMu.Unlock()
+	for i := range phaseHist {
+		phaseHist[i].Reset()
+	}
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"distauction/internal/wire"
+)
+
+func TestDisabledFastPathZeroAlloc(t *testing.T) {
+	Reset()
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := Begin()
+		Span(s, PhaseAgreeCommit, 1, 0, 1, 2, 0)
+		Emit(PhaseAdmissionDrop, 1, 0, 1, 2, 0)
+		RoundDone(1, 0, 1, time.Millisecond, false, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocated %v per run, want 0", allocs)
+	}
+	if len(Events()) != 0 {
+		t.Fatal("disabled tracing recorded events")
+	}
+}
+
+func TestEnabledRecordsSpansAndHistograms(t *testing.T) {
+	Reset()
+	SetEnabled(true)
+	defer Reset()
+
+	s := Begin()
+	if s.IsZero() {
+		t.Fatal("Begin returned zero time while enabled")
+	}
+	Span(s, PhaseAgreeCommit, 7, 3, 1, NoPeer, 0)
+	Emit(PhaseAdmissionDrop, 7, 3, 1, 9, 0)
+	RoundDone(7, 3, 1, 2*time.Millisecond, false, 0)
+
+	evs := Events()
+	if len(evs) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("events not ordered by seq")
+		}
+	}
+	ph := PhaseDurations()
+	if ph[PhaseAgreeCommit].Count != 1 || ph[PhaseRound].Count != 1 || ph[PhaseAdmissionDrop].Count != 1 {
+		t.Fatalf("phase histogram counts = %d/%d/%d, want 1/1/1",
+			ph[PhaseAgreeCommit].Count, ph[PhaseRound].Count, ph[PhaseAdmissionDrop].Count)
+	}
+	if len(Dumps()) != 0 {
+		t.Fatal("clean fast round should not dump")
+	}
+}
+
+func TestAbortDumpAttribution(t *testing.T) {
+	Reset()
+	SetEnabled(true)
+	defer Reset()
+
+	var cbDump Dump
+	var cbFired bool
+	OnDump(func(d Dump) { cbDump, cbFired = d, true })
+
+	const round, lane = uint64(42), uint32(5)
+	culprit := wire.NodeID(3)
+
+	s := Begin()
+	Span(s, PhaseBidCollect, round, lane, 1, NoPeer, 0)
+	s = Begin()
+	Span(s, PhaseAgreeEcho, round, lane, 1, NoPeer, 0)
+	// Unrelated round noise that must not leak into the dump.
+	Emit(PhaseAdmissionDrop, 99, lane, 1, 8, 0)
+	// The abort, attributed to the culprit with code 2.
+	Emit(PhaseAbort, round, lane, 1, culprit, 2)
+	RoundDone(round, lane, 1, time.Millisecond, true, 2)
+
+	ds := Dumps()
+	if len(ds) != 1 {
+		t.Fatalf("got %d dumps, want 1", len(ds))
+	}
+	d := ds[0]
+	if !d.Aborted || d.Round != round || d.Lane != lane {
+		t.Fatalf("dump round/lane/aborted = %d/%d/%v", d.Round, d.Lane, d.Aborted)
+	}
+	if d.Culprit != culprit || d.Code != 2 {
+		t.Fatalf("dump culprit/code = %d/%d, want %d/2", d.Culprit, d.Code, culprit)
+	}
+	if d.Phase != PhaseAgreeEcho {
+		t.Fatalf("dump phase = %v, want %v (last phase before abort)", d.Phase, PhaseAgreeEcho)
+	}
+	for _, e := range d.Events {
+		if e.Round != round {
+			t.Fatalf("dump leaked event from round %d", e.Round)
+		}
+	}
+	if !cbFired || cbDump.Round != round {
+		t.Fatal("OnDump callback did not fire with the dump")
+	}
+}
+
+func TestSlowRoundDump(t *testing.T) {
+	Reset()
+	SetEnabled(true)
+	SetSlowRound(time.Millisecond)
+	defer Reset()
+
+	RoundDone(1, 0, 1, 500*time.Microsecond, false, 0)
+	if len(Dumps()) != 0 {
+		t.Fatal("fast round dumped")
+	}
+	RoundDone(2, 0, 1, 5*time.Millisecond, false, 0)
+	ds := Dumps()
+	if len(ds) != 1 || !ds[0].Slow || ds[0].Aborted {
+		t.Fatalf("slow round dump = %+v", ds)
+	}
+}
+
+func TestDumpRetentionBound(t *testing.T) {
+	Reset()
+	SetEnabled(true)
+	defer Reset()
+	for r := uint64(0); r < maxDumps*2; r++ {
+		RoundDone(r, 0, 1, time.Millisecond, true, 1)
+	}
+	ds := Dumps()
+	if len(ds) != maxDumps {
+		t.Fatalf("retained %d dumps, want %d", len(ds), maxDumps)
+	}
+	if ds[len(ds)-1].Round != maxDumps*2-1 {
+		t.Fatal("retention dropped the newest dump")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	Reset()
+	SetEnabled(true)
+	defer Reset()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				s := Begin()
+				Span(s, Phase(i%int(NumPhases)), uint64(i), uint32(id), wire.NodeID(id), NoPeer, 0)
+				if i%100 == 0 {
+					_ = Events()
+					RoundDone(uint64(i), uint32(id), wire.NodeID(id), time.Microsecond, i%500 == 0, 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := Events()
+	if len(evs) != ringShards*ringSize {
+		t.Fatalf("ring holds %d events, want full %d", len(evs), ringShards*ringSize)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < NumPhases; p++ {
+		n := p.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("phase %d has bad/duplicate name %q", p, n)
+		}
+		seen[n] = true
+	}
+	if NumPhases.String() != "unknown" {
+		t.Fatal("out-of-range phase should stringify as unknown")
+	}
+}

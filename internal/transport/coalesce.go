@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"distauction/internal/trace"
 	"distauction/internal/wire"
 )
 
@@ -288,6 +289,7 @@ func release(pc *peerCoalescer, pb *pendingBatch) error {
 // BatchConn contract), so the batch — slice included — recycles once every
 // appender released it.
 func (c *Coalescer) ship(pb *pendingBatch) {
+	span := trace.Begin()
 	envs := pb.envs
 	c.frames.Add(1)
 	c.envelopes.Add(int64(len(envs)))
@@ -297,5 +299,9 @@ func (c *Coalescer) ship(pb *pendingBatch) {
 		c.superframes.Add(1)
 		pb.err = c.conn.SendBatch(envs)
 	}
+	// The span covers seal-to-transmit for the whole batch; Code carries
+	// the envelope count (the coalescing win this frame realised).
+	trace.Span(span, trace.PhaseCoalesceShip, envs[0].Tag.Round, 0,
+		c.conn.Self(), envs[0].To, int32(len(envs)))
 	pb.wg.Done()
 }
