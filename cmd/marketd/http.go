@@ -20,6 +20,7 @@ import (
 	"distauction/internal/metrics"
 	"distauction/internal/proto"
 	"distauction/internal/trace"
+	"distauction/internal/transport"
 )
 
 // exporter adapts whichever deployment is running — one market or a
@@ -73,6 +74,8 @@ func writeMetrics(w io.Writer, ex exporter) {
 		writeCounter(w, "distauction_bids_dropped_total", "Bids dropped at the gates.", snap.BidsDropped)
 		writeCounter(w, "distauction_frames_sent_total", "Outbound frames shipped by the coalescer.", snap.FramesSent)
 		writeCounter(w, "distauction_envelopes_sent_total", "Envelopes those frames carried.", snap.EnvelopesSent)
+		writeLink(w, snap.Link)
+		writePeerHealth(w, snap.PeerHealth)
 		writeAbortCodes(w, "", snap.AbortCodes)
 		fmt.Fprintln(w, "# HELP distauction_outcome_latency_seconds Outcome latency, bid collection through delivery.")
 		fmt.Fprintln(w, "# TYPE distauction_outcome_latency_seconds summary")
@@ -91,6 +94,8 @@ func writeMetrics(w io.Writer, ex exporter) {
 		writeCounter(w, "distauction_bids_dropped_total", "Bids dropped at the gates.", snap.BidsDropped)
 		writeCounter(w, "distauction_settle_commits_total", "Cross-shard rounds settled atomically.", snap.SettleCommits)
 		writeCounter(w, "distauction_settle_aborts_total", "Cross-shard rounds aborted and released.", snap.SettleAborts)
+		writeLink(w, snap.Link)
+		writeGauge(w, "distauction_peers_dead", "Peers some attachment currently judges dead.", int64(snap.DeadPeers))
 		writeAbortCodes(w, "", snap.AbortCodes)
 		fmt.Fprintln(w, "# HELP distauction_shard_outcome_latency_seconds Per-shard outcome latency.")
 		fmt.Fprintln(w, "# TYPE distauction_shard_outcome_latency_seconds summary")
@@ -127,6 +132,25 @@ func writeCounter(w io.Writer, name, help string, v int64) {
 
 func writeGauge(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// writeLink emits the resilience layer's ARQ counters. All zero when no
+// resilience layer is stacked under the deployment.
+func writeLink(w io.Writer, ls transport.LinkStats) {
+	writeCounter(w, "distauction_reconnects_total", "Dead peers that came back alive (reconnect-with-resume).", ls.Reconnects)
+	writeCounter(w, "distauction_link_resends_total", "Unacked link frames resent.", ls.Resends)
+	writeCounter(w, "distauction_link_dups_dropped_total", "Duplicate link frames absorbed by seq dedup.", ls.DupsDropped)
+	writeCounter(w, "distauction_link_overflow_total", "Unacked frames evicted by a full resend buffer.", ls.Overflow)
+}
+
+// writePeerHealth emits one gauge sample per peer the failure detector
+// tracks, labelled by its current verdict.
+func writePeerHealth(w io.Writer, peers []transport.PeerHealth) {
+	fmt.Fprintln(w, "# HELP distauction_peer_health Failure-detector verdict per peer (1 = the labelled state).")
+	fmt.Fprintln(w, "# TYPE distauction_peer_health gauge")
+	for _, ph := range peers {
+		fmt.Fprintf(w, "distauction_peer_health{peer=\"%d\",state=%q} 1\n", ph.Peer, ph.State.String())
+	}
 }
 
 // writeAbortCodes emits the typed ⊥ breakdown as one counter per cause.

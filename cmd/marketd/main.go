@@ -48,6 +48,7 @@ import (
 	"distauction/internal/metrics"
 	"distauction/internal/trace"
 	"distauction/internal/transport"
+	"distauction/internal/transport/faultnet"
 	"distauction/internal/wire"
 	"distauction/internal/workload"
 )
@@ -66,6 +67,9 @@ func main() {
 	n := flag.Int("n", 4, "hub mode: number of bidders (joined to every auction)")
 	seed := flag.Uint64("seed", 1, "hub mode: workload seed")
 	shards := flag.Int("shards", 1, "hub mode: partition the catalog over this many provider committees")
+	chaos := flag.Bool("chaos", false, "hub mode: inject transport faults (frame drops + periodic conn kills) under the resilience layer")
+	chaosDrop := flag.Float64("chaos-drop", 0.01, "chaos: per-frame drop probability on every link")
+	chaosKill := flag.Duration("chaos-kill", 2*time.Second, "chaos: kill one node's connections at this interval, round-robin (0 = never)")
 
 	// TCP daemon knobs.
 	id := flag.Uint("id", 0, "tcp mode: this provider's node id")
@@ -88,12 +92,18 @@ func main() {
 	trace.SetEnabled(*traceOn)
 	trace.SetSlowRound(*slowRound)
 
+	var plan *chaosPlan
+	if *chaos {
+		plan = &chaosPlan{drop: *chaosDrop, kill: *chaosKill}
+	}
 	specs, err := parseAuctions(*auctionsFlag)
 	if err == nil {
-		if *hubMode && *shards > 1 {
-			err = runHubFederated(specs, *shards, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout, *metricsAddr)
+		if plan != nil && !*hubMode {
+			err = fmt.Errorf("-chaos requires -hub (TCP deployments get real faults for free)")
+		} else if *hubMode && *shards > 1 {
+			err = runHubFederated(specs, *shards, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout, *metricsAddr, plan)
 		} else if *hubMode {
-			err = runHub(specs, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout, *metricsAddr)
+			err = runHub(specs, *m, *n, *k, *pipeline, *rounds, *seed, *bidWindow, *roundTimeout, *metricsAddr, plan)
 		} else {
 			err = runTCP(specs, uint32(*id), *listen, *providersFlag, *usersFlag, *k, *pipeline,
 				*rounds, *cost, *capacity, *bidWindow, *roundTimeout, *secret, *metricsAddr)
@@ -188,15 +198,53 @@ func sessionOpts(k, pipeline int, rounds uint64, bidWindow, roundTimeout time.Du
 	return opts
 }
 
+// chaosPlan is the -chaos flag group: frame drops plus a round-robin
+// connection killer, injected beneath the resilience layer so the demo
+// exercises the heartbeat/ARQ machinery instead of aborting.
+type chaosPlan struct {
+	drop float64
+	kill time.Duration
+}
+
+// wrap stacks faultnet and the resilience layer over the demo hub and
+// starts the killer. The returned network owns the whole stack (its Close
+// closes the hub too); stop halts the killer.
+func (p *chaosPlan) wrap(hub *transport.Hub, seed uint64, victims []wire.NodeID) (transport.Network, func()) {
+	fn := faultnet.Wrap(hub, faultnet.Config{
+		Seed:    int64(seed),
+		Default: faultnet.Profile{Drop: p.drop},
+	})
+	net := transport.Resilient(fn, transport.ResilientConfig{})
+	stop := func() {}
+	if p.kill > 0 && len(victims) > 0 {
+		done := make(chan struct{})
+		go func() {
+			tick := time.NewTicker(p.kill)
+			defer tick.Stop()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					fn.Kill(victims[i%len(victims)])
+				}
+			}
+		}()
+		var once sync.Once
+		stop = func() { once.Do(func() { close(done) }) }
+	}
+	fmt.Printf("marketd: chaos on — %.2g%% frame drop, conn-kill every %v\n", p.drop*100, p.kill)
+	return net, stop
+}
+
 // runHub is the self-contained demo: everything in one process over the
 // in-memory Hub with the community-network latency model.
 func runHub(specs []namedLane, m, n, k, pipeline int, rounds, seed uint64,
-	bidWindow, roundTimeout time.Duration, metricsAddr string) error {
+	bidWindow, roundTimeout time.Duration, metricsAddr string, chaos *chaosPlan) error {
 	if rounds == 0 {
 		return fmt.Errorf("hub mode needs -rounds > 0")
 	}
 	hub := transport.NewHub(transport.CommunityNetModel(), int64(seed))
-	defer hub.Close()
 
 	providerIDs := make([]wire.NodeID, m)
 	for i := range providerIDs {
@@ -211,13 +259,21 @@ func runHub(specs []namedLane, m, n, k, pipeline int, rounds, seed uint64,
 		insts[j] = workload.NewDoubleAuction(seed+uint64(j)*104729, n, m)
 	}
 
+	var net transport.Network = hub
+	if chaos != nil {
+		wrapped, stop := chaos.wrap(hub, seed, append(append([]wire.NodeID{}, providerIDs...), userIDs...))
+		defer stop()
+		net = wrapped
+	}
+	defer net.Close()
+
 	// The demo bidders submit every round's bid up front, so the admission
 	// window must span the whole run or the tail rounds degrade to neutral
 	// bids (a paced client would track the outcome stream instead).
 	window := int(min(rounds+uint64(pipeline)+2, 1<<20))
 	markets := make([]*market.Market, m)
 	for i, pid := range providerIDs {
-		conn, err := hub.Attach(pid)
+		conn, err := net.Attach(pid)
 		if err != nil {
 			return err
 		}
@@ -252,7 +308,7 @@ func runHub(specs []namedLane, m, n, k, pipeline int, rounds, seed uint64,
 	var wg sync.WaitGroup
 	errCh := make(chan error, n*len(specs))
 	for i, uid := range userIDs {
-		conn, err := hub.Attach(uid)
+		conn, err := net.Attach(uid)
 		if err != nil {
 			return err
 		}
@@ -313,7 +369,7 @@ func runHub(specs []namedLane, m, n, k, pipeline int, rounds, seed uint64,
 // `shards` disjoint provider committees of m nodes each behind one
 // federated façade, bidders joined through one attachment apiece.
 func runHubFederated(specs []namedLane, shards, m, n, k, pipeline int, rounds, seed uint64,
-	bidWindow, roundTimeout time.Duration, metricsAddr string) error {
+	bidWindow, roundTimeout time.Duration, metricsAddr string, chaos *chaosPlan) error {
 	if rounds == 0 {
 		return fmt.Errorf("hub mode needs -rounds > 0")
 	}
@@ -321,23 +377,32 @@ func runHubFederated(specs []namedLane, shards, m, n, k, pipeline int, rounds, s
 		return fmt.Errorf("-shards %d exceeds the %d-shard lane band", shards, federation.MaxShards)
 	}
 	hub := transport.NewHub(transport.CommunityNetModel(), int64(seed))
-	defer hub.Close()
 
 	fedSpecs := make([]federation.ShardSpec, shards)
+	var committeeIDs []wire.NodeID
 	for s := range fedSpecs {
 		committee := make([]wire.NodeID, m)
 		for i := range committee {
 			committee[i] = wire.NodeID(s*m + i + 1)
 		}
 		fedSpecs[s] = federation.ShardSpec{Index: s + 1, Providers: committee}
+		committeeIDs = append(committeeIDs, committee...)
 	}
 	userIDs := make([]wire.NodeID, n)
 	for i := range userIDs {
 		userIDs[i] = wire.NodeID(1001 + i)
 	}
 
+	var net transport.Network = hub
+	if chaos != nil {
+		wrapped, stop := chaos.wrap(hub, seed, append(committeeIDs, userIDs...))
+		defer stop()
+		net = wrapped
+	}
+	defer net.Close()
+
 	window := int(min(rounds+uint64(pipeline)+2, 1<<20))
-	fed, err := federation.Open(hub, fedSpecs,
+	fed, err := federation.Open(net, fedSpecs,
 		federation.WithMarketOptions(market.WithAdmissionWindow(window)))
 	if err != nil {
 		return err
@@ -385,7 +450,7 @@ func runHubFederated(specs []namedLane, shards, m, n, k, pipeline int, rounds, s
 	var wg sync.WaitGroup
 	errCh := make(chan error, n*len(specs))
 	for i, uid := range userIDs {
-		conn, err := hub.Attach(uid)
+		conn, err := net.Attach(uid)
 		if err != nil {
 			return err
 		}

@@ -389,7 +389,10 @@ func failUnlessAborted(peer *proto.Peer, round uint64, op string, err error) err
 	if abortErr := peer.AbortErr(round); abortErr != nil {
 		return abortErr
 	}
-	return peer.FailRound(round, fmt.Sprintf("%s: %v", op, err))
+	// FailCause keeps the error's typed classification: a dead peer's
+	// receive timeout aborts as disconnect with the crashed peer attributed
+	// as culprit, not as an anonymous timeout.
+	return peer.FailCause(round, op, err)
 }
 
 // commitSetDigestOrdered hashes the (id, commitment) pairs with commits

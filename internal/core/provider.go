@@ -191,31 +191,31 @@ func (e *engine) broadcastOwnBid(ctx context.Context, round uint64, ownBid *auct
 	}
 	tag := wire.Tag{Round: round, Block: wire.BlockBidSubmit, Step: 1}
 	deadline := time.Now().Add(e.cfg.BidWindow)
-	var retry *time.Timer // one reusable timer for the whole retry loop
+	// Capped jittered exponential backoff, one reusable timer, created only
+	// when the first attempt fails — a fleet of providers retrying into the
+	// same late attacher must not hammer it in lockstep.
+	var bo *transport.Backoff
 	for {
 		err := e.peer.BroadcastProviders(tag, bid.Encode())
 		if err == nil {
-			if retry != nil {
-				retry.Stop()
+			if bo != nil {
+				bo.Stop()
 			}
 			return nil
 		}
 		if ctx.Err() != nil || time.Now().After(deadline) {
-			if retry != nil {
-				retry.Stop()
+			if bo != nil {
+				bo.Stop()
 			}
 			return e.peer.FailRound(round, fmt.Sprintf("broadcast own bid: %v", err))
 		}
-		if retry == nil {
-			retry = time.NewTimer(10 * time.Millisecond)
-		} else {
-			retry.Reset(10 * time.Millisecond)
+		if bo == nil {
+			bo = transport.NewBackoff(5*time.Millisecond, 100*time.Millisecond,
+				int64(round)^time.Now().UnixNano())
 		}
-		select {
-		case <-ctx.Done():
-			retry.Stop()
-		case <-retry.C:
-		}
+		// A cancelled wait falls through to one final attempt; the ctx check
+		// above then reports the failure.
+		_ = bo.Wait(ctx.Done())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"distauction/internal/metrics"
 	"distauction/internal/proto"
+	"distauction/internal/transport"
 	"distauction/internal/wire"
 )
 
@@ -66,6 +67,12 @@ type NodeSnapshot struct {
 	SuperframesSent int64
 	EnvelopesSent   int64
 	BatchOccupancy  float64
+
+	// PeerHealth and Link are this attachment's failure-detector table and
+	// ARQ counters (empty/zero without a resilience layer). Per node, not
+	// per shard: health is a property of the attachment.
+	PeerHealth []transport.PeerHealth
+	Link       transport.LinkStats
 }
 
 // Snapshot is the federation-wide rollup: totals, the per-shard and
@@ -85,6 +92,11 @@ type Snapshot struct {
 	SettleCommits int64 // cross-shard rounds settled atomically
 	SettleAborts  int64 // cross-shard rounds aborted and released
 	SettleErrs    int64 // settle rounds that returned an error
+
+	// Link sums every node's ARQ counters; DeadPeers counts peers some
+	// attachment currently judges dead (per-node detail in PerNode).
+	Link      transport.LinkStats
+	DeadPeers int
 
 	// Latency is the federation-wide outcome-latency histogram (the merge
 	// of every shard's) and AbortCodes the federation-wide abort-cause
@@ -192,7 +204,7 @@ func (f *Market) Stats() Snapshot {
 		ms := ref.n.market.Stats()
 		sv := serves[ref.id]
 		sort.Ints(sv)
-		snap.PerNode = append(snap.PerNode, NodeSnapshot{
+		ns := NodeSnapshot{
 			Node:            ref.id,
 			Serves:          sv,
 			Rounds:          ms.Rounds,
@@ -203,7 +215,16 @@ func (f *Market) Stats() Snapshot {
 			SuperframesSent: ms.SuperframesSent,
 			EnvelopesSent:   ms.EnvelopesSent,
 			BatchOccupancy:  ms.BatchOccupancy,
-		})
+			PeerHealth:      ms.PeerHealth,
+			Link:            ms.Link,
+		}
+		snap.Link = snap.Link.Add(ns.Link)
+		for _, ph := range ns.PeerHealth {
+			if ph.State == transport.HealthDead {
+				snap.DeadPeers++
+			}
+		}
+		snap.PerNode = append(snap.PerNode, ns)
 	}
 	sort.Slice(snap.PerNode, func(i, j int) bool { return snap.PerNode[i].Node < snap.PerNode[j].Node })
 	return snap

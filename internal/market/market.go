@@ -655,6 +655,13 @@ type Snapshot struct {
 	// rounds, and TotalAlloc growing by the pooled-path budget only.
 	Runtime metrics.RuntimeStats
 
+	// PeerHealth is the attachment's failure-detector table (alive /
+	// suspect / dead per peer) and Link its ARQ counters — resends,
+	// reconnects, dups dropped by seq. Both are zero on transports without
+	// a resilience layer.
+	PeerHealth []transport.PeerHealth
+	Link       transport.LinkStats
+
 	// Latency merges every auction's outcome-latency histogram; AbortCodes
 	// merges their per-cause ⊥ breakdowns (indexed by proto.AbortCode).
 	Latency    metrics.HistogramSnapshot
@@ -702,6 +709,10 @@ func (m *Market) Stats() Snapshot {
 	snap.SuperframesSent = mux.Out.Superframes
 	snap.EnvelopesSent = mux.Out.Envelopes
 	snap.BatchOccupancy = mux.Out.Occupancy()
+	if peers, link, ok := m.mux.Health(); ok {
+		snap.PeerHealth = peers
+		snap.Link = link
+	}
 	for _, a := range auctions {
 		as := a.snapshot()
 		snap.Auctions = append(snap.Auctions, as)

@@ -162,6 +162,18 @@ func (m *Mux) Stats() MuxStats {
 // Self returns the underlying node ID (shared by every lane).
 func (m *Mux) Self() wire.NodeID { return m.self }
 
+// Health returns the attachment's failure-detector view when the
+// underlying transport tracks one (a transport.ResilientConn does):
+// per-peer liveness plus link-layer counters. ok is false on transports
+// without health tracking.
+func (m *Mux) Health() (peers []transport.PeerHealth, link transport.LinkStats, ok bool) {
+	hr, isHR := m.conn.(transport.HealthReporter)
+	if !isHR {
+		return nil, transport.LinkStats{}, false
+	}
+	return hr.PeerHealth(), hr.LinkStats(), true
+}
+
 // SetAdmission installs the admission gate consulted for every inbound
 // envelope (nil admits everything). The gate runs on the transport's
 // producer goroutines and must be fast and concurrency-safe.
@@ -380,6 +392,17 @@ func (c *laneConn) Self() wire.NodeID { return c.mux.self }
 // detects it so every trace event of the lane's session is labelled with
 // the auction it belongs to.
 func (c *laneConn) Lane() uint32 { return c.lane }
+
+// PeerDead forwards the transport's failure-detector verdict for id.
+// proto.NewPeer detects it (like Lane) so a receive timeout on a crashed
+// peer aborts as disconnect rather than plain timeout. Transports without
+// health tracking report every peer alive.
+func (c *laneConn) PeerDead(id wire.NodeID) bool {
+	if hr, ok := c.mux.conn.(transport.HealthReporter); ok {
+		return hr.PeerDead(id)
+	}
+	return false
+}
 
 // Send stamps the lane into env's tag and transmits it on the shared
 // connection — through the mux's per-peer coalescer when the transport can

@@ -35,13 +35,18 @@ const (
 	// AbortProtocol is a malformed or mis-sequenced message: decode
 	// failures, mis-opened commitments, vector mismatches.
 	AbortProtocol
+	// AbortDisconnect is a crashed peer: the transport's failure detector
+	// declared it dead (heartbeat silence past the dead threshold) before
+	// the round timed out. Distinct from AbortTimeout (silent but alive)
+	// and from the deviation codes — a crash is not a deviation.
+	AbortDisconnect
 
 	// NumAbortCodes bounds per-code counter arrays.
 	NumAbortCodes
 )
 
 var abortCodeNames = [NumAbortCodes]string{
-	"unknown", "timeout", "equivocation", "mac", "settlement", "closed", "protocol",
+	"unknown", "timeout", "equivocation", "mac", "settlement", "closed", "protocol", "disconnect",
 }
 
 // String returns the code's stable metric label.
@@ -61,6 +66,10 @@ func ClassifyReason(reason string) AbortCode {
 	switch {
 	case strings.Contains(r, "equivocation"):
 		return AbortEquivocation
+	case strings.Contains(r, "disconnect"):
+		// Before the timeout case: a disconnect reason mentions missed
+		// heartbeats, and detection fires on the same timeout path.
+		return AbortDisconnect
 	case strings.Contains(r, "deadline"), strings.Contains(r, "timeout"), strings.Contains(r, "timed out"):
 		return AbortTimeout
 	case strings.Contains(r, "mac"), strings.Contains(r, "auth"):
@@ -90,6 +99,13 @@ func AbortCodeOf(err error) AbortCode {
 			return ae.Code
 		}
 		return ClassifyReason(ae.Reason)
+	}
+	// Before the DeadlineExceeded branch: a DisconnectError Is-matches the
+	// deadline sentinel (so timeout-tolerant callers degrade gracefully)
+	// but classifies as a crash, not a timeout.
+	var de *DisconnectError
+	if errors.As(err, &de) {
+		return AbortDisconnect
 	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):

@@ -76,6 +76,25 @@ func (e *AbortError) Error() string {
 // Is reports that an AbortError matches ErrAborted.
 func (e *AbortError) Is(target error) bool { return target == ErrAborted }
 
+// DisconnectError reports a receive that gave up on a peer the transport's
+// failure detector had already declared dead — the crash verdict, as
+// opposed to the plain timeout of a slow-but-alive peer. It Is-matches
+// context.DeadlineExceeded so that every timeout-tolerant path (a dead
+// bidder degrades to a neutral bid exactly like a silent one) keeps
+// working, while AbortCodeOf classifies it as AbortDisconnect.
+type DisconnectError struct {
+	Peer wire.NodeID
+}
+
+// Error implements error. The text deliberately avoids the timeout
+// vocabulary so reason-string classification lands on disconnect.
+func (e *DisconnectError) Error() string {
+	return fmt.Sprintf("proto: peer %d disconnected (missed heartbeats)", e.Peer)
+}
+
+// Is reports that a DisconnectError matches context.DeadlineExceeded.
+func (e *DisconnectError) Is(target error) bool { return target == context.DeadlineExceeded }
+
 // ErrPeerClosed reports use of a closed Peer.
 var ErrPeerClosed = errors.New("proto: peer closed")
 
@@ -199,6 +218,9 @@ type Peer struct {
 	self      wire.NodeID
 	providers []wire.NodeID // sorted, may or may not include self
 	lane      uint32        // marketplace lane, when conn carries one (trace labels)
+	// health is the transport's failure detector, when the connection has
+	// one: it upgrades receive timeouts on dead peers to DisconnectError.
+	health interface{ PeerDead(wire.NodeID) bool }
 
 	shards   [numShards]shard
 	minRound atomic.Uint64 // rounds below this are retired; their messages drop
@@ -237,6 +259,9 @@ func NewPeer(conn transport.Conn, providers []wire.NodeID) *Peer {
 	}
 	if lc, ok := conn.(interface{ Lane() uint32 }); ok {
 		p.lane = lc.Lane()
+	}
+	if hr, ok := conn.(interface{ PeerDead(wire.NodeID) bool }); ok {
+		p.health = hr
 	}
 	if pc, ok := conn.(transport.PushConn); ok {
 		close(p.loopDone) // no routing loop to wait for
@@ -603,6 +628,41 @@ func (p *Peer) FailRound(round uint64, reason string) error {
 	return &AbortError{Round: round, From: p.self, Reason: reason, Code: ClassifyReason(reason), Culprit: wire.Broadcast}
 }
 
+// timeoutError is the receive-timeout verdict for a silent peer: a plain
+// deadline for a peer presumed alive, a DisconnectError when the failure
+// detector has already declared it dead — the crash-vs-slow distinction
+// every downstream classifier keys on.
+func (p *Peer) timeoutError(from wire.NodeID) error {
+	if p.health != nil && from != p.self && p.health.PeerDead(from) {
+		return &DisconnectError{Peer: from}
+	}
+	return context.DeadlineExceeded
+}
+
+// FailCause is FailRound for failures carried by a typed error: the abort
+// code comes from the error's classification (a DisconnectError aborts as
+// disconnect with the dead peer attributed as culprit) instead of being
+// re-derived from prose, and op prefixes the reason for the trace.
+func (p *Peer) FailCause(round uint64, op string, err error) error {
+	var ae *AbortError
+	if errors.As(err, &ae) {
+		// Already an abort (a sub-block failed the round): nothing to add.
+		return ae
+	}
+	code := AbortCodeOf(err)
+	culprit := wire.Broadcast
+	var de *DisconnectError
+	if errors.As(err, &de) {
+		culprit = de.Peer
+	}
+	reason := op + ": " + err.Error()
+	_ = p.AbortWith(round, reason, code, culprit)
+	if aerr := p.AbortErr(round); aerr != nil {
+		return aerr
+	}
+	return &AbortError{Round: round, From: p.self, Reason: reason, Code: code, Culprit: culprit}
+}
+
 // AbortChan returns a channel that closes when round aborts (⊥). For a
 // round already retired by EndRound it returns an already-closed channel —
 // a retired round can never complete, so "treat it as dead" is the only
@@ -770,10 +830,13 @@ func (p *Peer) ReceiveTimeout(ctx context.Context, tag wire.Tag, from wire.NodeI
 		return nil, p.AbortErr(tag.Round)
 	case <-timeoutC:
 		p.dropWaiter(tag.Round, key, n)
-		return nil, context.DeadlineExceeded
+		return nil, p.timeoutError(from)
 	case <-ctx.Done():
 		p.dropWaiter(tag.Round, key, n)
-		return nil, ctx.Err()
+		if err := ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, p.timeoutError(from)
 	case <-p.done:
 		return nil, ErrPeerClosed
 	}

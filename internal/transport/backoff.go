@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is a capped, jittered exponential backoff with one reusable
+// timer. It replaces the fixed-interval retry loops that used to sit on
+// the dial and bid paths: each failed attempt doubles the wait up to Max,
+// full jitter spreads simultaneous retriers apart, and the single timer is
+// stopped on Close so an abandoned loop leaks nothing.
+//
+// A Backoff is single-goroutine: the owning retry loop alternates
+// Wait/Reset calls. The zero value is not usable; call NewBackoff.
+type Backoff struct {
+	min   time.Duration
+	max   time.Duration
+	next  time.Duration
+	rng   *rand.Rand
+	timer *time.Timer
+}
+
+// NewBackoff returns a backoff starting at min and doubling to at most
+// max. seed fixes the jitter sequence (deterministic tests); pass a
+// varying seed in production paths.
+func NewBackoff(min, max time.Duration, seed int64) *Backoff {
+	if min <= 0 {
+		min = time.Millisecond
+	}
+	if max < min {
+		max = min
+	}
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return &Backoff{min: min, max: max, next: min, rng: rand.New(rand.NewSource(seed)), timer: t}
+}
+
+// Reset rewinds the schedule to min after a success.
+func (b *Backoff) Reset() { b.next = b.min }
+
+// Wait sleeps for the current jittered interval and advances the
+// schedule. It returns false immediately — without consuming an interval —
+// when done is closed first, so retry loops honor shutdown. done may be
+// nil (plain sleep).
+func (b *Backoff) Wait(done <-chan struct{}) bool {
+	d := b.next
+	// Full jitter: uniform in (0, d]. Simultaneous retriers decorrelate
+	// and the expected wait stays d/2, well under the cap.
+	d = time.Duration(1 + b.rng.Int63n(int64(d)))
+	if b.next <= b.max/2 {
+		b.next *= 2
+	} else {
+		b.next = b.max
+	}
+	b.timer.Reset(d)
+	select {
+	case <-b.timer.C:
+		return true
+	case <-done:
+		if !b.timer.Stop() {
+			<-b.timer.C
+		}
+		return false
+	}
+}
+
+// Stop releases the timer. The Backoff must not be used afterwards.
+func (b *Backoff) Stop() {
+	if !b.timer.Stop() {
+		select {
+		case <-b.timer.C:
+		default:
+		}
+	}
+}

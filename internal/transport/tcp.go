@@ -46,6 +46,7 @@ type TCPNode struct {
 
 	mu       sync.Mutex
 	outbound map[wire.NodeID]*tcpOut
+	inConns  map[net.Conn]struct{} // live inbound conns, for KillConns
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -136,6 +137,7 @@ func ListenTCP(cfg TCPConfig) (*TCPNode, error) {
 		ln:       ln,
 		inbox:    make(chan wire.Envelope, 4096),
 		outbound: make(map[wire.NodeID]*tcpOut),
+		inConns:  make(map[net.Conn]struct{}),
 		done:     make(chan struct{}),
 	}
 	n.wg.Add(1)
@@ -184,6 +186,14 @@ func (n *TCPNode) acceptLoop() {
 func (n *TCPNode) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
+	n.mu.Lock()
+	n.inConns[conn] = struct{}{}
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.inConns, conn)
+		n.mu.Unlock()
+	}()
 	go func() {
 		<-n.done
 		conn.Close() // unblock the pending read on shutdown
@@ -397,21 +407,41 @@ func (n *TCPNode) SendBatch(envs []wire.Envelope) error {
 	return err
 }
 
-// writeRetry writes one raw frame to the peer's connection, redialing a
-// stale connection once.
+// writeAttempts bounds writeRetry: one write on the cached conn plus up to
+// three redial-and-replay attempts with jittered backoff between them.
+const writeAttempts = 4
+
+// writeRetry writes one raw frame to the peer's connection. A stale or
+// freshly-killed connection is redialed and the write replayed, with
+// capped jittered backoff between attempts; shutdown aborts the retry
+// immediately.
 func (n *TCPNode) writeRetry(to wire.NodeID, raw []byte) error {
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	var bo *Backoff // lazily created: the no-failure path allocates nothing
+	for attempt := 0; attempt < writeAttempts; attempt++ {
+		if attempt > 0 {
+			if bo == nil {
+				bo = NewBackoff(2*time.Millisecond, 100*time.Millisecond,
+					int64(n.cfg.Self)<<32^int64(to)^time.Now().UnixNano())
+			}
+			if !bo.Wait(n.done) {
+				return ErrClosed
+			}
+		}
 		out, err := n.conn(to, attempt > 0)
 		if err != nil {
 			return err
 		}
 		if err = out.writeFrame(raw); err == nil {
+			if bo != nil {
+				bo.Stop()
+			}
 			return nil
 		}
 		lastErr = err
 		n.dropConn(to, out)
 	}
+	bo.Stop()
 	return fmt.Errorf("transport: send to %d: %w", to, lastErr)
 }
 
@@ -430,35 +460,34 @@ func (n *TCPNode) conn(id wire.NodeID, redial bool) (*tcpOut, error) {
 	}
 	// Retry refused connections within the dial budget: peers of a round
 	// start concurrently and a listener may be a beat behind its dialers.
+	// Capped jittered exponential backoff (one reusable timer, honoring
+	// shutdown) keeps a whole fleet redialing one restarted peer from
+	// hammering it in lockstep.
 	deadline := time.Now().Add(n.cfg.DialTimeout)
 	var c net.Conn
 	var err error
-	var retry *time.Timer // one reusable timer for the whole retry loop
+	var bo *Backoff // lazily created: the first-try-succeeds path allocates nothing
 	for {
 		c, err = net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
 		if err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
-			if retry != nil {
-				retry.Stop()
+			if bo != nil {
+				bo.Stop()
 			}
 			return nil, fmt.Errorf("transport: dial %d (%s): %w", id, addr, err)
 		}
-		if retry == nil {
-			retry = time.NewTimer(50 * time.Millisecond)
-		} else {
-			retry.Reset(50 * time.Millisecond)
+		if bo == nil {
+			bo = NewBackoff(5*time.Millisecond, 200*time.Millisecond,
+				int64(n.cfg.Self)<<32^int64(id)^time.Now().UnixNano())
 		}
-		select {
-		case <-n.done:
-			retry.Stop()
+		if !bo.Wait(n.done) {
 			return nil, ErrClosed
-		case <-retry.C:
 		}
 	}
-	if retry != nil {
-		retry.Stop()
+	if bo != nil {
+		bo.Stop()
 	}
 	out := newTCPOut(c)
 	n.mu.Lock()
@@ -471,6 +500,31 @@ func (n *TCPNode) conn(id wire.NodeID, redial bool) (*tcpOut, error) {
 	n.outbound[id] = out
 	n.mu.Unlock()
 	return out, nil
+}
+
+// KillConns abruptly closes every live connection — outbound and inbound —
+// without touching the listener or the node's state. It models a network
+// event (NAT rebind, cable pull, peer restart) for fault injection: the
+// next send redials, in-flight frames are lost, and the resilience layer's
+// seq/resend protocol must replay whatever the dead conns swallowed.
+func (n *TCPNode) KillConns() {
+	n.mu.Lock()
+	outs := make([]*tcpOut, 0, len(n.outbound))
+	for id, out := range n.outbound {
+		outs = append(outs, out)
+		delete(n.outbound, id)
+	}
+	ins := make([]net.Conn, 0, len(n.inConns))
+	for conn := range n.inConns {
+		ins = append(ins, conn)
+	}
+	n.mu.Unlock()
+	for _, out := range outs {
+		out.conn.Close()
+	}
+	for _, conn := range ins {
+		conn.Close()
+	}
 }
 
 func (n *TCPNode) dropConn(id wire.NodeID, out *tcpOut) {

@@ -29,13 +29,14 @@ const (
 	BlockTask        BlockID = 6 // task result exchange within a group
 	BlockResult      BlockID = 7 // provider -> bidder outcome delivery
 	BlockControl     BlockID = 8 // round control (start/abort)
-	blockIDSentinel  BlockID = 9
+	BlockLink        BlockID = 9 // link layer: seq-carried data, acks, heartbeats
+	blockIDSentinel  BlockID = 10
 	blockNameInvalid         = "invalid"
 )
 
 var blockNames = [blockIDSentinel]string{
 	blockNameInvalid, "bid-submit", "bid-agree", "validate",
-	"coin", "transfer", "task", "result", "control",
+	"coin", "transfer", "task", "result", "control", "link",
 }
 
 // String returns a human-readable block name.
@@ -66,6 +67,20 @@ type Envelope struct {
 	Tag     Tag
 	Payload []byte
 	MAC     []byte // HMAC over SignedBytes, empty on unauthenticated transports
+	// LinkSeq is the resilience layer's per-peer sequence number; zero on
+	// unsequenced traffic (broadcasts, or deployments without the link
+	// layer). It rides the transport framing but is deliberately outside
+	// the MAC-covered bytes: the link layer assigns it after signing, and a
+	// retransmission must not need re-signing. Tampering with it on the
+	// wire can only reorder or drop — the same power a faulty network
+	// already has.
+	LinkSeq uint64
+	// LinkAck piggybacks the sender's cumulative ack for the reverse
+	// direction of the same link (TCP-style), so steady bidirectional
+	// traffic never needs standalone ack frames. Outside the MAC for the
+	// same reason as LinkSeq; forging it can only drop resend state the
+	// forger could drop anyway.
+	LinkAck uint64
 }
 
 // SignedBytes returns the canonical byte string covered by the MAC:
@@ -82,14 +97,17 @@ func (e *Envelope) SignedBytes() []byte {
 func (e *Envelope) SignedBytesTo(enc *Encoder) { e.encodeCore(enc) }
 
 // EncodedSize returns a capacity hint covering the full encoding of e.
-func (e *Envelope) EncodedSize() int { return 32 + len(e.Payload) + len(e.MAC) }
+func (e *Envelope) EncodedSize() int { return 52 + len(e.Payload) + len(e.MAC) }
 
-// EncodeTo appends the envelope's full encoding (including its MAC) to enc.
-// Transports use it with a pooled encoder: the frame bytes are written to
-// the connection and the buffer is recycled without ever escaping.
+// EncodeTo appends the envelope's full encoding (including its MAC and
+// link sequence) to enc. Transports use it with a pooled encoder: the
+// frame bytes are written to the connection and the buffer is recycled
+// without ever escaping.
 func (e *Envelope) EncodeTo(enc *Encoder) {
 	e.encodeCore(enc)
 	enc.Bytes(e.MAC)
+	enc.Uvarint(e.LinkSeq)
+	enc.Uvarint(e.LinkAck)
 }
 
 func (e *Envelope) encodeCore(enc *Encoder) {
@@ -102,11 +120,10 @@ func (e *Envelope) encodeCore(enc *Encoder) {
 	enc.Bytes(e.Payload)
 }
 
-// Encode serialises the envelope including its MAC.
+// Encode serialises the envelope including its MAC and link sequence.
 func (e *Envelope) Encode() []byte {
-	enc := NewEncoder(32 + len(e.Payload) + len(e.MAC))
-	e.encodeCore(enc)
-	enc.Bytes(e.MAC)
+	enc := NewEncoder(e.EncodedSize())
+	e.EncodeTo(enc)
 	return enc.Buffer()
 }
 
@@ -141,6 +158,8 @@ func decodeEnvelope(b []byte, view bool) (Envelope, error) {
 		e.Payload = d.Bytes()
 		e.MAC = d.Bytes()
 	}
+	e.LinkSeq = d.Uvarint()
+	e.LinkAck = d.Uvarint()
 	if err := d.Finish(); err != nil {
 		return Envelope{}, fmt.Errorf("decode envelope: %w", err)
 	}

@@ -62,7 +62,7 @@ type Superframe struct {
 func (sf *Superframe) EncodedSize() int {
 	n := 16 + len(sf.MAC)
 	for i := range sf.Envs {
-		n += 16 + len(sf.Envs[i].Payload) + len(sf.Envs[i].MAC)
+		n += 36 + len(sf.Envs[i].Payload) + len(sf.Envs[i].MAC)
 	}
 	return n
 }
@@ -82,6 +82,8 @@ func (sf *Superframe) SignedBytesTo(enc *Encoder) {
 		enc.Uint8(e.Tag.Step)
 		enc.Bytes(e.Payload)
 		enc.Bytes(e.MAC)
+		enc.Uvarint(e.LinkSeq)
+		enc.Uvarint(e.LinkAck)
 	}
 }
 
@@ -177,6 +179,8 @@ func decodeSuperframe(b []byte, view bool) (Superframe, error) {
 			e.Payload = d.Bytes()
 			e.MAC = d.Bytes()
 		}
+		e.LinkSeq = d.Uvarint()
+		e.LinkAck = d.Uvarint()
 		if d.Err() == nil && (e.Tag.Block == BlockInvalid || e.Tag.Block >= blockIDSentinel) {
 			return Superframe{}, fmt.Errorf("%w: block id %d", ErrCorrupt, e.Tag.Block)
 		}
